@@ -1,0 +1,56 @@
+"""Figure 11: automatic partitioning search time.
+
+The paper shows search time growing with the number of mesh axes (more
+decisions).  We time the MCTS on one and two axes for UNet and GNS with a
+fixed simulation budget; more axes => larger action space => more work per
+evaluation and deeper trees.
+"""
+
+import time
+
+import pytest
+
+from repro.auto.search import mcts_search
+from repro.core.sharding import ShardingEnv
+from repro.mesh import Mesh
+from repro.models import gns as gns_mod
+from repro.models import unet as unet_mod
+from repro.sim import TPU_V3
+from benchmarks.common import gns_paper, print_table, unet_paper
+
+MESH = Mesh({"batch": 8, "model": 4})
+
+
+def test_fig11(benchmark):
+    rows = []
+
+    def run_all():
+        cases = [
+            ("UNet", unet_mod.trace_training_step(
+                unet_paper(num_down=3, num_up=3))),
+            ("GNS", gns_mod.trace_training_step(
+                gns_paper(message_steps=4))),
+        ]
+        for label, traced in cases:
+            timings = {}
+            for axes in (["batch"], ["batch", "model"]):
+                env = ShardingEnv(MESH)
+                t0 = time.perf_counter()
+                result = mcts_search(traced.function, env, axes,
+                                     device=TPU_V3, budget=8,
+                                     rollout_depth=2, max_inputs=12)
+                timings[len(axes)] = time.perf_counter() - t0
+                rows.append((
+                    label, "+".join(axes), f"{timings[len(axes)]:.2f}s",
+                    result.evaluations, len(result.actions),
+                ))
+            # More axes should not be cheaper to search than one axis.
+            assert timings[2] >= 0.5 * timings[1]
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Figure 11: automatic partitioning search time grows with #axes "
+        "(paper: up to ~1250s at full scale; budget-scaled here)",
+        ["model", "axes", "search time", "evaluations", "actions found"],
+        rows,
+    )

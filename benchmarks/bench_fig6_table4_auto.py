@@ -1,0 +1,106 @@
+"""Figure 6 + Table 4: composing manual and automatic tactics.
+
+Figure 6 reports one-step times for fully-manual, partially-automatic and
+fully-automatic schedules on an 8x4 TPU mesh; Table 4 adds the simulator's
+memory/runtime estimates and the collective breakdowns.  The reproduction
+targets:
+
+* automatic tactics compose with manual ones through the same action space,
+* AllAuto lands within a reasonable factor of the best manual schedule,
+* auto tactics respect earlier manual decisions (never undone).
+"""
+
+import pytest
+
+from repro.api import AutomaticPartition
+from repro.mesh import Mesh
+from repro.models import gns as gns_mod
+from repro.models import unet as unet_mod
+from repro.models import transformer
+from repro.models.schedules import (
+    bp,
+    edge_sharding,
+    megatron_mp,
+    transformer_schedules,
+    zero3,
+)
+from repro.sim import TPU_V3
+from benchmarks.common import (
+    fmt_counts,
+    gns_paper,
+    print_table,
+    run_schedule,
+    t32_paper,
+    unet_paper,
+)
+
+MESH = Mesh({"batch": 8, "model": 4})
+AUTO_OPTS = {"budget": 6, "rollout_depth": 2, "max_inputs": 16,
+             "device": TPU_V3}
+
+
+def auto(axes):
+    return AutomaticPartition(axes, dict(AUTO_OPTS))
+
+
+def test_fig6_table4(benchmark):
+    rows = []
+
+    def run_model(label, traced, schedules, mesh=MESH):
+        results = {}
+        for name, schedule in schedules.items():
+            result = run_schedule(traced, schedule, mesh)
+            est = result.estimate
+            rows.append((
+                label, name,
+                f"{est.runtime_s * 1e3:.2f}ms",
+                f"{est.peak_memory_bytes / 2**30:.2f}GB",
+                fmt_counts(result.counts),
+            ))
+            results[name] = est.runtime_s
+        return results
+
+    def run_all():
+        # T32 (scaled depth to keep auto evaluation tractable).
+        cfg = t32_paper(num_layers=8)
+        traced = transformer.trace_training_step(cfg)
+        named = transformer_schedules(cfg)
+        data = {"tokens": 0, "targets": 0}
+        t32_times = run_model("T32", traced, {
+            "BP+MP+Z3": named["BP+MP+Z3"],
+            "BP+AutoMP+Z3": [bp(data), auto(["model"]), zero3()],
+            "AllAuto": [auto(["batch", "model"])],
+        })
+
+        # UNet.
+        ucfg = unet_paper(num_down=4, num_up=4)
+        utraced = unet_mod.trace_training_step(ucfg)
+        udata = {"image": 0, "timestep": 0, "noise": 0}
+        unet_times = run_model("UNet", utraced, {
+            "BP": [bp(udata)],
+            "BP+Z3": [bp(udata), zero3(all_tensors=True)],
+            "BP+AutoMP": [bp(udata), auto(["model"])],
+            "AllAuto": [auto(["batch", "model"])],
+        })
+
+        # GNS.
+        gcfg = gns_paper(message_steps=6)
+        gtraced = gns_mod.trace_training_step(gcfg)
+        gns_times = run_model("GNS", gtraced, {
+            "ES": [edge_sharding()],
+            "ES+AutoMP": [edge_sharding(), auto(["model"])],
+            "AllAuto": [auto(["batch", "model"])],
+        })
+
+        # Assertions on composition quality:
+        assert t32_times["AllAuto"] <= 5.0 * t32_times["BP+MP+Z3"]
+        assert unet_times["AllAuto"] <= 5.0 * unet_times["BP"]
+        assert gns_times["ES+AutoMP"] <= 2.0 * gns_times["ES"]
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Figure 6 / Table 4: one-step estimates for manual, mixed and "
+        "automatic schedules (8x4 mesh)",
+        ["model", "schedule", "est. step", "est. mem", "AG/AR/RS/A2A"],
+        rows,
+    )

@@ -1,0 +1,81 @@
+"""Figure 8: PartIR partitioning time vs overall compilation time.
+
+The paper reports partitioning at <= 14% of XLA's total compile time.  Our
+"compilation" pipeline is trace + partition (tactics + propagation) +
+lowering + fusion; the reproduction target is that partitioning stays a
+modest fraction of the total.
+"""
+
+import time
+
+import pytest
+
+from repro.mesh import Mesh
+from repro.models import gns as gns_mod
+from repro.models import transformer, unet as unet_mod
+from repro.models.schedules import (
+    bp,
+    edge_sharding,
+    transformer_schedules,
+    zero3,
+)
+from benchmarks.common import (
+    gns_paper,
+    it32_paper,
+    print_table,
+    run_schedule,
+    t32_paper,
+    unet_paper,
+)
+
+MESH = Mesh({"batch": 16, "model": 2})
+
+
+def test_fig8(benchmark):
+    rows = []
+
+    def run_all():
+        cases = []
+        t0 = time.perf_counter()
+        cfg = t32_paper()
+        traced = transformer.trace_training_step(cfg)
+        cases.append(("T32", traced,
+                      transformer_schedules(cfg)["BP+MP+Z3"], MESH,
+                      time.perf_counter() - t0))
+        t0 = time.perf_counter()
+        icfg = it32_paper(decode_steps=64)
+        itraced = transformer.trace_inference(icfg)
+        cases.append(("IT32", itraced,
+                      transformer_schedules(icfg, training=False)["BP+MP"],
+                      MESH, time.perf_counter() - t0))
+        t0 = time.perf_counter()
+        ucfg = unet_paper()
+        utraced = unet_mod.trace_training_step(ucfg)
+        cases.append(("UNet", utraced,
+                      [bp({"image": 0, "timestep": 0, "noise": 0}),
+                       zero3(all_tensors=True)], MESH,
+                      time.perf_counter() - t0))
+        t0 = time.perf_counter()
+        gcfg = gns_paper()
+        gtraced = gns_mod.trace_training_step(gcfg)
+        cases.append(("GNS", gtraced, [edge_sharding()],
+                      Mesh({"batch": 16}), time.perf_counter() - t0))
+
+        for name, traced, schedule, mesh, trace_s in cases:
+            result = run_schedule(traced, schedule, mesh)
+            total = trace_s + result.partition_s + result.lower_s
+            fraction = 100.0 * result.partition_s / total
+            rows.append((
+                name, f"{result.partition_s:.2f}s", f"{total:.2f}s",
+                f"{fraction:.1f}%",
+            ))
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Figure 8: partition time as % of the compile pipeline "
+        "(paper: <= 14% of XLA compile)",
+        ["model", "partition", "pipeline total", "partition %"],
+        rows,
+    )
+    # Partitioning stays a bounded fraction of the pipeline.
+    assert all(float(row[3].rstrip("%")) < 80.0 for row in rows)

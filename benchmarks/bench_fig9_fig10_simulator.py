@@ -1,0 +1,109 @@
+"""Figures 9 & 10: simulator estimates vs measured execution.
+
+The paper compares its analytical simulator against real TPU measurements;
+our hardware substitute is the simulated mesh, so:
+
+* Figure 10 (memory): the live-range *estimate* is compared against the
+  peak device-local bytes actually observed while executing the partitioned
+  program — a genuine measurement of the same quantity, expected within a
+  small factor (the estimate is deliberately conservative, like the paper's).
+* Figure 9 (runtime): absolute times are incomparable (numpy-on-CPU vs
+  modelled TPU), so the reproduction target is the paper's actual use of the
+  simulator: *relative* orderings of schedules agree between estimated time
+  and measured executor wall-clock.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.mesh import Mesh
+from repro.models import transformer, unet as unet_mod
+from repro.models.schedules import bp, transformer_schedules, zero3
+from repro.nn import init_from_spec
+from repro.runtime import MeshExecutor
+from repro.sim import peak_live_bytes
+from repro.trace import pytree
+from benchmarks.common import print_table, run_schedule
+
+MESH = Mesh({"batch": 4, "model": 2})
+
+
+def _transformer_case(rng):
+    cfg = transformer.tiny(num_layers=2, batch=32, d_model=64,
+                           num_heads=4, d_head=16, ffw_dim=256,
+                           seq_len=16)
+    traced = transformer.trace_training_step(cfg)
+    pspec = transformer.param_spec(cfg)
+    state = {
+        "params": init_from_spec(pspec, rng),
+        "opt_state": {
+            "m": init_from_spec(pspec, rng),
+            "v": pytree.tree_map(
+                lambda s: np.abs(rng.randn(*s.shape).astype(np.float32))
+                + 0.1, pspec),
+        },
+    }
+    batch = {
+        "tokens": rng.randint(0, cfg.vocab, (cfg.batch, cfg.seq_len)
+                              ).astype(np.int32),
+        "targets": rng.randint(0, cfg.vocab, (cfg.batch, cfg.seq_len)
+                               ).astype(np.int32),
+    }
+    schedules = {
+        name: transformer_schedules(cfg)[name]
+        for name in ("BP", "BP+MP", "BP+MP+Z3", "MP")
+    }
+    return traced, traced.flatten_args(state, batch), schedules
+
+
+def test_fig9_runtime_ordering_and_fig10_memory(benchmark):
+    rng = np.random.RandomState(0)
+    traced, flat_args, schedules = _transformer_case(rng)
+    rows_mem = []
+    rows_time = []
+
+    def run_all():
+        for name, schedule in schedules.items():
+            result = run_schedule(traced, schedule, MESH)
+            executor = MeshExecutor(result.lowered)
+            t0 = time.perf_counter()
+            executor(*flat_args)
+            measured_s = time.perf_counter() - t0
+            estimated_mem = peak_live_bytes(result.lowered.function)
+            measured_mem = executor.measured_peak_bytes
+            rows_mem.append((name, estimated_mem, measured_mem,
+                             f"{estimated_mem / measured_mem:.2f}"))
+            rows_time.append((name, result.estimate.runtime_s, measured_s))
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Figure 10: estimated vs measured peak device memory (bytes)",
+        ["schedule", "estimated", "measured", "ratio"],
+        rows_mem,
+    )
+    fmt_time = [
+        (n, f"{est * 1e6:.1f}us (sim TPU)", f"{meas * 1e3:.1f}ms (CPU)")
+        for n, est, meas in rows_time
+    ]
+    print_table(
+        "Figure 9: estimated step time vs measured executor wall-clock "
+        "(compare orderings, not scales)",
+        ["schedule", "estimated", "measured"],
+        fmt_time,
+    )
+    # Fig 10 target: estimate within a small factor of measurement, and
+    # never more than ~4x off (the estimate is conservative by design).
+    for name, est, meas, _ in rows_mem:
+        assert 0.25 <= est / meas <= 4.0, (name, est, meas)
+    # Fig 9 target: "relative improvements should still be sound" (App A.3).
+    # Within the simulator, adding collectives at fixed global compute can
+    # only increase the estimated step time (BP < BP+MP < BP+MP+Z3), and
+    # the executor agrees that batch parallelism beats pure MP.
+    est = {n: e for n, e, _ in rows_time}
+    meas = {n: m for n, _, m in rows_time}
+    assert est["BP"] < est["BP+MP"] < est["BP+MP+Z3"]
+    assert meas["BP"] < meas["MP"]
+    # NOTE: absolute scales (modelled TPU vs numpy-on-CPU) are documented
+    # as incomparable in EXPERIMENTS.md; the tables above are for shape.

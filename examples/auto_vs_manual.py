@@ -1,0 +1,59 @@
+"""Mixing manual and automatic tactics (paper Section 3, Listing 6).
+
+A manual BP tactic plus an AutomaticPartition over the model axis: the
+search issues the *same* tile actions the manual API uses, so the tactics
+compose and the automatic one can never undo the manual decision.
+
+    python examples/auto_vs_manual.py
+"""
+
+import numpy as np
+
+from repro import AutomaticPartition, ManualPartition, Mesh, partir_jit
+from repro.sim import DeviceSpec
+from repro.models import transformer
+from repro.models.schedules import transformer_schedules
+
+# A deliberately tiny device so that replication does not fit and the
+# search is forced to shard (at toy tensor sizes a real TPU would happily
+# replicate everything).
+SMALL_DEVICE = DeviceSpec("small", peak_flops=1e11, hbm_bytes=1_000_000,
+                          link_bandwidth=1e10)
+
+
+def main():
+    cfg = transformer.tiny(num_layers=2)
+    traced = transformer.trace_training_step(cfg)
+    mesh = Mesh({"batch": 4, "model": 2})
+
+    BP = ManualPartition({"tokens": 0, "targets": 0}, axis="batch")
+    AutoMP = AutomaticPartition(
+        ["model"], {"budget": 8, "device": SMALL_DEVICE, "max_inputs": 12}
+    )
+
+    manual = transformer_schedules(cfg)["BP+MP"]
+    _, meta_manual = partir_jit(traced, mesh, manual,
+                                device=SMALL_DEVICE)
+    _, meta_auto = partir_jit(traced, mesh, [BP, AutoMP],
+                              device=SMALL_DEVICE)
+
+    def describe(label, meta):
+        est = meta.estimate
+        print(f"{label:12s} collectives={meta.counts} "
+              f"est={est.runtime_s * 1e6:.1f}us "
+              f"mem={est.peak_memory_bytes / 1e6:.2f}MB")
+
+    describe("BP+MP", meta_manual)
+    describe("BP+AutoMP", meta_auto)
+    ratio = (meta_auto.estimate.runtime_s
+             / meta_manual.estimate.runtime_s)
+    print(f"\nautomatic schedule is {ratio:.2f}x the manual estimate "
+          "(the paper's Figure 6: auto is comparable, sometimes better, "
+          "sometimes slightly worse).")
+    # The manual BP decision survives the automatic tactic:
+    assert meta_auto.input_shardings["1/tokens"].startswith("[{batch}")
+    print("manual BP decision preserved through the automatic tactic. OK")
+
+
+if __name__ == "__main__":
+    main()

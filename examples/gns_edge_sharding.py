@@ -1,0 +1,73 @@
+"""Edge Sharding a Graph Network Simulator (the paper's GNS benchmark).
+
+ES distributes edge features and connectivity across devices while
+replicating nodes; every edge->node aggregation becomes a partial sum that
+the lowering turns into one all_reduce — the strategy the paper reports
+GSPMD users could not express "with reasonable effort", and PartIR gets
+from one tactic.
+
+    python examples/gns_edge_sharding.py
+"""
+
+import numpy as np
+
+from repro import Mesh, partir_jit
+from repro.ir import evaluate_function
+from repro.nn import init_from_spec
+from repro.trace import pytree
+from repro.models import gns
+from repro.models.schedules import edge_sharding
+
+
+def main():
+    cfg = gns.tiny(message_steps=3)
+    traced = gns.trace_training_step(cfg)
+    print(f"GNS: {cfg.num_nodes} nodes, {cfg.num_edges} edges, "
+          f"{cfg.message_steps} message-passing steps, "
+          f"{gns.num_param_tensors(cfg)} parameter tensors")
+
+    mesh = Mesh({"batch": 4})
+    dist_step, metadata = partir_jit(traced, mesh, [edge_sharding()])
+
+    counts = metadata.counts
+    print(f"\ncollectives after ES: {counts}")
+    print("edge inputs are sharded, nodes replicated:")
+    for name, spec in metadata.input_shardings.items():
+        if name.startswith("1/"):
+            print(f"  {name:15s} {spec}")
+    per_step = 3 + 2 * cfg.mlp_layers
+    print(f"\nexpected ARs: {cfg.message_steps} steps x "
+          f"({per_step} aggregations+edge-grads) + encoder/decoder terms")
+
+    rng = np.random.RandomState(0)
+    pspec = gns.param_spec(cfg)
+    state = {
+        "params": init_from_spec(pspec, rng),
+        "opt_state": {
+            "m": init_from_spec(pspec, rng),
+            "v": pytree.tree_map(
+                lambda s: np.abs(rng.randn(*s.shape).astype(np.float32))
+                + 0.1, pspec),
+        },
+    }
+    batch = {
+        "nodes": rng.randn(cfg.num_nodes, cfg.feature_dim
+                           ).astype(np.float32),
+        "edges": rng.randn(cfg.num_edges, cfg.feature_dim
+                           ).astype(np.float32),
+        "senders": rng.randint(0, cfg.num_nodes, cfg.num_edges
+                               ).astype(np.int32),
+        "receivers": rng.randint(0, cfg.num_nodes, cfg.num_edges
+                                 ).astype(np.int32),
+        "targets": rng.randn(cfg.num_nodes, cfg.out_dim).astype(np.float32),
+    }
+    result = dist_step(state, batch)
+    reference = traced.unflatten_results(
+        evaluate_function(traced.function, traced.flatten_args(state, batch))
+    )
+    np.testing.assert_allclose(result["loss"], reference["loss"], atol=1e-3)
+    print(f"\nloss: {float(result['loss']):.4f} — partitioned == reference. OK")
+
+
+if __name__ == "__main__":
+    main()

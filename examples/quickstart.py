@@ -1,0 +1,62 @@
+"""Quickstart: the paper's running example (Section 2.4 / Listing 5).
+
+Partition a two-matmul chain over a {B:4, M:2} mesh with the three-tactic
+schedule BP + MP + Z3, inspect the device-local SPMD module, and run it on
+the simulated 8-device mesh.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ManualPartition, Mesh, ShapeDtype, partir_jit, trace
+from repro.ir import print_function
+
+
+def f(x, w1, w2):
+    return (x @ w1) @ w2
+
+
+def main():
+    # 1. Trace the model (the jax.jit analogue).
+    traced = trace(
+        f,
+        ShapeDtype((256, 8)),   # x
+        ShapeDtype((8, 16)),    # w1
+        ShapeDtype((16, 8)),    # w2
+    )
+    print("Unpartitioned module (Listing 1):")
+    print(print_function(traced.function))
+
+    # 2. Arrange devices in a BxM mesh and define the schedule (Listing 5).
+    mesh = Mesh({"B": 4, "M": 2})
+    BP = ManualPartition({"0": 0}, axis="B")   # shard x's batch dim
+    MP = ManualPartition({"1": 1}, axis="M")   # shard w1's output dim
+    Z3 = ManualPartition({"1": 0, "2": 1}, axis="B")  # fully shard params
+    schedule = [BP, MP, Z3]
+
+    # 3. Partition and get the distributed function & metadata.
+    dist_fn, metadata = partir_jit(traced, mesh, schedule)
+
+    print("\nDevice-local SPMD module (Listing 4):")
+    print(print_function(metadata.lowered.function))
+
+    print("\nPer-tactic feedback (PartIR's incrementality):")
+    for report in metadata.reports:
+        print(f"  {report.tactic:12s} collectives={report.counts}"
+              f"  conflicts={len(report.conflicts)}")
+    print("input shardings:", metadata.input_shardings)
+    print("output shardings:", metadata.output_shardings)
+
+    # 4. Execute on the simulated mesh and check against numpy.
+    rng = np.random.RandomState(0)
+    x = rng.randn(256, 8).astype(np.float32)
+    w1 = rng.randn(8, 16).astype(np.float32)
+    w2 = rng.randn(16, 8).astype(np.float32)
+    out = dist_fn(x, w1, w2)
+    np.testing.assert_allclose(out, (x @ w1) @ w2, atol=1e-3)
+    print("\nPartitioned execution on 8 simulated devices matches numpy. OK")
+
+
+if __name__ == "__main__":
+    main()

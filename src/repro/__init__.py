@@ -1,0 +1,45 @@
+"""repro: a from-scratch Python reproduction of PartIR (ASPLOS 2025).
+
+Public API mirrors the paper's Table 1::
+
+    from repro import Mesh, ManualPartition, AutomaticPartition, partir_jit
+"""
+
+from repro import ir  # registers base ops
+from repro import spmd  # registers collective ops
+from repro.api import (
+    FIRST_DIVISIBLE_DIM,
+    REPLICATED,
+    UNKNOWN,
+    AutomaticPartition,
+    ManualPartition,
+    Metadata,
+    PartitionedFunction,
+    Tactic,
+    TacticReport,
+    partir_jit,
+)
+from repro.mesh import Mesh
+from repro.trace import ShapeDtype, trace, value_and_grad
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ir",
+    "spmd",
+    "FIRST_DIVISIBLE_DIM",
+    "REPLICATED",
+    "UNKNOWN",
+    "AutomaticPartition",
+    "ManualPartition",
+    "Metadata",
+    "PartitionedFunction",
+    "Tactic",
+    "TacticReport",
+    "partir_jit",
+    "Mesh",
+    "ShapeDtype",
+    "trace",
+    "value_and_grad",
+    "__version__",
+]

@@ -1,0 +1,285 @@
+"""The PartIR schedule API (Section 3, Table 1).
+
+A *schedule* is a list of tactics; each tactic desugars into low-level
+compiler actions (``tile``, ``atomic``) followed by ``propagate``.  Tactics
+compose in order and can never undo earlier decisions (an axis introduced on
+a value stays).  ``partir_jit`` runs the schedule, lowers to device-local
+SPMD code, and returns both an executable callable (on the simulated mesh)
+and per-tactic metadata: the collective breakdown and analytical cost
+estimates the paper highlights as PartIR's debugging feedback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ShardingError
+from repro.ir.function import Function
+from repro.ir.values import Value
+from repro.mesh import Mesh
+from repro.core import actions as core_actions
+from repro.core.propagate import propagate
+from repro.core.sharding import Sharding, ShardingEnv
+from repro.runtime.executor import MeshExecutor
+from repro.sim import costmodel
+from repro.sim.devices import TPU_V3, DeviceSpec
+from repro.spmd.count import CollectiveCounts, count_collectives
+from repro.spmd.fusion import fuse_collectives
+from repro.spmd.lower import LoweredModule, lower
+from repro.trace.tracer import TracedFunction
+
+
+class _Replicated:
+    def __repr__(self):
+        return "REPLICATED"
+
+
+class _FirstDivisibleDim:
+    def __repr__(self):
+        return "FIRST_DIVISIBLE_DIM"
+
+
+class _Unknown:
+    def __repr__(self):
+        return "UNKNOWN"
+
+
+#: Pin the matched inputs replicated along the tactic's axis (atomic action).
+REPLICATED = _Replicated()
+#: Shard the first dimension divisible by the axis size (paper Appendix A.4).
+FIRST_DIVISIBLE_DIM = _FirstDivisibleDim()
+#: Leave the decision to propagation.
+UNKNOWN = _Unknown()
+
+DimSpec = Union[int, _Replicated, _FirstDivisibleDim, _Unknown, Callable]
+
+
+def _name_matches(key: str, input_name: str) -> bool:
+    """``key`` matches ``input_name`` if its '/'-segments appear as a
+    contiguous subsequence of the input's segments."""
+    key_parts = key.split("/")
+    name_parts = input_name.split("/")
+    n, k = len(name_parts), len(key_parts)
+    return any(name_parts[i:i + k] == key_parts for i in range(n - k + 1))
+
+
+@dataclasses.dataclass
+class TacticReport:
+    """Per-tactic feedback (the metadata of Table 1's partir.jit row)."""
+
+    tactic: str
+    counts: CollectiveCounts
+    estimate: Optional[costmodel.CostEstimate]
+    conflicts: List[str]
+    actions: int
+
+
+class Tactic:
+    """Base class: a tactic issues actions into the env, then propagates."""
+
+    name = "tactic"
+
+    def apply(self, function: Function, env: ShardingEnv) -> int:
+        raise NotImplementedError
+
+
+class ManualPartition(Tactic):
+    """Shard named inputs (or ``tag``-named internals) along one mesh axis.
+
+    ``inputs`` maps name patterns to dim specs: an int dimension,
+    ``REPLICATED`` (atomic pin), ``FIRST_DIVISIBLE_DIM``, ``UNKNOWN``, or a
+    callable ``f(name, value) -> spec`` for per-parameter logic (the paper's
+    Megatron callbacks in Appendix A.4).
+    """
+
+    def __init__(self, inputs: Dict[str, DimSpec], axis: str,
+                 name: Optional[str] = None):
+        self.inputs = inputs
+        self.axis = axis
+        self.name = name or f"manual<{axis}>"
+
+    def _resolve(self, spec: DimSpec, name: str, value: Value):
+        if callable(spec) and not isinstance(
+            spec, (_Replicated, _FirstDivisibleDim, _Unknown)
+        ):
+            spec = spec(name, value)
+        return spec
+
+    def apply(self, function: Function, env: ShardingEnv) -> int:
+        axis_size = env.mesh.size(self.axis)
+        applied = 0
+        for key, spec in self.inputs.items():
+            targets = [
+                (input_name, value)
+                for input_name, value in zip(function.input_names,
+                                             function.params)
+                if _name_matches(key, input_name)
+            ]
+            if not targets:
+                try:
+                    tagged = core_actions.find_tagged(function, key)
+                    targets = [(key, tagged)]
+                except KeyError:
+                    raise ShardingError(
+                        f"{self.name}: no input or tag matches {key!r}"
+                    )
+            for input_name, value in targets:
+                resolved = self._resolve(spec, input_name, value)
+                if resolved is UNKNOWN or resolved is None:
+                    continue
+                if resolved is REPLICATED:
+                    if not env.sharding(value).uses(self.axis):
+                        core_actions.atomic(env, value, self.axis)
+                        applied += 1
+                    continue
+                sharding = env.sharding(value)
+                if resolved is FIRST_DIVISIBLE_DIM:
+                    resolved = core_actions.first_divisible_dim(
+                        value, axis_size, sharding, env.mesh
+                    )
+                    if resolved is None:
+                        continue
+                if sharding.uses(self.axis):
+                    continue  # never undo/duplicate earlier decisions
+                if value.type.shape[resolved] % (
+                    env.mesh.group_size(sharding.dim_axes[resolved])
+                    * axis_size
+                ):
+                    continue
+                core_actions.tile(env, value, resolved, self.axis)
+                applied += 1
+        propagate(function, env)
+        return applied
+
+
+class AutomaticPartition(Tactic):
+    """Search for a partitioning over the given axes (Section 3's AUTO).
+
+    Wraps :mod:`repro.auto`'s Monte-Carlo tree search; any optimisation
+    algorithm with the same action interface can be substituted.
+    """
+
+    def __init__(self, axes: Sequence[str],
+                 options: Optional[Dict[str, Any]] = None):
+        self.axes = list(axes)
+        self.options = dict(options or {})
+        self.name = f"auto<{','.join(self.axes)}>"
+
+    def apply(self, function: Function, env: ShardingEnv) -> int:
+        from repro.auto.search import run_automatic_partition
+
+        return run_automatic_partition(
+            function, env, self.axes, **self.options
+        )
+
+
+@dataclasses.dataclass
+class Metadata:
+    """Everything partir_jit learned while partitioning."""
+
+    reports: List[TacticReport]
+    input_shardings: Dict[str, str]
+    output_shardings: Dict[str, str]
+    partition_time_s: float
+    lower_time_s: float
+    env: ShardingEnv
+    lowered: LoweredModule
+    global_function: Function
+
+    @property
+    def counts(self) -> CollectiveCounts:
+        return count_collectives(self.lowered.function)
+
+    @property
+    def estimate(self) -> Optional[costmodel.CostEstimate]:
+        return self.reports[-1].estimate if self.reports else None
+
+
+class PartitionedFunction:
+    """The distributed callable returned by partir_jit."""
+
+    def __init__(self, traced: TracedFunction, lowered: LoweredModule):
+        self.traced = traced
+        self.lowered = lowered
+        self._executor = MeshExecutor(lowered)
+
+    def __call__(self, *args):
+        flat = self.traced.flatten_args(*args)
+        outputs = self._executor(*flat)
+        return self.traced.unflatten_results(outputs)
+
+
+def partir_jit(
+    traced: TracedFunction,
+    mesh: Mesh,
+    schedule: Sequence[Tactic],
+    device: DeviceSpec = TPU_V3,
+    estimate_per_tactic: bool = True,
+):
+    """Partition a traced function with a schedule of tactics.
+
+    Returns ``(PartitionedFunction, Metadata)``: the callable runs on the
+    simulated mesh; the metadata carries per-tactic collective counts, cost
+    estimates and conflicts — PartIR's incremental feedback loop.
+    """
+    function = traced.function
+    env = ShardingEnv(mesh)
+    reports: List[TacticReport] = []
+    start = time.perf_counter()
+    for tactic in schedule:
+        conflicts_before = len(env.conflicts())
+        applied = tactic.apply(function, env)
+        report_estimate = None
+        counts = CollectiveCounts()
+        if estimate_per_tactic:
+            snapshot = lower(function, env)
+            snapshot.function = fuse_collectives(snapshot.function)
+            counts = count_collectives(snapshot.function)
+            report_estimate = costmodel.estimate(snapshot, device)
+        reports.append(
+            TacticReport(
+                tactic=tactic.name,
+                counts=counts,
+                estimate=report_estimate,
+                conflicts=[
+                    e.detail for e in env.conflicts()[conflicts_before:]
+                ],
+                actions=applied,
+            )
+        )
+    partition_time = time.perf_counter() - start
+
+    lower_start = time.perf_counter()
+    lowered = lower(function, env)
+    lowered.function = fuse_collectives(lowered.function)
+    lower_time = time.perf_counter() - lower_start
+
+    if not estimate_per_tactic or not reports:
+        final_estimate = costmodel.estimate(lowered, device)
+        reports.append(
+            TacticReport("final", count_collectives(lowered.function),
+                         final_estimate, [], 0)
+        )
+
+    metadata = Metadata(
+        reports=reports,
+        input_shardings={
+            name: env.sharding(p).spec()
+            for name, p in zip(function.input_names, function.params)
+        },
+        output_shardings={
+            name: s.spec()
+            for name, s in zip(function.output_names,
+                               lowered.output_shardings)
+        },
+        partition_time_s=partition_time,
+        lower_time_s=lower_time,
+        env=env,
+        lowered=lowered,
+        global_function=function,
+    )
+    return PartitionedFunction(traced, lowered), metadata

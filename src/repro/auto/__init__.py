@@ -1,0 +1,5 @@
+"""Automatic partitioning (the AutomaticPartition tactic's search)."""
+
+from repro.auto.search import SearchResult, mcts_search, run_automatic_partition
+
+__all__ = ["SearchResult", "mcts_search", "run_automatic_partition"]

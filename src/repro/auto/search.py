@@ -1,0 +1,204 @@
+"""Automatic partitioning: Monte-Carlo tree search over tile actions.
+
+The paper's ``AutomaticPartition`` tactic is "an interface for any
+optimization algorithm"; like the paper (and AutoMap, Alabed et al. 2022),
+we implement an MCTS whose actions are exactly the manual API's tile actions
+and whose reward comes from the analytical cost model — so automatic and
+manual tactics compose through the same action vocabulary.
+
+The search state is a sequence of tile actions on function inputs; each
+evaluation applies the actions to a copy of the sharding environment, runs
+propagation, lowers, and scores estimated runtime with a hard penalty for
+exceeding device memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.propagate import propagate
+from repro.core.sharding import ShardingEnv
+from repro.ir.function import Function
+from repro.sim import costmodel
+from repro.sim.devices import TPU_V3, DeviceSpec
+from repro.spmd.fusion import fuse_collectives
+from repro.spmd.lower import lower
+
+# An action: (input_index, dim, axis). None is STOP.
+Action = Optional[Tuple[int, int, str]]
+
+
+@dataclasses.dataclass
+class SearchResult:
+    actions: List[Tuple[int, int, str]]
+    cost: float
+    evaluations: int
+
+
+def _candidate_actions(function: Function, env: ShardingEnv,
+                       axes: Sequence[str],
+                       max_inputs: int = 48) -> List[Tuple[int, int, str]]:
+    """Enumerate legal tile actions on the largest function inputs."""
+    ranked = sorted(
+        enumerate(function.params),
+        key=lambda pair: -pair[1].type.nbytes,
+    )[:max_inputs]
+    actions = []
+    for index, param in ranked:
+        sharding = env.sharding(param)
+        for axis in axes:
+            if sharding.uses(axis):
+                continue
+            for dim, size in enumerate(param.type.shape):
+                denom = env.mesh.group_size(sharding.dim_axes[dim])
+                if size % (denom * env.mesh.size(axis)) == 0:
+                    actions.append((index, dim, axis))
+    return actions
+
+
+def _evaluate(function: Function, base_env: ShardingEnv,
+              actions: Sequence[Tuple[int, int, str]],
+              device: DeviceSpec) -> float:
+    env = base_env.copy()
+    for index, dim, axis in actions:
+        param = function.params[index]
+        sharding = env.sharding(param)
+        if sharding.uses(axis):
+            continue
+        denom = env.mesh.group_size(sharding.dim_axes[dim])
+        if param.type.shape[dim] % (denom * env.mesh.size(axis)):
+            continue
+        env.set_sharding(param, sharding.with_tile(dim, axis))
+    propagate(function, env)
+    lowered = lower(function, env)
+    lowered.function = fuse_collectives(lowered.function)
+    estimate = costmodel.estimate(lowered, device)
+    cost = estimate.runtime_s
+    if estimate.peak_memory_bytes > device.hbm_bytes:
+        cost *= 1e3 * (estimate.peak_memory_bytes / device.hbm_bytes)
+    return cost
+
+
+class _Node:
+    __slots__ = ("action", "parent", "children", "visits", "total", "untried")
+
+    def __init__(self, action: Action, parent: Optional["_Node"],
+                 untried: List[Action]):
+        self.action = action
+        self.parent = parent
+        self.children: List[_Node] = []
+        self.visits = 0
+        self.total = 0.0
+        self.untried = list(untried)
+
+    def path(self) -> List[Tuple[int, int, str]]:
+        node, actions = self, []
+        while node.parent is not None:
+            if node.action is not None:
+                actions.append(node.action)
+            node = node.parent
+        return list(reversed(actions))
+
+    def uct_child(self, exploration: float) -> "_Node":
+        log_n = math.log(max(self.visits, 1))
+        return max(
+            self.children,
+            key=lambda c: (c.total / max(c.visits, 1))
+            + exploration * math.sqrt(log_n / max(c.visits, 1)),
+        )
+
+
+def mcts_search(
+    function: Function,
+    env: ShardingEnv,
+    axes: Sequence[str],
+    device: DeviceSpec = TPU_V3,
+    budget: int = 24,
+    rollout_depth: int = 3,
+    exploration: float = 0.5,
+    seed: int = 0,
+    max_inputs: int = 48,
+) -> SearchResult:
+    """UCT search; returns the best action sequence found."""
+    rng = random.Random(seed)
+    candidates = _candidate_actions(function, env, axes, max_inputs)
+    baseline = _evaluate(function, env, [], device)
+    best_actions: List[Tuple[int, int, str]] = []
+    best_cost = baseline
+    evaluations = 1
+
+    root = _Node(None, None, [None] + candidates)
+    for _ in range(budget):
+        node = root
+        # Selection.
+        while not node.untried and node.children:
+            node = node.uct_child(exploration)
+        # Expansion.
+        if node.untried:
+            action = node.untried.pop(rng.randrange(len(node.untried)))
+            prefix = node.path()
+            remaining = [
+                a for a in candidates
+                if a is not None and a not in prefix and a != action
+            ]
+            child = _Node(action, node,
+                          [None] + remaining if action is not None else [])
+            node.children.append(child)
+            node = child
+        # Rollout.
+        actions = node.path()
+        depth = rng.randrange(rollout_depth + 1)
+        pool = [a for a in candidates if a not in actions]
+        rng.shuffle(pool)
+        rollout = actions + pool[:depth]
+        cost = _evaluate(function, env, rollout, device)
+        evaluations += 1
+        if cost < best_cost:
+            best_cost = cost
+            best_actions = rollout
+        # Backpropagation (reward = relative improvement).
+        reward = (baseline - cost) / max(baseline, 1e-12)
+        while node is not None:
+            node.visits += 1
+            node.total += reward
+            node = node.parent
+    return SearchResult(best_actions, best_cost, evaluations)
+
+
+def run_automatic_partition(
+    function: Function,
+    env: ShardingEnv,
+    axes: Sequence[str],
+    device: DeviceSpec = TPU_V3,
+    budget: int = 24,
+    rollout_depth: int = 3,
+    seed: int = 0,
+    max_inputs: int = 48,
+    **_ignored,
+) -> int:
+    """Entry point used by :class:`repro.api.AutomaticPartition`.
+
+    Runs the search against a copy of the env, then applies the winning
+    actions to the real env and propagates (so the tactic composes with
+    earlier manual tactics and can never undo them).
+    """
+    result = mcts_search(function, env, axes, device=device, budget=budget,
+                         rollout_depth=rollout_depth, seed=seed,
+                         max_inputs=max_inputs)
+    applied = 0
+    for index, dim, axis in result.actions:
+        param = function.params[index]
+        sharding = env.sharding(param)
+        if sharding.uses(axis):
+            continue
+        denom = env.mesh.group_size(sharding.dim_axes[dim])
+        if param.type.shape[dim] % (denom * env.mesh.size(axis)):
+            continue
+        env.set_sharding(param, sharding.with_tile(dim, axis))
+        env.record("tile", None, axis, f"auto tile dim {dim}")
+        applied += 1
+    propagate(function, env)
+    return applied

@@ -1,0 +1,6 @@
+"""Baselines: GSPMD-style annotation propagation and PartIR-st."""
+
+from repro.baselines.gspmd import gspmd_partition
+from repro.baselines.single_tactic import SingleTactic
+
+__all__ = ["gspmd_partition", "SingleTactic"]

@@ -1,0 +1,24 @@
+"""PartIR:Core: sharding state, the tile-mapping registry, compiler actions
+and the propagation pass."""
+
+from repro.core.loopview import render_loop_view
+from repro.core.actions import atomic, find_tagged, first_divisible_dim, tile
+from repro.core.propagate import Propagator, propagate
+from repro.core.rules import Factor, OpShardingRule, rule_for
+from repro.core.sharding import Event, Sharding, ShardingEnv
+
+__all__ = [
+    "render_loop_view",
+    "atomic",
+    "find_tagged",
+    "first_divisible_dim",
+    "tile",
+    "Propagator",
+    "propagate",
+    "Factor",
+    "OpShardingRule",
+    "rule_for",
+    "Event",
+    "Sharding",
+    "ShardingEnv",
+]

@@ -1,0 +1,79 @@
+"""PartIR compiler actions: ``tile``, ``atomic`` and ``tag`` (Sections 3, 5, 8).
+
+Manual and automatic tactics both reduce to sequences of these actions plus
+``propagate``; composability in the paper comes precisely from this shared
+action vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ShardingError
+from repro.ir.function import Function
+from repro.ir.values import Value
+from repro.core.sharding import ShardingEnv
+
+
+def tile(env: ShardingEnv, value: Value, dim: int, axis: str) -> None:
+    """Value-tiling action ``tile<value, dim, axis>`` (Section 5.1)."""
+    sharding = env.sharding(value)
+    rank = len(value.type.shape)
+    if not 0 <= dim < rank:
+        raise ShardingError(
+            f"tile: dim {dim} out of range for rank-{rank} value"
+        )
+    if sharding.uses(axis):
+        raise ShardingError(
+            f"tile: axis {axis!r} already used by {value!r} "
+            f"({sharding.spec()}); an axis cannot be introduced twice"
+        )
+    if sharding.is_pinned(axis):
+        raise ShardingError(f"tile: axis {axis!r} is pinned on {value!r}")
+    axis_size = env.mesh.size(axis)
+    denom = env.mesh.group_size(sharding.dim_axes[dim]) * axis_size
+    if value.type.shape[dim] % denom:
+        raise ShardingError(
+            f"tile: dim {dim} of size {value.type.shape[dim]} not divisible "
+            f"by {denom} (axis {axis!r})"
+        )
+    env.set_sharding(value, sharding.with_tile(dim, axis))
+    env.record("tile", None, axis, f"user tile dim {dim} of {value!r}")
+
+
+def atomic(env: ShardingEnv, value: Value, axis: str) -> None:
+    """Replication pin ``atomic<value, axis>`` (Section 8): keeps the value
+    replicated along ``axis`` and blocks propagation through it."""
+    sharding = env.sharding(value)
+    if sharding.uses(axis):
+        raise ShardingError(
+            f"atomic: axis {axis!r} already used by {value!r}"
+        )
+    env.set_sharding(value, sharding.with_pin(axis))
+    env.record("pin", None, axis, f"atomic on {value!r}")
+
+
+def first_divisible_dim(value: Value, axis_size: int,
+                        sharding=None, mesh=None) -> Optional[int]:
+    """The paper's FIRST_DIVISIBLE_DIM spec: first dim divisible by the axis
+    size, accounting for tiling already present on the dim."""
+    for dim, size in enumerate(value.type.shape):
+        denom = axis_size
+        if sharding is not None and mesh is not None:
+            denom *= mesh.group_size(sharding.dim_axes[dim])
+        if size >= denom and size % denom == 0:
+            return dim
+    return None
+
+
+def find_tagged(function: Function, name: str) -> Value:
+    """Resolve a ``tag``-named internal value (Section 8's model-internal
+    annotations)."""
+    for op in function.walk():
+        if op.opcode == "tag" and op.attrs.get("name") == name:
+            return op.results[0]
+    raise KeyError(f"no tag named {name!r} in @{function.name}")
+
+
+def input_values_by_name(function: Function) -> Dict[str, Value]:
+    return dict(zip(function.input_names, function.params))

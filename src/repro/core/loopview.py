@@ -1,0 +1,113 @@
+"""Render a sharded function in PartIR:Core's loop/slice form (Section 5).
+
+A value's :class:`Sharding` canonically encodes its loop-nest context; this
+module materialises that encoding back into the paper's textual syntax —
+``loop "B" [#tile<0>] (%rB: range<4>) { ... slice 0 %x[%rB] ... }`` — so
+users can inspect what each tactic did, exactly like the paper's listings.
+This is a presentation layer: rewriting happens on the sharding environment,
+not on a loop IR (see DESIGN.md, decision 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.function import Function
+from repro.ir.values import Operation, Value
+from repro.core.sharding import Sharding, ShardingEnv
+
+
+def _value_label(value: Value, names: Dict[Value, str]) -> str:
+    if value not in names:
+        names[value] = value.name or f"v{len(names)}"
+    return "%" + names[value]
+
+
+def _context_of(op: Operation, env: ShardingEnv) -> List[str]:
+    """The loop nest an op executes under: tile axes of its results
+    (outer-to-inner) followed by the axes of pending sums it produces."""
+    if not op.results:
+        return []
+    sharding = env.sharding(op.results[0])
+    nest = []
+    for axes in sharding.dim_axes:
+        for axis in axes:
+            if axis not in nest:
+                nest.append(axis)
+    for axis in sorted(sharding.sum_axes):
+        if axis not in nest:
+            nest.append(axis)
+    return nest
+
+
+def _action_of(axis: str, sharding: Sharding) -> str:
+    dim = sharding.tile_dim_of(axis)
+    if dim is not None:
+        return f"#tile<{dim}>"
+    if axis in sharding.sum_axes:
+        return "#sum"
+    return "[any]"
+
+
+def render_loop_view(function: Function, env: ShardingEnv,
+                     max_ops: int = 200) -> str:
+    """Pretty-print ``function`` with each op nested in its loop context.
+
+    Consecutive ops sharing a loop nest are grouped under one ``loop``
+    header (the fused form of the paper's Listing 7).
+    """
+    mesh = env.mesh
+    names: Dict[Value, str] = {}
+    lines: List[str] = []
+    params = ", ".join(
+        f"{_value_label(p, names)}: {p.type} {env.sharding(p).spec()}"
+        for p in function.params
+    )
+    lines.append(f"func @{function.name}({params}) {{")
+    current_nest: List[str] = []
+
+    def close_to(depth: int):
+        while len(current_nest) > depth:
+            current_nest.pop()
+            lines.append("  " * (len(current_nest) + 1) + "}")
+
+    for index, op in enumerate(function.ops):
+        if index >= max_ops:
+            lines.append("  ...")
+            break
+        nest = _context_of(op, env)
+        # Find common prefix with the open nest.
+        prefix = 0
+        while (prefix < len(nest) and prefix < len(current_nest)
+               and nest[prefix] == current_nest[prefix]):
+            prefix += 1
+        close_to(prefix)
+        while len(current_nest) < len(nest):
+            axis = nest[len(current_nest)]
+            sharding = env.sharding(op.results[0])
+            action = _action_of(axis, sharding)
+            indent = "  " * (len(current_nest) + 1)
+            lines.append(
+                f'{indent}loop "{axis}" [{action}] '
+                f"(%r{axis}: range<{mesh.size(axis)}>) {{"
+            )
+            current_nest.append(axis)
+        indent = "  " * (len(current_nest) + 1)
+        outs = ", ".join(_value_label(r, names) for r in op.results)
+        operand_parts = []
+        for operand in op.operands:
+            label = _value_label(operand, names)
+            operand_sharding = env.sharding(operand)
+            for axis in nest:
+                dim = operand_sharding.tile_dim_of(axis)
+                if dim is not None:
+                    label = f"(slice {dim} {label}[%r{axis}])"
+            operand_parts.append(label)
+        lines.append(
+            f"{indent}{outs} = {op.opcode}({', '.join(operand_parts)})"
+        )
+    close_to(0)
+    results = ", ".join(_value_label(r, names) for r in function.results)
+    lines.append(f"  return {results}")
+    lines.append("}")
+    return "\n".join(lines)

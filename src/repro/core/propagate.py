@@ -1,0 +1,268 @@
+"""The PartIR propagation pass (Section 5.2.2).
+
+Propagation greedily extends known tiling information through the module
+using the factor rules (the TMR), without cost models or heuristics:
+
+* **Forward**: an operand tiled on a factor's position is evidence for that
+  factor; applying the factor tiles the op's other positions (result and,
+  for contracting factors, the sibling operand — the paper's *inference*).
+* **Backward**: a result tiled/sliced downstream is evidence the same way.
+* **Conflicts**: if evidence points at two *extendable* factors for the same
+  axis, propagation does nothing and records the conflict (Section 5.2.3);
+  ordering tactics resolves it, because an axis already used by a value's
+  loop nest can never be re-introduced (first writer wins).
+* **Pending sums**: a contracting factor marks results as carrying a pending
+  ``#sum`` over the axis; linear ops defer the reduction (gradient
+  accumulation), anything else forces an ``all_reduce`` at lowering.
+
+The pass runs to a fixed point; it is monotone (axes are only ever added to
+shardings), so it terminates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.ir import opdefs
+from repro.ir.function import Function
+from repro.ir.values import Operation, Value
+from repro.core import rules as rules_mod
+from repro.core.sharding import Sharding, ShardingEnv
+
+# Single-operand (or all-operand) linear ops always defer.
+_ALWAYS_DEFER = {
+    "neg", "transpose", "reshape", "broadcast_in_dim", "reduce_sum",
+    "slice", "pad", "convert", "stop_gradient", "tag", "upsample2d",
+    "downsample2d_sum", "dynamic_slice_in_dim",
+}
+
+
+def may_defer(env: ShardingEnv, op: Operation, axis: str,
+              pending: List[int]) -> bool:
+    """May a pending #sum over ``axis`` on the ``pending`` operands be
+    deferred through ``op``?
+
+    Deferral is restricted to ops where *every* float operand is pending
+    (gradient-accumulation adds, structural ops).  One-sided linear deferral
+    (e.g. scaling a partial sum) would be sound too, but materialising at the
+    first non-accumulating use is what produces the paper's one
+    reduction-per-gradient collective counts, so we follow that.
+    """
+    opcode = op.opcode
+    n = len(op.operands)
+    if opcode in _ALWAYS_DEFER and len(pending) == n:
+        return True
+    if opcode in ("add", "sub", "concatenate"):
+        return len(pending) == n
+    if opcode == "select":
+        return pending == [1, 2]
+    return False
+
+
+class Propagator:
+    """Runs tiling/pending propagation over one function (and regions)."""
+
+    def __init__(self, function: Function, env: ShardingEnv):
+        self.function = function
+        self.env = env
+        self.mesh = env.mesh
+        self._reported: Set[Tuple[int, str, str]] = set()
+
+    # -- public -----------------------------------------------------------
+
+    def run(self, max_sweeps: int = 200) -> None:
+        for _ in range(max_sweeps):
+            changed = False
+            for op in self.function.walk():
+                if op.opcode == "scan":
+                    changed |= self._process_scan(op)
+                else:
+                    changed |= self._process_op(op)
+            if not changed:
+                return
+        raise RuntimeError("propagation did not converge")
+
+    # -- helpers ------------------------------------------------------------
+
+    def _value_at(self, op: Operation, side: str, index: int) -> Value:
+        return op.operands[index] if side == "in" else op.results[index]
+
+    def _divisible(self, value: Value, dim: int, axis: str) -> bool:
+        sharding = self.env.sharding(value)
+        denom = self.mesh.group_size(sharding.dim_axes[dim]) * self.mesh.size(axis)
+        return value.type.shape[dim] % denom == 0
+
+    def _report_once(self, op: Operation, axis: str, kind: str, detail: str):
+        key = (id(op), axis, kind)
+        if key not in self._reported:
+            self._reported.add(key)
+            self.env.record(kind, op, axis, detail)
+
+    # -- core per-op processing ----------------------------------------------
+
+    def _process_op(self, op: Operation) -> bool:
+        changed = False
+        op_rule = rules_mod.rule_for(op)
+        for axis in self.mesh.axis_names:
+            if op_rule is not None:
+                changed |= self._match_axis(op, op_rule, axis)
+            changed |= self._defer_pending(op, axis)
+        return changed
+
+    def _match_axis(self, op: Operation, op_rule, axis: str) -> bool:
+        evidence: Set[int] = set()
+        for i, operand in enumerate(op.operands):
+            dim = self.env.sharding(operand).tile_dim_of(axis)
+            if dim is not None:
+                fid = op_rule.factor_of("in", i, dim)
+                if fid is not None:
+                    evidence.add(fid)
+        for r, result in enumerate(op.results):
+            dim = self.env.sharding(result).tile_dim_of(axis)
+            if dim is not None:
+                fid = op_rule.factor_of("out", r, dim)
+                if fid is not None:
+                    evidence.add(fid)
+        if not evidence:
+            return False
+
+        extendable: List[int] = []
+        for fid in evidence:
+            status = self._factor_status(op, op_rule.factors[fid], axis)
+            if status == "extendable":
+                extendable.append(fid)
+        if not extendable:
+            return False
+        if len(extendable) > 1:
+            self._report_once(
+                op, axis, "conflict",
+                f"{op.opcode}: factors {sorted(extendable)} both match on "
+                f"axis {axis!r}",
+            )
+            return False
+        return self._apply_factor(op, op_rule.factors[extendable[0]], axis)
+
+    def _factor_status(self, op: Operation, factor, axis: str) -> str:
+        """'applied' | 'extendable' | 'blocked' for this factor on this axis."""
+        missing = False
+        for side, index, dim in factor.entries:
+            value = self._value_at(op, side, index)
+            sharding = self.env.sharding(value)
+            if axis in sharding.dim_axes[dim]:
+                continue
+            if axis in sharding.sum_axes and side == "in":
+                # A pending operand is reconciled at lowering (AR/RS);
+                # it neither blocks nor needs the tile.
+                continue
+            if sharding.uses(axis) or sharding.is_pinned(axis):
+                self._report_once(
+                    op, axis, "blocked",
+                    f"{op.opcode}: value already uses axis {axis!r}",
+                )
+                return "blocked"
+            if not self._divisible(value, dim, axis):
+                self._report_once(
+                    op, axis, "blocked",
+                    f"{op.opcode}: dim {dim} not divisible by axis {axis!r}",
+                )
+                return "blocked"
+            missing = True
+        if factor.reduce:
+            for result in op.results:
+                sharding = self.env.sharding(result)
+                if axis in sharding.sum_axes:
+                    continue
+                if sharding.uses(axis) or sharding.is_pinned(axis):
+                    return "blocked"
+                missing = True
+        return "extendable" if missing else "applied"
+
+    def _apply_factor(self, op: Operation, factor, axis: str) -> bool:
+        changed = False
+        for side, index, dim in factor.entries:
+            value = self._value_at(op, side, index)
+            sharding = self.env.sharding(value)
+            if axis in sharding.dim_axes[dim] or axis in sharding.sum_axes:
+                continue
+            self.env.set_sharding(value, sharding.with_tile(dim, axis))
+            self.env.record("tile", op, axis, f"dim {dim} of {value!r}")
+            changed = True
+        if factor.reduce:
+            for result in op.results:
+                sharding = self.env.sharding(result)
+                if axis not in sharding.sum_axes:
+                    self.env.set_sharding(result, sharding.with_sum(axis))
+                    self.env.record("sum", op, axis, f"{op.opcode} result")
+                    changed = True
+        return changed
+
+    # -- pending-sum deferral -------------------------------------------------
+
+    def _defer_pending(self, op: Operation, axis: str) -> bool:
+        if len(op.results) != 1:
+            return False
+        result = op.results[0]
+        result_sharding = self.env.sharding(result)
+        if result_sharding.uses(axis) or result_sharding.is_pinned(axis):
+            return False
+        pending = [
+            i for i, operand in enumerate(op.operands)
+            if axis in self.env.sharding(operand).sum_axes
+        ]
+        if not pending:
+            return False
+        if not self._may_defer(op, axis, pending):
+            return False
+        self.env.set_sharding(result, result_sharding.with_sum(axis))
+        self.env.record("sum", op, axis, f"deferred through {op.opcode}")
+        return True
+
+    def _may_defer(self, op: Operation, axis: str, pending: List[int]) -> bool:
+        return may_defer(self.env, op, axis, pending)
+
+    # -- scan --------------------------------------------------------------------
+
+    def _process_scan(self, op: Operation) -> bool:
+        """Unify carry shardings: operand_i, body param i+1, body result i and
+        op result i must agree (the loop state keeps one layout)."""
+        body = op.regions[0]
+        changed = False
+        num_carries = op.attrs.get("num_carries", len(op.operands))
+        for i in range(len(op.operands)):
+            group = [op.operands[i], body.params[i + 1]]
+            if i < num_carries:
+                group += [body.results[i], op.results[i]]
+            for axis in self.mesh.axis_names:
+                dims = set()
+                for value in group:
+                    dim = self.env.sharding(value).tile_dim_of(axis)
+                    if dim is not None:
+                        dims.add(dim)
+                if len(dims) != 1:
+                    if len(dims) > 1:
+                        self._report_once(
+                            op, axis, "conflict",
+                            f"scan carry {i} tiled on dims {sorted(dims)}",
+                        )
+                    continue
+                (dim,) = dims
+                for value in group:
+                    sharding = self.env.sharding(value)
+                    if axis in sharding.dim_axes[dim]:
+                        continue
+                    if sharding.uses(axis) or sharding.is_pinned(axis):
+                        continue
+                    if value.type.shape[dim] % (
+                        self.mesh.group_size(sharding.dim_axes[dim])
+                        * self.mesh.size(axis)
+                    ):
+                        continue
+                    self.env.set_sharding(value, sharding.with_tile(dim, axis))
+                    self.env.record("tile", op, axis, f"scan carry {i}")
+                    changed = True
+        return changed
+
+
+def propagate(function: Function, env: ShardingEnv) -> None:
+    """Run propagation to a fixed point over ``function``."""
+    Propagator(function, env).run()

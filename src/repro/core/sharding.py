@@ -1,0 +1,160 @@
+"""Per-value sharding state: the canonical encoding of PartIR:Core loop nests.
+
+A PartIR:Core program places ops inside nests of ``loop`` ops with ``#tile``
+or ``#sum`` actions over mesh axes (Section 5).  For a given value, that nest
+is fully described by:
+
+* which mesh axes tile which dimension (ordered, outer-to-inner per dim),
+* which mesh axes carry a pending ``#sum`` (the value is an unreduced
+  partial, one addend per device along the axis),
+* which axes are *pinned* replicated by an ``atomic`` action (Section 8),
+  acting as a propagation barrier.
+
+:class:`Sharding` is that record; :class:`ShardingEnv` maps every IR value to
+one and accumulates propagation events (applied rewrites, blocked conflicts).
+The invariant from Section 5.2.3 — a loop over an axis can never nest inside
+another loop over the same axis — becomes "an axis appears at most once in a
+Sharding"; all mutation helpers enforce it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import ShardingError
+from repro.ir.values import Value
+from repro.mesh import Mesh
+
+
+@dataclasses.dataclass(frozen=True)
+class Sharding:
+    """Sharding of one value (see module docstring)."""
+
+    dim_axes: Tuple[Tuple[str, ...], ...]
+    sum_axes: FrozenSet[str] = frozenset()
+    pinned: FrozenSet[str] = frozenset()
+
+    @staticmethod
+    def replicated(rank: int) -> "Sharding":
+        return Sharding(tuple(() for _ in range(rank)))
+
+    @property
+    def rank(self) -> int:
+        return len(self.dim_axes)
+
+    def tiled_axes(self) -> FrozenSet[str]:
+        return frozenset(a for axes in self.dim_axes for a in axes)
+
+    def used_axes(self) -> FrozenSet[str]:
+        """Axes this value's loop nest already involves (tile or sum)."""
+        return self.tiled_axes() | self.sum_axes
+
+    def tile_dim_of(self, axis: str) -> Optional[int]:
+        for dim, axes in enumerate(self.dim_axes):
+            if axis in axes:
+                return dim
+        return None
+
+    def uses(self, axis: str) -> bool:
+        return axis in self.used_axes()
+
+    def is_pinned(self, axis: str) -> bool:
+        return axis in self.pinned
+
+    def with_tile(self, dim: int, axis: str) -> "Sharding":
+        if self.uses(axis):
+            raise ShardingError(
+                f"axis {axis!r} already used by this value's loop nest"
+            )
+        new_dims = list(self.dim_axes)
+        new_dims[dim] = new_dims[dim] + (axis,)
+        return dataclasses.replace(self, dim_axes=tuple(new_dims))
+
+    def with_sum(self, axis: str) -> "Sharding":
+        if self.uses(axis):
+            raise ShardingError(
+                f"axis {axis!r} already used by this value's loop nest"
+            )
+        return dataclasses.replace(self, sum_axes=self.sum_axes | {axis})
+
+    def without_sum(self, axes: FrozenSet[str]) -> "Sharding":
+        return dataclasses.replace(self, sum_axes=self.sum_axes - axes)
+
+    def with_pin(self, axis: str) -> "Sharding":
+        return dataclasses.replace(self, pinned=self.pinned | {axis})
+
+    def local_shape(self, shape: Tuple[int, ...], mesh: Mesh) -> Tuple[int, ...]:
+        """Device-local shape of a value with this sharding."""
+        out = []
+        for size, axes in zip(shape, self.dim_axes):
+            denom = mesh.group_size(axes)
+            if size % denom:
+                raise ShardingError(
+                    f"dim of size {size} not divisible by axes {axes}"
+                )
+            out.append(size // denom)
+        return tuple(out)
+
+    def is_fully_replicated(self) -> bool:
+        return not self.tiled_axes() and not self.sum_axes
+
+    def spec(self) -> str:
+        """Human-readable spec, e.g. ``[{B}, {}] sum{M}``."""
+        dims = ", ".join("{" + ",".join(axes) + "}" for axes in self.dim_axes)
+        out = f"[{dims}]"
+        if self.sum_axes:
+            out += " sum{" + ",".join(sorted(self.sum_axes)) + "}"
+        if self.pinned:
+            out += " pin{" + ",".join(sorted(self.pinned)) + "}"
+        return out
+
+
+@dataclasses.dataclass
+class Event:
+    """A propagation event, for the per-tactic debug metadata."""
+
+    kind: str  # "tile" | "sum" | "conflict" | "blocked" | "pin"
+    op: Optional[object]
+    axis: str
+    detail: str = ""
+
+
+class ShardingEnv:
+    """Sharding assignment for every value of a function (and its regions)."""
+
+    def __init__(self, mesh: Mesh):
+        self.mesh = mesh
+        self._shardings: Dict[Value, Sharding] = {}
+        self.events: List[Event] = []
+
+    def sharding(self, value: Value) -> Sharding:
+        existing = self._shardings.get(value)
+        if existing is None:
+            existing = Sharding.replicated(len(value.type.shape))
+            self._shardings[value] = existing
+        return existing
+
+    def set_sharding(self, value: Value, sharding: Sharding) -> None:
+        # Axis order within a dim is insertion order (outer-to-inner), i.e.
+        # the paper's deep-tiling nesting order: the first tactic to tile a
+        # dim owns the outermost loop. Producers and consumers agree because
+        # propagation derives both sides' orders from the same factor.
+        if sharding.rank != len(value.type.shape):
+            raise ShardingError(
+                f"sharding rank {sharding.rank} != value rank "
+                f"{len(value.type.shape)}"
+            )
+        self._shardings[value] = sharding
+
+    def copy(self) -> "ShardingEnv":
+        clone = ShardingEnv(self.mesh)
+        clone._shardings = dict(self._shardings)
+        clone.events = list(self.events)
+        return clone
+
+    def record(self, kind: str, op, axis: str, detail: str = "") -> None:
+        self.events.append(Event(kind, op, axis, detail))
+
+    def conflicts(self) -> List[Event]:
+        return [e for e in self.events if e.kind == "conflict"]

@@ -1,0 +1,37 @@
+"""The array IR: a StableHLO-like SSA tensor IR with a numpy interpreter.
+
+Importing this package registers all built-in ops.
+"""
+
+from repro.ir import dtypes
+from repro.ir.types import TensorType, scalar
+from repro.ir.values import Operation, Value
+from repro.ir.function import Function, FunctionBuilder, Module
+from repro.ir import opdefs
+
+# Op registrations (import side effects).
+from repro.ir import ops_elementwise  # noqa: F401
+from repro.ir import ops_linalg  # noqa: F401
+from repro.ir import ops_nn  # noqa: F401
+
+from repro.ir.interpreter import evaluate_function, evaluate_module
+from repro.ir.printer import print_function, print_module
+from repro.ir.verifier import verify_function, verify_module
+
+__all__ = [
+    "dtypes",
+    "TensorType",
+    "scalar",
+    "Operation",
+    "Value",
+    "Function",
+    "FunctionBuilder",
+    "Module",
+    "opdefs",
+    "evaluate_function",
+    "evaluate_module",
+    "print_function",
+    "print_module",
+    "verify_function",
+    "verify_module",
+]

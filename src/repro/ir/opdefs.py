@@ -1,0 +1,67 @@
+"""The operation registry.
+
+Every opcode registers an :class:`OpDef` carrying:
+
+* ``infer``: result-type inference from operand types + attrs (+ regions),
+* ``eval``: numpy evaluation used by the reference interpreter and the
+  simulated-mesh executor (region ops like ``scan`` are interpreted by the
+  interpreter itself and may leave ``eval`` unset),
+* ``flops``: an optional FLOP estimate used by the performance simulator.
+
+Sharding rules (the PartIR tile-mapping registry) and autodiff VJP rules are
+registered in separate tables (``repro.core.rules`` and
+``repro.trace.autodiff``) so that the base IR stays independent of the
+partitioner and the tracer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.ir.types import TensorType
+
+InferFn = Callable[[Sequence[TensorType], dict, list], List[TensorType]]
+EvalFn = Callable[[Sequence], List]
+FlopsFn = Callable[[Sequence[TensorType], dict], float]
+
+
+@dataclasses.dataclass
+class OpDef:
+    name: str
+    infer: InferFn
+    eval: Optional[Callable] = None
+    flops: Optional[FlopsFn] = None
+    # Pure elementwise ops map each output element from the same index of
+    # every operand; used to auto-generate sharding rules and VJP plumbing.
+    elementwise: bool = False
+    # Linear ops commute with summation over a pending mesh axis: the
+    # propagation pass may defer an all_reduce through them (Section 5/6).
+    linear: bool = False
+    # Does this op have nested regions (e.g. scan)?
+    has_regions: bool = False
+
+
+_REGISTRY: Dict[str, OpDef] = {}
+
+
+def register(opdef: OpDef) -> OpDef:
+    if opdef.name in _REGISTRY:
+        raise ValueError(f"op {opdef.name!r} registered twice")
+    _REGISTRY[opdef.name] = opdef
+    return opdef
+
+
+def get(name: str) -> OpDef:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown op {name!r}; known: {sorted(_REGISTRY)}")
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def all_ops() -> Dict[str, OpDef]:
+    return dict(_REGISTRY)

@@ -1,0 +1,209 @@
+"""Elementwise, constant and predicate ops.
+
+Binary elementwise ops require *identical* operand shapes; the tracer inserts
+explicit ``broadcast_in_dim`` ops (as StableHLO does), which keeps the
+tile-mapping rules for elementwise ops trivially uniform.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import TypeInferenceError
+from repro.ir import dtypes
+from repro.ir.opdefs import OpDef, register
+from repro.ir.types import TensorType
+
+
+def _same_shape(types, opcode):
+    first = types[0]
+    for t in types[1:]:
+        if t.shape != first.shape:
+            raise TypeInferenceError(
+                f"{opcode}: operand shapes differ: "
+                f"{[tt.shape for tt in types]}"
+            )
+
+
+def _elementwise_flops(operand_types, attrs):
+    return float(operand_types[0].num_elements) if operand_types else 0.0
+
+
+def _register_unary(name, fn, float_only=True):
+    def infer(types, attrs, regions):
+        return [types[0]]
+
+    register(
+        OpDef(
+            name,
+            infer,
+            eval=lambda arrays, attrs: [fn(arrays[0])],
+            flops=_elementwise_flops,
+            elementwise=True,
+            linear=name == "neg",
+        )
+    )
+
+
+def _register_binary(name, fn, linear=False):
+    def infer(types, attrs, regions):
+        _same_shape(types, name)
+        return [types[0]]
+
+    register(
+        OpDef(
+            name,
+            infer,
+            eval=lambda arrays, attrs: [fn(arrays[0], arrays[1])],
+            flops=_elementwise_flops,
+            elementwise=True,
+            linear=linear,
+        )
+    )
+
+
+_register_unary("neg", np.negative)
+_register_unary("exp", np.exp)
+_register_unary("log", np.log)
+_register_unary("tanh", np.tanh)
+_register_unary("sqrt", np.sqrt)
+_register_unary("rsqrt", lambda x: 1.0 / np.sqrt(x))
+_register_unary("abs", np.abs)
+_register_unary("sign", np.sign)
+_register_unary("sin", np.sin)
+_register_unary("cos", np.cos)
+_register_unary("logistic", lambda x: 1.0 / (1.0 + np.exp(-x)))
+
+# add/sub are linear: a pending partial-sum over a mesh axis commutes with
+# them (sum_a(x) + sum_a(y) == sum_a(x + y)), which is what lets gradient
+# accumulation defer its all_reduce (Section 6).
+_register_binary("add", np.add, linear=True)
+_register_binary("sub", np.subtract, linear=True)
+_register_binary("mul", np.multiply)
+_register_binary("div", np.divide)
+_register_binary("pow", np.power)
+_register_binary("maximum", np.maximum)
+_register_binary("minimum", np.minimum)
+
+
+def _infer_constant(types, attrs, regions):
+    value = attrs["value"]
+    if not isinstance(value, np.ndarray):
+        raise TypeInferenceError("constant attr 'value' must be an ndarray")
+    return [TensorType(value.shape, dtypes.from_numpy(value.dtype))]
+
+
+register(
+    OpDef(
+        "constant",
+        _infer_constant,
+        eval=lambda arrays, attrs: [attrs["value"]],
+        flops=lambda types, attrs: 0.0,
+    )
+)
+
+
+def _infer_iota(types, attrs, regions):
+    shape = tuple(attrs["shape"])
+    dim = attrs["dim"]
+    if not 0 <= dim < len(shape):
+        raise TypeInferenceError(f"iota dim {dim} out of range for {shape}")
+    return [TensorType(shape, attrs.get("dtype", dtypes.i32))]
+
+
+def _eval_iota(arrays, attrs):
+    shape = tuple(attrs["shape"])
+    dim = attrs["dim"]
+    dtype = attrs.get("dtype", dtypes.i32)
+    out = np.arange(shape[dim], dtype=dtype.np_dtype)
+    reshape = [1] * len(shape)
+    reshape[dim] = shape[dim]
+    return [np.broadcast_to(out.reshape(reshape), shape).copy()]
+
+
+register(OpDef("iota", _infer_iota, eval=_eval_iota,
+               flops=lambda types, attrs: 0.0))
+
+
+_COMPARE_FNS = {
+    "LT": np.less,
+    "LE": np.less_equal,
+    "GT": np.greater,
+    "GE": np.greater_equal,
+    "EQ": np.equal,
+    "NE": np.not_equal,
+}
+
+
+def _infer_compare(types, attrs, regions):
+    _same_shape(types, "compare")
+    if attrs["direction"] not in _COMPARE_FNS:
+        raise TypeInferenceError(f"bad compare direction {attrs['direction']}")
+    return [TensorType(types[0].shape, dtypes.bool_)]
+
+
+register(
+    OpDef(
+        "compare",
+        _infer_compare,
+        eval=lambda arrays, attrs: [
+            _COMPARE_FNS[attrs["direction"]](arrays[0], arrays[1])
+        ],
+        flops=_elementwise_flops,
+        elementwise=True,
+    )
+)
+
+
+def _infer_select(types, attrs, regions):
+    pred, on_true, on_false = types
+    if pred.dtype is not dtypes.bool_:
+        raise TypeInferenceError("select predicate must be i1")
+    _same_shape(types, "select")
+    if on_true.dtype is not on_false.dtype:
+        raise TypeInferenceError("select branch dtypes differ")
+    return [on_true]
+
+
+register(
+    OpDef(
+        "select",
+        _infer_select,
+        eval=lambda arrays, attrs: [np.where(arrays[0], arrays[1], arrays[2])],
+        flops=_elementwise_flops,
+        elementwise=True,
+    )
+)
+
+
+def _infer_convert(types, attrs, regions):
+    return [TensorType(types[0].shape, attrs["dtype"])]
+
+
+register(
+    OpDef(
+        "convert",
+        _infer_convert,
+        eval=lambda arrays, attrs: [
+            arrays[0].astype(attrs["dtype"].np_dtype)
+        ],
+        flops=_elementwise_flops,
+        elementwise=True,
+        linear=True,
+    )
+)
+
+
+# tag: a named identity used for model-internal annotations (Section 8).
+register(
+    OpDef(
+        "tag",
+        lambda types, attrs, regions: [types[0]],
+        eval=lambda arrays, attrs: [arrays[0]],
+        flops=lambda types, attrs: 0.0,
+        elementwise=True,
+        linear=True,
+    )
+)

@@ -1,0 +1,470 @@
+"""Structural and linear-algebra ops: dot_general, transpose, reshape,
+broadcast, reductions, concatenation, (dynamic) slicing, gather/scatter."""
+
+from __future__ import annotations
+
+import math
+import string
+
+import numpy as np
+
+from repro.errors import TypeInferenceError
+from repro.ir import dtypes
+from repro.ir.opdefs import OpDef, register
+from repro.ir.types import TensorType
+
+
+# ---------------------------------------------------------------------------
+# dot_general
+# ---------------------------------------------------------------------------
+
+def dot_general_dims(lhs_rank, rhs_rank, attrs):
+    """Return (lhs_batch, rhs_batch, lhs_contract, rhs_contract,
+    lhs_free, rhs_free) dimension index tuples."""
+    lhs_batch = tuple(attrs.get("lhs_batch", ()))
+    rhs_batch = tuple(attrs.get("rhs_batch", ()))
+    lhs_contract = tuple(attrs["lhs_contract"])
+    rhs_contract = tuple(attrs["rhs_contract"])
+    lhs_free = tuple(
+        d for d in range(lhs_rank) if d not in lhs_batch + lhs_contract
+    )
+    rhs_free = tuple(
+        d for d in range(rhs_rank) if d not in rhs_batch + rhs_contract
+    )
+    return lhs_batch, rhs_batch, lhs_contract, rhs_contract, lhs_free, rhs_free
+
+
+def _infer_dot_general(types, attrs, regions):
+    lhs, rhs = types
+    (lb, rb, lc, rc, lf, rf) = dot_general_dims(lhs.rank, rhs.rank, attrs)
+    if len(lb) != len(rb) or len(lc) != len(rc):
+        raise TypeInferenceError("dot_general dimension arity mismatch")
+    for dl, dr in zip(lb, rb):
+        if lhs.shape[dl] != rhs.shape[dr]:
+            raise TypeInferenceError(
+                f"dot_general batch dims differ: {lhs.shape[dl]} vs {rhs.shape[dr]}"
+            )
+    for dl, dr in zip(lc, rc):
+        if lhs.shape[dl] != rhs.shape[dr]:
+            raise TypeInferenceError(
+                f"dot_general contracting dims differ: "
+                f"{lhs.shape[dl]} vs {rhs.shape[dr]}"
+            )
+    out_shape = (
+        tuple(lhs.shape[d] for d in lb)
+        + tuple(lhs.shape[d] for d in lf)
+        + tuple(rhs.shape[d] for d in rf)
+    )
+    return [TensorType(out_shape, lhs.dtype)]
+
+
+def dot_general_einsum_spec(lhs_rank, rhs_rank, attrs):
+    """Build an einsum subscript string implementing this dot_general."""
+    (lb, rb, lc, rc, lf, rf) = dot_general_dims(lhs_rank, rhs_rank, attrs)
+    letters = iter(string.ascii_letters)
+    lhs_sub = [None] * lhs_rank
+    rhs_sub = [None] * rhs_rank
+    out_sub = []
+    for dl, dr in zip(lb, rb):
+        c = next(letters)
+        lhs_sub[dl] = c
+        rhs_sub[dr] = c
+        out_sub.append(c)
+    for dl, dr in zip(lc, rc):
+        c = next(letters)
+        lhs_sub[dl] = c
+        rhs_sub[dr] = c
+    for d in lf:
+        c = next(letters)
+        lhs_sub[d] = c
+        out_sub.append(c)
+    for d in rf:
+        c = next(letters)
+        rhs_sub[d] = c
+        out_sub.append(c)
+    return "".join(lhs_sub) + "," + "".join(rhs_sub) + "->" + "".join(out_sub)
+
+
+def _eval_dot_general(arrays, attrs):
+    lhs, rhs = arrays
+    spec = dot_general_einsum_spec(lhs.ndim, rhs.ndim, attrs)
+    return [np.einsum(spec, lhs, rhs)]
+
+
+def _flops_dot_general(types, attrs):
+    lhs, rhs = types
+    (lb, rb, lc, rc, lf, rf) = dot_general_dims(lhs.rank, rhs.rank, attrs)
+    batch = math.prod(lhs.shape[d] for d in lb)
+    m = math.prod(lhs.shape[d] for d in lf)
+    k = math.prod(lhs.shape[d] for d in lc)
+    n = math.prod(rhs.shape[d] for d in rf)
+    return 2.0 * batch * m * n * k
+
+
+register(
+    OpDef(
+        "dot_general",
+        _infer_dot_general,
+        eval=_eval_dot_general,
+        flops=_flops_dot_general,
+        linear=True,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# transpose / reshape / broadcast
+# ---------------------------------------------------------------------------
+
+def _infer_transpose(types, attrs, regions):
+    (t,) = types
+    perm = tuple(attrs["permutation"])
+    if sorted(perm) != list(range(t.rank)):
+        raise TypeInferenceError(f"bad transpose permutation {perm}")
+    return [t.with_shape(tuple(t.shape[d] for d in perm))]
+
+
+register(
+    OpDef(
+        "transpose",
+        _infer_transpose,
+        eval=lambda arrays, attrs: [
+            np.transpose(arrays[0], attrs["permutation"])
+        ],
+        flops=lambda types, attrs: 0.0,
+        linear=True,
+    )
+)
+
+
+def _infer_reshape(types, attrs, regions):
+    (t,) = types
+    new_shape = tuple(attrs["new_shape"])
+    if math.prod(new_shape) != t.num_elements:
+        raise TypeInferenceError(
+            f"reshape {t.shape} -> {new_shape} changes element count"
+        )
+    return [t.with_shape(new_shape)]
+
+
+register(
+    OpDef(
+        "reshape",
+        _infer_reshape,
+        eval=lambda arrays, attrs: [
+            arrays[0].reshape(tuple(attrs["new_shape"]))
+        ],
+        flops=lambda types, attrs: 0.0,
+        linear=True,
+    )
+)
+
+
+def _infer_broadcast(types, attrs, regions):
+    (t,) = types
+    shape = tuple(attrs["shape"])
+    bdims = tuple(attrs["broadcast_dimensions"])
+    if len(bdims) != t.rank:
+        raise TypeInferenceError("broadcast_dimensions arity != operand rank")
+    for operand_dim, out_dim in enumerate(bdims):
+        if t.shape[operand_dim] not in (1, shape[out_dim]):
+            raise TypeInferenceError(
+                f"broadcast_in_dim: operand dim {operand_dim} of size "
+                f"{t.shape[operand_dim]} cannot map to output size {shape[out_dim]}"
+            )
+    return [t.with_shape(shape)]
+
+
+def _eval_broadcast(arrays, attrs):
+    x = arrays[0]
+    shape = tuple(attrs["shape"])
+    bdims = tuple(attrs["broadcast_dimensions"])
+    expanded = [1] * len(shape)
+    for operand_dim, out_dim in enumerate(bdims):
+        expanded[out_dim] = x.shape[operand_dim]
+    return [np.broadcast_to(x.reshape(expanded), shape).copy()]
+
+
+register(
+    OpDef(
+        "broadcast_in_dim",
+        _infer_broadcast,
+        eval=_eval_broadcast,
+        flops=lambda types, attrs: 0.0,
+        linear=True,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+def _infer_reduce(types, attrs, regions):
+    (t,) = types
+    dims = tuple(sorted(attrs["dims"]))
+    for d in dims:
+        if not 0 <= d < t.rank:
+            raise TypeInferenceError(f"reduce dim {d} out of range")
+    out_shape = tuple(s for i, s in enumerate(t.shape) if i not in dims)
+    return [t.with_shape(out_shape)]
+
+
+def _flops_reduce(types, attrs):
+    return float(types[0].num_elements)
+
+
+register(
+    OpDef(
+        "reduce_sum",
+        _infer_reduce,
+        eval=lambda arrays, attrs: [
+            np.sum(arrays[0], axis=tuple(attrs["dims"]))
+        ],
+        flops=_flops_reduce,
+        linear=True,
+    )
+)
+
+register(
+    OpDef(
+        "reduce_max",
+        _infer_reduce,
+        eval=lambda arrays, attrs: [
+            np.max(arrays[0], axis=tuple(attrs["dims"]))
+        ],
+        flops=_flops_reduce,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# concatenate / slicing
+# ---------------------------------------------------------------------------
+
+def _infer_concatenate(types, attrs, regions):
+    dim = attrs["dim"]
+    first = types[0]
+    total = 0
+    for t in types:
+        if t.rank != first.rank:
+            raise TypeInferenceError("concatenate rank mismatch")
+        for d in range(first.rank):
+            if d != dim and t.shape[d] != first.shape[d]:
+                raise TypeInferenceError("concatenate non-concat dims differ")
+        total += t.shape[dim]
+    out_shape = list(first.shape)
+    out_shape[dim] = total
+    return [first.with_shape(tuple(out_shape))]
+
+
+register(
+    OpDef(
+        "concatenate",
+        _infer_concatenate,
+        eval=lambda arrays, attrs: [
+            np.concatenate(list(arrays), axis=attrs["dim"])
+        ],
+        flops=lambda types, attrs: 0.0,
+        linear=True,
+    )
+)
+
+
+def _infer_slice(types, attrs, regions):
+    (t,) = types
+    starts = tuple(attrs["starts"])
+    limits = tuple(attrs["limits"])
+    strides = tuple(attrs.get("strides") or (1,) * t.rank)
+    if not (len(starts) == len(limits) == len(strides) == t.rank):
+        raise TypeInferenceError("slice attr arity mismatch")
+    out = []
+    for s, l, st, size in zip(starts, limits, strides, t.shape):
+        if not (0 <= s <= l <= size):
+            raise TypeInferenceError(
+                f"slice bounds [{s}:{l}] invalid for dim of size {size}"
+            )
+        out.append(-(-(l - s) // st))
+    return [t.with_shape(tuple(out))]
+
+
+def _eval_slice(arrays, attrs):
+    x = arrays[0]
+    starts = attrs["starts"]
+    limits = attrs["limits"]
+    strides = attrs.get("strides") or (1,) * x.ndim
+    index = tuple(slice(s, l, st) for s, l, st in zip(starts, limits, strides))
+    return [x[index].copy()]
+
+
+register(
+    OpDef(
+        "slice",
+        _infer_slice,
+        eval=_eval_slice,
+        flops=lambda types, attrs: 0.0,
+        linear=True,
+    )
+)
+
+
+def _infer_dynamic_slice_in_dim(types, attrs, regions):
+    operand, index = types
+    if index.shape != ():
+        raise TypeInferenceError("dynamic_slice index must be scalar")
+    dim, size = attrs["dim"], attrs["size"]
+    if size > operand.shape[dim]:
+        raise TypeInferenceError("dynamic_slice size exceeds dim")
+    out_shape = list(operand.shape)
+    out_shape[dim] = size
+    return [operand.with_shape(tuple(out_shape))]
+
+
+def _eval_dynamic_slice_in_dim(arrays, attrs):
+    x, index = arrays
+    dim, size = attrs["dim"], attrs["size"]
+    start = int(np.clip(index, 0, x.shape[dim] - size))
+    slicer = [slice(None)] * x.ndim
+    slicer[dim] = slice(start, start + size)
+    return [x[tuple(slicer)].copy()]
+
+
+register(
+    OpDef(
+        "dynamic_slice_in_dim",
+        _infer_dynamic_slice_in_dim,
+        eval=_eval_dynamic_slice_in_dim,
+        flops=lambda types, attrs: 0.0,
+        linear=True,
+    )
+)
+
+
+def _infer_dynamic_update_slice_in_dim(types, attrs, regions):
+    operand, update, index = types
+    if index.shape != ():
+        raise TypeInferenceError("dynamic_update_slice index must be scalar")
+    dim = attrs["dim"]
+    if update.rank != operand.rank:
+        raise TypeInferenceError("dynamic_update_slice rank mismatch")
+    for d in range(operand.rank):
+        if d != dim and update.shape[d] != operand.shape[d]:
+            raise TypeInferenceError("dynamic_update_slice shape mismatch")
+    return [operand]
+
+
+def _eval_dynamic_update_slice_in_dim(arrays, attrs):
+    x, update, index = arrays
+    dim = attrs["dim"]
+    start = int(np.clip(index, 0, x.shape[dim] - update.shape[dim]))
+    out = x.copy()
+    slicer = [slice(None)] * x.ndim
+    slicer[dim] = slice(start, start + update.shape[dim])
+    out[tuple(slicer)] = update
+    return [out]
+
+
+register(
+    OpDef(
+        "dynamic_update_slice_in_dim",
+        _infer_dynamic_update_slice_in_dim,
+        eval=_eval_dynamic_update_slice_in_dim,
+        flops=lambda types, attrs: 0.0,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# gather (take) / scatter_add
+# ---------------------------------------------------------------------------
+
+def _infer_take(types, attrs, regions):
+    operand, indices = types
+    if operand.rank < 1:
+        raise TypeInferenceError("take operand must have rank >= 1")
+    if indices.dtype not in (dtypes.i32, dtypes.i64):
+        raise TypeInferenceError("take indices must be integer")
+    out_shape = indices.shape + operand.shape[1:]
+    return [operand.with_shape(out_shape)]
+
+
+register(
+    OpDef(
+        "take",
+        _infer_take,
+        eval=lambda arrays, attrs: [np.take(arrays[0], arrays[1], axis=0)],
+        flops=lambda types, attrs: 0.0,
+    )
+)
+
+
+def _infer_scatter_add(types, attrs, regions):
+    operand, indices, updates = types
+    if indices.rank != 1:
+        raise TypeInferenceError("scatter_add indices must be rank 1")
+    expected = indices.shape + operand.shape[1:]
+    if updates.shape != expected:
+        raise TypeInferenceError(
+            f"scatter_add updates shape {updates.shape} != {expected}"
+        )
+    return [operand]
+
+
+def _eval_scatter_add(arrays, attrs):
+    operand, indices, updates = arrays
+    out = operand.copy()
+    np.add.at(out, indices, updates)
+    return [out]
+
+
+register(
+    OpDef(
+        "scatter_add",
+        _infer_scatter_add,
+        eval=_eval_scatter_add,
+        flops=lambda types, attrs: float(types[2].num_elements),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# pad (zero padding; the VJP of slice)
+# ---------------------------------------------------------------------------
+
+def _infer_pad(types, attrs, regions):
+    (t,) = types
+    low = tuple(attrs["low"])
+    high = tuple(attrs["high"])
+    if len(low) != t.rank or len(high) != t.rank:
+        raise TypeInferenceError("pad attr arity mismatch")
+    out = tuple(s + lo + hi for s, lo, hi in zip(t.shape, low, high))
+    return [t.with_shape(out)]
+
+
+register(
+    OpDef(
+        "pad",
+        _infer_pad,
+        eval=lambda arrays, attrs: [
+            np.pad(arrays[0], tuple(zip(attrs["low"], attrs["high"])))
+        ],
+        flops=lambda types, attrs: 0.0,
+        linear=True,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# stop_gradient (identity; blocks the backward sweep)
+# ---------------------------------------------------------------------------
+
+register(
+    OpDef(
+        "stop_gradient",
+        lambda types, attrs, regions: [types[0]],
+        eval=lambda arrays, attrs: [arrays[0]],
+        flops=lambda types, attrs: 0.0,
+        elementwise=True,
+        linear=True,
+    )
+)

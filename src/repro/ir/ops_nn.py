@@ -1,0 +1,253 @@
+"""Neural-net structured ops: 2-D convolution (and its gradient primitives),
+nearest-neighbour up/down sampling, and the ``scan`` loop used by the IT32
+inference serving loop."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import TypeInferenceError
+from repro.ir import dtypes
+from repro.ir.opdefs import OpDef, register
+from repro.ir.types import TensorType
+
+
+def conv_out_size(size: int, k: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - k) // stride + 1
+
+
+# ---------------------------------------------------------------------------
+# conv2d: x[N, C, H, W] * k[O, C, kh, kw] -> y[N, O, OH, OW]
+# ---------------------------------------------------------------------------
+
+def _infer_conv2d(types, attrs, regions):
+    x, k = types
+    if x.rank != 4 or k.rank != 4:
+        raise TypeInferenceError("conv2d expects NCHW input and OCHW kernel")
+    n, c, h, w = x.shape
+    o, kc, kh, kw = k.shape
+    if c != kc:
+        raise TypeInferenceError(f"conv2d channel mismatch: {c} vs {kc}")
+    stride = attrs.get("stride", 1)
+    pad = attrs.get("pad", 0)
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    if oh <= 0 or ow <= 0:
+        raise TypeInferenceError("conv2d output would be empty")
+    return [x.with_shape((n, o, oh, ow))]
+
+
+def _pad_hw(x, pad):
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+
+
+def _eval_conv2d(arrays, attrs):
+    x, k = arrays
+    stride = attrs.get("stride", 1)
+    pad = attrs.get("pad", 0)
+    o, c, kh, kw = k.shape
+    xp = _pad_hw(x, pad)
+    n, _, hp, wp = xp.shape
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    # windows: [N, C, OH, OW, kh, kw]
+    windows = np.lib.stride_tricks.sliding_window_view(xp, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    y = np.einsum("nchwij,ocij->nohw", windows, k)
+    assert y.shape == (n, o, oh, ow)
+    return [y.astype(x.dtype)]
+
+
+def _flops_conv2d(types, attrs):
+    x, k = types
+    n = x.shape[0]
+    o, c, kh, kw = k.shape
+    stride = attrs.get("stride", 1)
+    pad = attrs.get("pad", 0)
+    oh = conv_out_size(x.shape[2], kh, stride, pad)
+    ow = conv_out_size(x.shape[3], kw, stride, pad)
+    return 2.0 * n * o * oh * ow * c * kh * kw
+
+
+register(OpDef("conv2d", _infer_conv2d, eval=_eval_conv2d,
+               flops=_flops_conv2d, linear=True))
+
+
+# ---------------------------------------------------------------------------
+# conv2d_input_grad: dy[N, O, OH, OW] * k[O, C, kh, kw] -> dx[N, C, H, W]
+# ---------------------------------------------------------------------------
+
+def _infer_conv2d_input_grad(types, attrs, regions):
+    dy, k = types
+    n = dy.shape[0]
+    o, c, kh, kw = k.shape
+    h, w = attrs["input_hw"]
+    return [dy.with_shape((n, c, h, w))]
+
+
+def _eval_conv2d_input_grad(arrays, attrs):
+    dy, k = arrays
+    stride = attrs.get("stride", 1)
+    pad = attrs.get("pad", 0)
+    h, w = attrs["input_hw"]
+    n, o, oh, ow = dy.shape
+    _, c, kh, kw = k.shape
+    dxp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=dy.dtype)
+    # dx[n, c, oh*s + i, ow*s + j] += dy[n, o, oh, ow] * k[o, c, i, j]
+    for i in range(kh):
+        for j in range(kw):
+            contrib = np.einsum("nohw,oc->nchw", dy, k[:, :, i, j])
+            dxp[:, :, i: i + oh * stride: stride,
+                j: j + ow * stride: stride] += contrib
+    if pad:
+        return [dxp[:, :, pad:-pad, pad:-pad].copy()]
+    return [dxp]
+
+
+register(
+    OpDef(
+        "conv2d_input_grad",
+        _infer_conv2d_input_grad,
+        eval=_eval_conv2d_input_grad,
+        flops=_flops_conv2d,
+        linear=True,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# conv2d_kernel_grad: x[N, C, H, W] * dy[N, O, OH, OW] -> dk[O, C, kh, kw]
+# ---------------------------------------------------------------------------
+
+def _infer_conv2d_kernel_grad(types, attrs, regions):
+    x, dy = types
+    kh, kw = attrs["kernel_hw"]
+    o = dy.shape[1]
+    c = x.shape[1]
+    return [x.with_shape((o, c, kh, kw))]
+
+
+def _eval_conv2d_kernel_grad(arrays, attrs):
+    x, dy = arrays
+    stride = attrs.get("stride", 1)
+    pad = attrs.get("pad", 0)
+    kh, kw = attrs["kernel_hw"]
+    xp = _pad_hw(x, pad)
+    n, o, oh, ow = dy.shape
+    c = x.shape[1]
+    dk = np.zeros((o, c, kh, kw), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            patch = xp[:, :, i: i + oh * stride: stride,
+                       j: j + ow * stride: stride]
+            dk[:, :, i, j] = np.einsum("nchw,nohw->oc", patch, dy)
+    return [dk]
+
+
+def _flops_conv2d_kernel_grad(types, attrs):
+    x, dy = types
+    kh, kw = attrs["kernel_hw"]
+    n, o, oh, ow = dy.shape
+    c = x.shape[1]
+    return 2.0 * n * o * oh * ow * c * kh * kw
+
+
+register(
+    OpDef(
+        "conv2d_kernel_grad",
+        _infer_conv2d_kernel_grad,
+        eval=_eval_conv2d_kernel_grad,
+        flops=_flops_conv2d_kernel_grad,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# upsample2d (nearest) / downsample2d_sum (its VJP)
+# ---------------------------------------------------------------------------
+
+def _infer_upsample2d(types, attrs, regions):
+    (x,) = types
+    f = attrs["factor"]
+    n, c, h, w = x.shape
+    return [x.with_shape((n, c, h * f, w * f))]
+
+
+def _eval_upsample2d(arrays, attrs):
+    f = attrs["factor"]
+    return [np.repeat(np.repeat(arrays[0], f, axis=2), f, axis=3)]
+
+
+register(OpDef("upsample2d", _infer_upsample2d, eval=_eval_upsample2d,
+               flops=lambda types, attrs: 0.0, linear=True))
+
+
+def _infer_downsample2d_sum(types, attrs, regions):
+    (x,) = types
+    f = attrs["factor"]
+    n, c, h, w = x.shape
+    if h % f or w % f:
+        raise TypeInferenceError("downsample2d_sum: size not divisible")
+    return [x.with_shape((n, c, h // f, w // f))]
+
+
+def _eval_downsample2d_sum(arrays, attrs):
+    x = arrays[0]
+    f = attrs["factor"]
+    n, c, h, w = x.shape
+    return [x.reshape(n, c, h // f, f, w // f, f).sum(axis=(3, 5))]
+
+
+register(
+    OpDef(
+        "downsample2d_sum",
+        _infer_downsample2d_sum,
+        eval=_eval_downsample2d_sum,
+        flops=lambda types, attrs: float(types[0].num_elements),
+        linear=True,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# scan: a counted loop region. Operands are the initial carries; the body
+# function takes (iteration_index, *carries) and returns the next carries.
+# The op's results are the final carries. This models the XLA while-loop used
+# by the IT32 serving loop; the collective counters multiply per-iteration
+# collectives by trip_count, like the paper's Table 3 does.
+# ---------------------------------------------------------------------------
+
+def _infer_scan(types, attrs, regions):
+    if len(regions) != 1:
+        raise TypeInferenceError("scan needs exactly one body region")
+    body = regions[0]
+    num_carries = attrs.get("num_carries", len(types))
+    if len(body.params) != len(types) + 1:
+        raise TypeInferenceError(
+            f"scan body takes {len(body.params)} params, expected "
+            f"{len(types) + 1} (index + carries + invariants)"
+        )
+    if body.params[0].type.shape != ():
+        raise TypeInferenceError("scan body's first param must be the scalar index")
+    for operand_type, param in zip(types, body.params[1:]):
+        if param.type != operand_type:
+            raise TypeInferenceError(
+                f"scan operand type {operand_type} != body param {param.type}"
+            )
+    carry_types = list(types[:num_carries])
+    if len(body.results) != num_carries:
+        raise TypeInferenceError("scan body must return one value per carry")
+    for carry_type, result in zip(carry_types, body.results):
+        if result.type != carry_type:
+            raise TypeInferenceError(
+                f"scan carry type {carry_type} != body result {result.type}"
+            )
+    return carry_types
+
+
+register(OpDef("scan", _infer_scan, eval=None, has_regions=True,
+               flops=lambda types, attrs: 0.0))

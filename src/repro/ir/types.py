@@ -1,0 +1,53 @@
+"""Tensor types for the array IR."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+from repro.ir import dtypes
+
+
+@dataclasses.dataclass(frozen=True)
+class TensorType:
+    """A ranked tensor type ``tensor<d0 x d1 x ... x dtype>``.
+
+    Shapes are static (the paper partitions statically-shaped StableHLO).
+    A rank-0 tensor models a scalar.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: dtypes.DType = dtypes.f32
+
+    def __post_init__(self):
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+        for d in self.shape:
+            if d < 0:
+                raise ValueError(f"negative dimension in shape {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * self.dtype.nbytes
+
+    def with_shape(self, shape) -> "TensorType":
+        return TensorType(tuple(shape), self.dtype)
+
+    def __repr__(self) -> str:
+        if not self.shape:
+            return f"tensor<{self.dtype}>"
+        dims = "x".join(str(d) for d in self.shape)
+        return f"tensor<{dims}x{self.dtype}>"
+
+
+def scalar(dtype: dtypes.DType = dtypes.f32) -> TensorType:
+    """The rank-0 tensor type with the given dtype."""
+    return TensorType((), dtype)

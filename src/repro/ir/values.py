@@ -1,0 +1,109 @@
+"""SSA values and operations for the array IR.
+
+The IR is a flat SSA list of operations per function (like StableHLO inside a
+``func.func``).  A :class:`Value` is either a function parameter or the result
+of an :class:`Operation`.  Operations may carry nested *regions* (used by the
+``scan`` loop op), represented as :class:`repro.ir.function.Function` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.types import TensorType
+
+_value_counter = itertools.count()
+
+
+class Value:
+    """An SSA value with a static tensor type.
+
+    Attributes:
+        type: the value's :class:`TensorType`.
+        producer: the defining :class:`Operation`, or ``None`` for function
+            parameters.
+        index: result index within the producer (0 for parameters).
+        name: optional human-readable name used by the printer.
+    """
+
+    __slots__ = ("type", "producer", "index", "name", "uid")
+
+    def __init__(
+        self,
+        type: TensorType,
+        producer: Optional["Operation"] = None,
+        index: int = 0,
+        name: Optional[str] = None,
+    ):
+        self.type = type
+        self.producer = producer
+        self.index = index
+        self.name = name
+        self.uid = next(_value_counter)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.type.shape
+
+    @property
+    def dtype(self):
+        return self.type.dtype
+
+    @property
+    def is_param(self) -> bool:
+        return self.producer is None
+
+    def __repr__(self) -> str:
+        label = self.name or f"v{self.uid}"
+        return f"%{label}: {self.type}"
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+
+class Operation:
+    """A single IR operation.
+
+    Attributes:
+        opcode: registered op name, e.g. ``"dot_general"``.
+        operands: SSA operands.
+        attrs: static attributes (shapes, dimension numbers, ...).
+        results: result values (producer back-links set on construction).
+        regions: nested function bodies (``scan`` has one).
+    """
+
+    __slots__ = ("opcode", "operands", "attrs", "results", "regions")
+
+    def __init__(
+        self,
+        opcode: str,
+        operands: Sequence[Value],
+        attrs: Optional[Dict[str, Any]] = None,
+        result_types: Sequence[TensorType] = (),
+        regions: Optional[List[Any]] = None,
+    ):
+        self.opcode = opcode
+        self.operands = list(operands)
+        self.attrs = dict(attrs or {})
+        self.regions = list(regions or [])
+        self.results = [
+            Value(t, producer=self, index=i) for i, t in enumerate(result_types)
+        ]
+
+    @property
+    def result(self) -> Value:
+        """The unique result (raises if the op has several)."""
+        if len(self.results) != 1:
+            raise ValueError(
+                f"op {self.opcode} has {len(self.results)} results, expected 1"
+            )
+        return self.results[0]
+
+    def __repr__(self) -> str:
+        outs = ", ".join(repr(r) for r in self.results)
+        ins = ", ".join(f"%{o.name or 'v%d' % o.uid}" for o in self.operands)
+        return f"{outs} = {self.opcode}({ins})"

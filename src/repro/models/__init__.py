@@ -1,0 +1,5 @@
+"""The paper's benchmark models (Section 7.1) and their schedules."""
+
+from repro.models import gns, schedules, transformer, unet
+
+__all__ = ["gns", "schedules", "transformer", "unet"]

@@ -1,0 +1,91 @@
+"""A tiny functional NN library over the tracer (the haiku/flax analogue).
+
+Layers are pure functions over parameter pytrees of :class:`TracedArray`;
+parameter *specs* (shapes) and *initializers* are separate so models can be
+traced without materialising weights.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.ir import dtypes
+from repro.trace import ops
+from repro.trace.tracer import ShapeDtype, TracedArray, broadcast_to
+
+
+# -- parameter specs ----------------------------------------------------------
+
+def linear_spec(d_in: int, d_out: int) -> Dict[str, ShapeDtype]:
+    return {"w": ShapeDtype((d_in, d_out)), "b": ShapeDtype((d_out,))}
+
+
+def init_from_spec(spec, rng: np.random.RandomState):
+    """Materialise numpy parameters for a spec pytree (fan-in scaled)."""
+    from repro.trace import pytree
+
+    def init_leaf(leaf: ShapeDtype):
+        if not leaf.dtype.is_float:
+            return np.zeros(leaf.shape, dtype=leaf.dtype.np_dtype)
+        if len(leaf.shape) == 0:
+            return np.asarray(0.0, dtype=leaf.dtype.np_dtype)
+        if len(leaf.shape) == 1:
+            return np.ones(leaf.shape, dtype=leaf.dtype.np_dtype)
+        fan_in = math.prod(leaf.shape[:-1])
+        scale = 1.0 / math.sqrt(max(fan_in, 1))
+        return (rng.randn(*leaf.shape) * scale).astype(leaf.dtype.np_dtype)
+
+    return pytree.tree_map(init_leaf, spec)
+
+
+# -- layers -------------------------------------------------------------------
+
+def linear(params, x: TracedArray) -> TracedArray:
+    return x @ params["w"] + params["b"]
+
+
+def rms_norm(scale: TracedArray, x: TracedArray,
+             eps: float = 1e-6) -> TracedArray:
+    variance = ops.mean(x * x, axis=-1, keepdims=True)
+    return x * ops.rsqrt(variance + eps) * scale
+
+
+def layer_norm(scale: TracedArray, bias: TracedArray, x: TracedArray,
+               eps: float = 1e-6) -> TracedArray:
+    mu = ops.mean(x, axis=-1, keepdims=True)
+    centered = x - mu
+    variance = ops.mean(centered * centered, axis=-1, keepdims=True)
+    return centered * ops.rsqrt(variance + eps) * scale + bias
+
+
+def mlp(params_list: Sequence[dict], x: TracedArray,
+        activation=ops.relu) -> TracedArray:
+    """Apply a stack of linear layers with activations between them."""
+    for i, layer_params in enumerate(params_list):
+        x = linear(layer_params, x)
+        if i + 1 < len(params_list):
+            x = activation(x)
+    return x
+
+
+def softmax_cross_entropy(logits: TracedArray,
+                          labels: TracedArray) -> TracedArray:
+    """Mean token-level cross entropy; ``labels`` are integer ids."""
+    vocab = logits.shape[-1]
+    log_z = ops.logsumexp(logits, axis=-1)
+    hot = ops.one_hot(labels, vocab, dtype=logits.dtype)
+    picked = ops.reduce_sum(hot * logits, axis=-1)
+    return ops.mean(log_z - picked)
+
+
+def causal_mask_bias(scores: TracedArray, query_dim: int,
+                     key_dim: int) -> TracedArray:
+    """Add -1e9 above the diagonal of (query_dim, key_dim) in ``scores``."""
+    shape = scores.shape
+    q_pos = ops.iota(shape, dim=query_dim)
+    k_pos = ops.iota(shape, dim=key_dim)
+    allowed = k_pos <= q_pos
+    return ops.select(allowed, scores, ops.full(shape, -1e9, scores.dtype))

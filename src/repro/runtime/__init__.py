@@ -1,0 +1,5 @@
+"""Simulated device mesh runtime."""
+
+from repro.runtime.executor import MeshExecutor, shard_array, unshard_arrays
+
+__all__ = ["MeshExecutor", "shard_array", "unshard_arrays"]

@@ -1,0 +1,18 @@
+"""Analytical performance simulator: device specs, cost model, memory."""
+
+from repro.sim.costmodel import CostEstimate, estimate, mfu, model_flops
+from repro.sim.devices import A100_40GB, TPU_V3, DeviceSpec, get, register
+from repro.sim.memory import peak_live_bytes
+
+__all__ = [
+    "CostEstimate",
+    "estimate",
+    "mfu",
+    "model_flops",
+    "A100_40GB",
+    "TPU_V3",
+    "DeviceSpec",
+    "get",
+    "register",
+    "peak_live_bytes",
+]

@@ -1,0 +1,64 @@
+"""Device specifications for the analytical simulator (Section 7.1 hardware).
+
+PartIR "keeps a registry of popular compilation devices ... requiring only
+high-level device specs" (Appendix A.3); this is that registry.  Numbers are
+the public figures the paper quotes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    """High-level accelerator specs used by the cost model.
+
+    Attributes:
+        name: registry key.
+        peak_flops: peak FLOP/s per device (float32 figures).
+        hbm_bytes: device memory capacity.
+        link_bandwidth: per-device interconnect bandwidth, bytes/s.
+        collective_latency: fixed per-collective launch latency (seconds).
+    """
+
+    name: str
+    peak_flops: float
+    hbm_bytes: float
+    link_bandwidth: float
+    collective_latency: float = 1e-6
+
+
+# TPUv3: 61.5 TFLOPS fp32 per core, 16 GiB HBM2 per core, 70 GB/s links (x4).
+TPU_V3 = DeviceSpec(
+    name="tpu_v3",
+    peak_flops=61.5e12,
+    hbm_bytes=16 * 2**30,
+    link_bandwidth=70e9,
+)
+
+# A100-40GB: 156 TFLOPS fp32 (TF32 path), 40 GB HBM2, 600 GB/s NVLink.
+A100_40GB = DeviceSpec(
+    name="a100_40gb",
+    peak_flops=156e12,
+    hbm_bytes=40 * 10**9,
+    link_bandwidth=600e9,
+)
+
+_REGISTRY: Dict[str, DeviceSpec] = {
+    TPU_V3.name: TPU_V3,
+    A100_40GB.name: A100_40GB,
+}
+
+
+def get(name: str) -> DeviceSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown device {name!r}; known: {sorted(_REGISTRY)}")
+
+
+def register(spec: DeviceSpec) -> DeviceSpec:
+    _REGISTRY[spec.name] = spec
+    return spec

@@ -1,0 +1,88 @@
+"""Live-range peak-memory analysis of device-local programs (Appendix A.3.2).
+
+"We implement a live range analysis of a tensor usage in a given SPMD context
+at the PartIR:HLO level, where we follow a tensor as long as it is being
+used" — this module is that analysis.  A simple fusion heuristic treats
+zero-cost shape ops (reshape/transpose/broadcast-of-scalar) as aliasing their
+operand rather than allocating, mimicking what a backend compiler would fuse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+from repro.ir.values import Value
+
+# Ops assumed fused/aliased by the backend: they do not allocate.
+_ALIASING = {"reshape", "transpose", "tag", "stop_gradient", "convert"}
+
+
+def value_bytes(value: Value) -> int:
+    return value.type.nbytes
+
+
+def peak_live_bytes(function: Function) -> int:
+    """Peak sum of live tensor bytes across the function's execution."""
+    last_use: Dict[Value, int] = {}
+    for index, op in enumerate(function.ops):
+        for operand in op.operands:
+            last_use[operand] = index
+    for result in function.results:
+        last_use[result] = len(function.ops)
+
+    live = 0
+    peak = 0
+    # Parameters are live from the start.
+    for param in function.params:
+        live += value_bytes(param)
+    peak = live
+
+    alias_of: Dict[Value, Value] = {}
+
+    def root(value: Value) -> Value:
+        while value in alias_of:
+            value = alias_of[value]
+        return value
+
+    freed: Set[Value] = set()
+    for index, op in enumerate(function.ops):
+        if op.opcode in _ALIASING:
+            alias_of[op.results[0]] = op.operands[0]
+            # Aliases extend the root's lifetime.
+            root_value = root(op.operands[0])
+            last_use[root_value] = max(
+                last_use.get(root_value, index),
+                last_use.get(op.results[0], index),
+            )
+        else:
+            for result in op.results:
+                live += value_bytes(result)
+            if op.opcode == "scan":
+                # The body's transient peak rides on top of the carries.
+                live += _scan_body_extra(op.regions[0])
+                peak = max(peak, live)
+                live -= _scan_body_extra(op.regions[0])
+        peak = max(peak, live)
+        # Free values whose last use has passed.
+        for operand in set(op.operands) | set(op.results):
+            root_value = root(operand)
+            if root_value in freed:
+                continue
+            if last_use.get(root_value, -1) <= index and not _is_output(
+                root_value, function
+            ):
+                freed.add(root_value)
+                live -= value_bytes(root_value)
+    return peak
+
+
+def _is_output(value: Value, function: Function) -> bool:
+    return value in function.results
+
+
+def _scan_body_extra(body: Function) -> int:
+    """Transient memory of one scan-body iteration beyond its carries."""
+    inner_peak = peak_live_bytes(body)
+    carries = sum(value_bytes(p) for p in body.params)
+    return max(0, inner_peak - carries)

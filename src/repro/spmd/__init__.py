@@ -1,0 +1,18 @@
+"""PartIR:HLO / SPMD: mesh-axis collectives, device-local lowering, fusion."""
+
+from repro.spmd import collectives  # registers collective ops
+from repro.spmd.collectives import COLLECTIVE_OPS, is_collective
+from repro.spmd.count import CollectiveCounts, count_collectives
+from repro.spmd.fusion import fuse_collectives
+from repro.spmd.lower import LoweredModule, lower
+
+__all__ = [
+    "collectives",
+    "COLLECTIVE_OPS",
+    "is_collective",
+    "CollectiveCounts",
+    "count_collectives",
+    "fuse_collectives",
+    "LoweredModule",
+    "lower",
+]

@@ -1,0 +1,109 @@
+"""PartIR:HLO collective ops (Section 6).
+
+Unlike XLA:HLO collectives, these reference *mesh axes*, so the IR encoding
+is independent of the number of devices.  They appear only in device-local
+modules; the simulated-mesh executor implements them across devices and the
+cost model prices them from axis sizes and link bandwidths.
+
+Attribute conventions (``sizes`` maps axis name -> axis size, snapshotting
+the mesh so type inference stays self-contained):
+
+* ``all_reduce``:      ``axes``: tuple of axis names; ``kind``: "add"|"max".
+* ``all_gather``:      ``dims``: per-dim tuple of axis-name tuples.
+* ``all_slice``:       ``dims``: as all_gather (dual; device-local slicing).
+* ``reduce_scatter``:  ``dims``; reduces over all axes in ``dims`` then keeps
+  each device's chunk; ``kind`` as all_reduce.
+* ``all_to_all``:      ``gather_dim``, ``slice_dim``, ``axes``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TypeInferenceError
+from repro.ir.opdefs import OpDef, register
+from repro.ir.types import TensorType
+
+COLLECTIVE_OPS = (
+    "all_reduce",
+    "all_gather",
+    "all_slice",
+    "reduce_scatter",
+    "all_to_all",
+)
+
+
+def _group_size(axes, sizes) -> int:
+    return math.prod(sizes[a] for a in axes)
+
+
+def _infer_all_reduce(types, attrs, regions):
+    return [types[0]]
+
+
+register(OpDef("all_reduce", _infer_all_reduce,
+               flops=lambda types, attrs: 0.0))
+
+
+def _scale_dims(t: TensorType, dims, sizes, multiply: bool) -> TensorType:
+    if len(dims) != t.rank:
+        raise TypeInferenceError("collective dims arity != operand rank")
+    out = []
+    for size, axes in zip(t.shape, dims):
+        factor = _group_size(axes, sizes)
+        if multiply:
+            out.append(size * factor)
+        else:
+            if size % factor:
+                raise TypeInferenceError(
+                    f"dim {size} not divisible by axes {axes}"
+                )
+            out.append(size // factor)
+    return t.with_shape(tuple(out))
+
+
+def _infer_all_gather(types, attrs, regions):
+    return [_scale_dims(types[0], attrs["dims"], attrs["sizes"], multiply=True)]
+
+
+register(OpDef("all_gather", _infer_all_gather,
+               flops=lambda types, attrs: 0.0))
+
+
+def _infer_all_slice(types, attrs, regions):
+    return [_scale_dims(types[0], attrs["dims"], attrs["sizes"], multiply=False)]
+
+
+register(OpDef("all_slice", _infer_all_slice,
+               flops=lambda types, attrs: 0.0))
+
+
+def _infer_reduce_scatter(types, attrs, regions):
+    return [_scale_dims(types[0], attrs["dims"], attrs["sizes"], multiply=False)]
+
+
+register(OpDef("reduce_scatter", _infer_reduce_scatter,
+               flops=lambda types, attrs: 0.0))
+
+
+def _infer_all_to_all(types, attrs, regions):
+    (t,) = types
+    axes = attrs["axes"]
+    sizes = attrs["sizes"]
+    factor = _group_size(axes, sizes)
+    shape = list(t.shape)
+    gather_dim = attrs["gather_dim"]
+    slice_dim = attrs["slice_dim"]
+    shape[gather_dim] *= factor
+    if shape[slice_dim] % factor:
+        raise TypeInferenceError("all_to_all slice dim not divisible")
+    shape[slice_dim] //= factor
+    return [t.with_shape(tuple(shape))]
+
+
+register(OpDef("all_to_all", _infer_all_to_all,
+               flops=lambda types, attrs: 0.0))
+
+
+def is_collective(opcode: str) -> bool:
+    return opcode in COLLECTIVE_OPS

@@ -1,0 +1,416 @@
+"""Lowering a sharded module to device-local SPMD code (Sections 6, C).
+
+Given the sharding environment produced by tactics + propagation, this pass
+emits a *device-local* function in which:
+
+* every value has its device-local shape,
+* communication is explicit via mesh-axis collectives,
+* shape-carrying attrs (broadcast/reshape/iota/slice) are localized.
+
+The reconciliation discipline mirrors the paper's lowering:
+
+* a pending ``#sum`` operand is ``all_reduce``-d at its first use that cannot
+  defer the reduction (fusion later turns AR+slice into ``reduce_scatter``),
+* an operand sharded on axes the op's factor assignment does not explain is
+  ``all_gather``-ed at the use site (this is where FSDP's per-use parameter
+  gathers come from — one AG in forward, one in backward),
+* an operand missing required tiling is ``all_slice``-d (local, free),
+* an op whose *result* sharding its rule cannot explain (e.g. a sharded
+  constant) is computed replicated and ``all_slice``-d after.
+
+Gathers are deliberately *not* CSE-d across uses: the paper counts (and XLA
+materializes) one gather per use site.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import LoweringError
+from repro.ir.function import Function, FunctionBuilder
+from repro.ir.values import Operation, Value
+from repro.mesh import Mesh
+from repro.core import rules as rules_mod
+from repro.core.propagate import may_defer
+from repro.core.sharding import Sharding, ShardingEnv
+
+# Ops whose attrs carry a result shape that must be localized.
+_RESULT_SHAPE_ATTR = {"broadcast_in_dim": "shape", "reshape": "new_shape",
+                      "iota": "shape"}
+
+
+@dataclasses.dataclass
+class LoweredModule:
+    """A device-local function plus the boundary sharding contracts."""
+
+    function: Function
+    mesh: Mesh
+    input_shardings: List[Sharding]
+    output_shardings: List[Sharding]
+
+
+def lower(function: Function, env: ShardingEnv) -> LoweredModule:
+    """Lower ``function`` under ``env`` to a device-local function."""
+    lowerer = _Lowerer(env)
+    input_shardings = [env.sharding(p) for p in function.params]
+    local = lowerer.lower_function(function, function.name + "_spmd")
+    output_shardings = [
+        env.sharding(r).without_sum(env.sharding(r).sum_axes)
+        for r in function.results
+    ]
+    return LoweredModule(local, env.mesh, input_shardings, output_shardings)
+
+
+class _Lowerer:
+    def __init__(self, env: ShardingEnv):
+        self.env = env
+        self.mesh = env.mesh
+        # Reconciliations that materialise a pending reduction are cached so
+        # each gradient is reduced exactly once (XLA CSEs the all_reduce;
+        # the fused form is the paper's one reduce_scatter per gradient).
+        # Pure gathers are deliberately NOT cached: parameters are gathered
+        # per use site (FSDP's forward + backward all_gathers).
+        self._reduce_cache: Dict[Tuple, Tuple[Value, Sharding]] = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    def _sizes(self, axes) -> Dict[str, int]:
+        return {a: self.mesh.size(a) for a in axes}
+
+    def _local_shape(self, value: Value, sharding: Sharding) -> Tuple[int, ...]:
+        return sharding.local_shape(value.type.shape, self.mesh)
+
+    # -- function lowering -----------------------------------------------------
+
+    def lower_function(
+        self,
+        function: Function,
+        name: str,
+        fixed_param_shardings: Optional[List[Sharding]] = None,
+        result_targets: Optional[List[Sharding]] = None,
+    ) -> Function:
+        builder = FunctionBuilder(name)
+        value_map: Dict[Value, Value] = {}
+        for i, param in enumerate(function.params):
+            sharding = (
+                fixed_param_shardings[i]
+                if fixed_param_shardings is not None
+                else self.env.sharding(param)
+            )
+            local = builder.function.add_param(
+                param.type.with_shape(self._local_shape(param, sharding)),
+                name=param.name,
+            )
+            value_map[param] = local
+        builder.function.input_names = list(function.input_names)
+
+        for op in function.ops:
+            self._emit_op(op, builder, value_map)
+
+        # Reconcile results to their targets (default: env sharding with all
+        # pending sums materialized — outputs are never partial).
+        results = []
+        for i, result in enumerate(function.results):
+            actual = self.env.sharding(result)
+            target = (
+                result_targets[i] if result_targets is not None
+                else actual.without_sum(actual.sum_axes)
+            )
+            required = {
+                d: list(axes) for d, axes in enumerate(target.dim_axes)
+            }
+            value, _ = self._reconcile(
+                builder, value_map[result], actual, required, set()
+            )
+            results.append(value)
+        builder.ret(*results, names=function.output_names)
+        return builder.function
+
+    # -- reconciliation ---------------------------------------------------------
+
+    def _reconcile(
+        self,
+        builder: FunctionBuilder,
+        value: Value,
+        actual: Sharding,
+        required: Dict[int, List[str]],
+        allowed_pending: Set[str],
+    ) -> Tuple[Value, Sharding]:
+        """Convert ``value`` (laid out per ``actual``) to the ``required``
+        per-dim layout, emitting collectives as needed."""
+        rank = actual.rank
+        # 1. Materialize pending sums the consumer cannot absorb.
+        ar_axes = tuple(
+            a for a in sorted(actual.sum_axes) if a not in allowed_pending
+        )
+        cache_key = None
+        if ar_axes:
+            cache_key = (
+                id(builder), value.uid, ar_axes,
+                tuple(tuple(required.get(d, [])) for d in range(rank)),
+            )
+            cached = self._reduce_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        if ar_axes:
+            value = builder.emit1(
+                "all_reduce",
+                [value],
+                {"axes": ar_axes, "kind": "add", "sizes": self._sizes(ar_axes)},
+            )
+            actual = actual.without_sum(frozenset(ar_axes))
+        # 2/3. Per-dim layout change: keep the longest common prefix, gather
+        # the rest of the actual layout, then slice in the required suffix.
+        gather_dims = []
+        slice_dims = []
+        new_dims = []
+        for d in range(rank):
+            a_axes = list(actual.dim_axes[d])
+            r_axes = list(required.get(d, []))
+            prefix = 0
+            while (prefix < len(a_axes) and prefix < len(r_axes)
+                   and a_axes[prefix] == r_axes[prefix]):
+                prefix += 1
+            gather_dims.append(tuple(a_axes[prefix:]))
+            slice_dims.append(tuple(r_axes[prefix:]))
+            new_dims.append(tuple(r_axes))
+        if any(gather_dims):
+            mid_dims = tuple(
+                tuple(actual.dim_axes[d][: len(actual.dim_axes[d])
+                                         - len(gather_dims[d])])
+                for d in range(rank)
+            )
+            value = builder.emit1(
+                "all_gather",
+                [value],
+                {
+                    "dims": tuple(gather_dims),
+                    "sizes": self._sizes([a for g in gather_dims for a in g]),
+                    "operand_dims": actual.dim_axes,
+                    "result_dims": mid_dims,
+                },
+            )
+            actual = dataclasses.replace(actual, dim_axes=mid_dims)
+        if any(slice_dims):
+            result_dims = tuple(new_dims)
+            value = builder.emit1(
+                "all_slice",
+                [value],
+                {
+                    "dims": tuple(slice_dims),
+                    "sizes": self._sizes([a for s in slice_dims for a in s]),
+                    "operand_dims": actual.dim_axes,
+                    "result_dims": result_dims,
+                },
+            )
+            actual = dataclasses.replace(actual, dim_axes=result_dims)
+        if cache_key is not None:
+            self._reduce_cache[cache_key] = (value, actual)
+        return value, actual
+
+    # -- per-op assignment -------------------------------------------------------
+
+    def _emit_op(self, op: Operation, builder: FunctionBuilder,
+                 value_map: Dict[Value, Value]) -> None:
+        if op.opcode == "scan":
+            self._emit_scan(op, builder, value_map)
+            return
+
+        rule = None
+        if op.opcode != "constant":
+            rule = rules_mod.rule_for(op)
+
+        n_in = len(op.operands)
+        required: List[Dict[int, List[str]]] = [dict() for _ in range(n_in)]
+        allowed_pending: List[Set[str]] = [set() for _ in range(n_in)]
+        unexplained: List[Dict[int, List[str]]] = [
+            dict() for _ in range(len(op.results))
+        ]
+
+        def require(i: int, dim: int, axis: str, template_value: Value,
+                    template_dim: int, template_sharding: Sharding):
+            """Append axis to required[i][dim], ordering by the template
+            (the operand's own env layout first, then appended)."""
+            axes = required[i].setdefault(dim, [])
+            if axis in axes:
+                return
+            template = list(template_sharding.dim_axes[template_dim])
+            env_layout = list(self.env.sharding(op.operands[i]).dim_axes[dim])
+            # Build the union order: operand env layout first (max prefix
+            # overlap with the actual layout), then template order.
+            desired = [a for a in env_layout if a == axis or a in axes]
+            for a in template:
+                if (a == axis or a in axes) and a not in desired:
+                    desired.append(a)
+            required[i][dim] = desired
+
+        # Explain result tilings through factors.
+        for r, result in enumerate(op.results):
+            result_sharding = self.env.sharding(result)
+            for d, axes in enumerate(result_sharding.dim_axes):
+                for axis in axes:
+                    fid = rule.factor_of("out", r, d) if rule else None
+                    if fid is None:
+                        unexplained[r].setdefault(d, []).append(axis)
+                        continue
+                    for side, i, dd in rule.factors[fid].entries:
+                        if side == "in":
+                            require(i, dd, axis, result, d, result_sharding)
+            # Explain result pendings: deferred from operands, or introduced
+            # by a contracting factor whose operands are tiled.
+            for axis in result_sharding.sum_axes:
+                pending_idx = [
+                    i for i, operand in enumerate(op.operands)
+                    if axis in self.env.sharding(operand).sum_axes
+                ]
+                if pending_idx and may_defer(self.env, op, axis, pending_idx):
+                    for i in pending_idx:
+                        allowed_pending[i].add(axis)
+                    continue
+                applied = False
+                if rule is not None:
+                    for factor in rule.factors:
+                        if not factor.reduce:
+                            continue
+                        entries = factor.in_entries()
+                        if all(
+                            self.env.sharding(op.operands[i]).tile_dim_of(axis)
+                            == dd
+                            for _, i, dd in entries
+                        ):
+                            for _, i, dd in entries:
+                                operand_sharding = self.env.sharding(
+                                    op.operands[i]
+                                )
+                                require(i, dd, axis, op.operands[i], dd,
+                                        operand_sharding)
+                            applied = True
+                            break
+                if not applied and pending_idx:
+                    # Fall back to passing partials through (still linear in
+                    # the pending operand by propagation's construction).
+                    for i in pending_idx:
+                        allowed_pending[i].add(axis)
+
+        # Reconcile operands.
+        new_operands = []
+        for i, operand in enumerate(op.operands):
+            value, _ = self._reconcile(
+                builder,
+                value_map[operand],
+                self.env.sharding(operand),
+                required[i],
+                allowed_pending[i],
+            )
+            new_operands.append(value)
+
+        # Localize shape-carrying attrs against the explained result sharding.
+        attrs = dict(op.attrs)
+        result_shardings_local = []
+        for r, result in enumerate(op.results):
+            sharding = self.env.sharding(result)
+            dims = tuple(
+                tuple(a for a in axes
+                      if a not in unexplained[r].get(d, []))
+                for d, axes in enumerate(sharding.dim_axes)
+            )
+            result_shardings_local.append(
+                dataclasses.replace(sharding, dim_axes=dims)
+            )
+        if op.opcode in _RESULT_SHAPE_ATTR:
+            key = _RESULT_SHAPE_ATTR[op.opcode]
+            attrs[key] = self._local_shape(
+                op.results[0], result_shardings_local[0]
+            )
+        elif op.opcode == "slice":
+            local_in = new_operands[0].type.shape
+            starts = list(attrs["starts"])
+            limits = list(attrs["limits"])
+            for d, axes in enumerate(result_shardings_local[0].dim_axes):
+                if axes:
+                    starts[d] = 0
+                    limits[d] = local_in[d]
+            attrs["starts"] = tuple(starts)
+            attrs["limits"] = tuple(limits)
+
+        new_op = builder.emit(op.opcode, new_operands, attrs)
+
+        for r, (result, local_sharding) in enumerate(
+            zip(op.results, result_shardings_local)
+        ):
+            new_value = new_op.results[r]
+            expected = self._local_shape(result, local_sharding)
+            if new_value.type.shape != expected:
+                raise LoweringError(
+                    f"lowering {op.opcode}: local result shape "
+                    f"{new_value.type.shape} != expected {expected} "
+                    f"(sharding {local_sharding.spec()})"
+                )
+            if unexplained[r]:
+                full_sharding = self.env.sharding(result)
+                slice_dims = tuple(
+                    tuple(unexplained[r].get(d, ()))
+                    for d in range(full_sharding.rank)
+                )
+                new_value = builder.emit1(
+                    "all_slice",
+                    [new_value],
+                    {
+                        "dims": slice_dims,
+                        "sizes": self._sizes(
+                            [a for s in slice_dims for a in s]
+                        ),
+                        "operand_dims": local_sharding.dim_axes,
+                        "result_dims": full_sharding.dim_axes,
+                    },
+                )
+            new_value.name = result.name
+            value_map[result] = new_value
+
+    # -- scan ---------------------------------------------------------------------
+
+    def _emit_scan(self, op: Operation, builder: FunctionBuilder,
+                   value_map: Dict[Value, Value]) -> None:
+        body = op.regions[0]
+        num_carries = op.attrs.get("num_carries", len(op.operands))
+        operand_shardings = [
+            self.env.sharding(body.params[i + 1])
+            for i in range(len(op.operands))
+        ]
+        carry_shardings = operand_shardings[:num_carries]
+        new_operands = []
+        for i, operand in enumerate(op.operands):
+            required = {
+                d: list(axes)
+                for d, axes in enumerate(operand_shardings[i].dim_axes)
+            }
+            value, _ = self._reconcile(
+                builder, value_map[operand], self.env.sharding(operand),
+                required, set(),
+            )
+            new_operands.append(value)
+        param_shardings = [Sharding.replicated(0)] + operand_shardings
+        local_body = self.lower_function(
+            body, "body",
+            fixed_param_shardings=param_shardings,
+            result_targets=carry_shardings,
+        )
+        new_op = builder.emit("scan", new_operands, dict(op.attrs),
+                              regions=[local_body])
+        for i, result in enumerate(op.results):
+            value = new_op.results[i]
+            env_sharding = self.env.sharding(result)
+            if env_sharding.dim_axes != carry_shardings[i].dim_axes:
+                required = {
+                    d: list(axes)
+                    for d, axes in enumerate(env_sharding.dim_axes)
+                }
+                value, _ = self._reconcile(
+                    builder, value,
+                    dataclasses.replace(
+                        carry_shardings[i], sum_axes=frozenset()
+                    ),
+                    required, set(),
+                )
+            value_map[result] = value

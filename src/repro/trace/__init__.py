@@ -1,0 +1,27 @@
+"""Tracing frontend: Python functions -> array IR, with reverse-mode AD."""
+
+from repro.trace import ops, pytree
+from repro.trace.autodiff import backward, value_and_grad
+from repro.trace.tracer import (
+    ShapeDtype,
+    TracedArray,
+    TracedFunction,
+    Tracer,
+    broadcast_to,
+    current_tracer,
+    trace,
+)
+
+__all__ = [
+    "ops",
+    "pytree",
+    "backward",
+    "value_and_grad",
+    "ShapeDtype",
+    "TracedArray",
+    "TracedFunction",
+    "Tracer",
+    "broadcast_to",
+    "current_tracer",
+    "trace",
+]

@@ -1,0 +1,506 @@
+"""Tape-based reverse-mode automatic differentiation over the tracer.
+
+The trace's op list *is* the tape: ``backward`` walks it in reverse from a
+scalar loss, invoking per-op VJP rules that emit gradient ops into the same
+trace.  ``value_and_grad`` wraps a loss function for use inside ``trace()``,
+the way the paper's training steps are built (forward + backward + Adam all
+traced into one module before partitioning).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.ir import dtypes
+from repro.ir.ops_linalg import dot_general_dims
+from repro.ir.values import Operation, Value
+from repro.trace import ops, pytree
+from repro.trace.tracer import TracedArray, broadcast_to, current_tracer
+
+VjpRule = Callable[[Operation, List[Optional[TracedArray]]],
+                   List[Optional[TracedArray]]]
+
+VJP_RULES: Dict[str, VjpRule] = {}
+
+
+def vjp_rule(opcode: str):
+    def register(fn: VjpRule) -> VjpRule:
+        VJP_RULES[opcode] = fn
+        return fn
+
+    return register
+
+
+def _w(value: Value) -> TracedArray:
+    return current_tracer().wrap(value)
+
+
+def _g(out_cts) -> TracedArray:
+    (ct,) = out_cts
+    assert ct is not None
+    return ct
+
+
+# ---------------------------------------------------------------------------
+# elementwise rules
+# ---------------------------------------------------------------------------
+
+@vjp_rule("add")
+def _vjp_add(op, out_cts):
+    g = _g(out_cts)
+    return [g, g]
+
+
+@vjp_rule("sub")
+def _vjp_sub(op, out_cts):
+    g = _g(out_cts)
+    return [g, -g]
+
+
+@vjp_rule("mul")
+def _vjp_mul(op, out_cts):
+    g = _g(out_cts)
+    a, b = (_w(v) for v in op.operands)
+    return [g * b, g * a]
+
+
+@vjp_rule("div")
+def _vjp_div(op, out_cts):
+    g = _g(out_cts)
+    a, b = (_w(v) for v in op.operands)
+    return [g / b, -(g * a) / (b * b)]
+
+
+@vjp_rule("neg")
+def _vjp_neg(op, out_cts):
+    return [-_g(out_cts)]
+
+
+@vjp_rule("exp")
+def _vjp_exp(op, out_cts):
+    return [_g(out_cts) * _w(op.result)]
+
+
+@vjp_rule("log")
+def _vjp_log(op, out_cts):
+    return [_g(out_cts) / _w(op.operands[0])]
+
+
+@vjp_rule("tanh")
+def _vjp_tanh(op, out_cts):
+    y = _w(op.result)
+    return [_g(out_cts) * (1.0 - y * y)]
+
+
+@vjp_rule("sqrt")
+def _vjp_sqrt(op, out_cts):
+    return [_g(out_cts) * 0.5 / _w(op.result)]
+
+
+@vjp_rule("rsqrt")
+def _vjp_rsqrt(op, out_cts):
+    y = _w(op.result)
+    return [_g(out_cts) * -0.5 * y * y * y]
+
+
+@vjp_rule("logistic")
+def _vjp_logistic(op, out_cts):
+    y = _w(op.result)
+    return [_g(out_cts) * y * (1.0 - y)]
+
+
+@vjp_rule("sin")
+def _vjp_sin(op, out_cts):
+    return [_g(out_cts) * ops.cos(_w(op.operands[0]))]
+
+
+@vjp_rule("cos")
+def _vjp_cos(op, out_cts):
+    return [-(_g(out_cts) * ops.sin(_w(op.operands[0])))]
+
+
+@vjp_rule("abs")
+def _vjp_abs(op, out_cts):
+    x = _w(op.operands[0])
+    return [_g(out_cts) * x.tracer.emit("sign", [x])]
+
+
+@vjp_rule("pow")
+def _vjp_pow(op, out_cts):
+    g = _g(out_cts)
+    a, b = (_w(v) for v in op.operands)
+    y = _w(op.result)
+    return [g * b * (a ** (b - 1.0)), g * ops.log(a) * y]
+
+
+@vjp_rule("maximum")
+def _vjp_maximum(op, out_cts):
+    g = _g(out_cts)
+    a, b = (_w(v) for v in op.operands)
+    mask = a >= b
+    return [ops.select(mask, g, 0.0), ops.select(mask, 0.0, g)]
+
+
+@vjp_rule("minimum")
+def _vjp_minimum(op, out_cts):
+    g = _g(out_cts)
+    a, b = (_w(v) for v in op.operands)
+    mask = a <= b
+    return [ops.select(mask, g, 0.0), ops.select(mask, 0.0, g)]
+
+
+@vjp_rule("select")
+def _vjp_select(op, out_cts):
+    g = _g(out_cts)
+    pred = _w(op.operands[0])
+    return [None, ops.select(pred, g, 0.0), ops.select(pred, 0.0, g)]
+
+
+@vjp_rule("convert")
+def _vjp_convert(op, out_cts):
+    operand = op.operands[0]
+    if not operand.type.dtype.is_float:
+        return [None]
+    return [ops.convert(_g(out_cts), operand.type.dtype)]
+
+
+@vjp_rule("stop_gradient")
+def _vjp_stop_gradient(op, out_cts):
+    return [None]
+
+
+# ---------------------------------------------------------------------------
+# structural rules
+# ---------------------------------------------------------------------------
+
+@vjp_rule("broadcast_in_dim")
+def _vjp_broadcast(op, out_cts):
+    g = _g(out_cts)
+    operand = op.operands[0]
+    bdims = tuple(op.attrs["broadcast_dimensions"])
+    out_rank = len(op.result.type.shape)
+    reduce_dims = tuple(d for d in range(out_rank) if d not in bdims)
+    if reduce_dims:
+        g = ops.reduce_sum(g, axis=reduce_dims)
+    # g now has dims in bdims order (ascending by construction); dims where
+    # the operand had size 1 but the output didn't still need summing.
+    expand_dims = tuple(
+        i for i, (in_size, out_dim) in enumerate(zip(operand.type.shape, bdims))
+        if in_size == 1 and op.result.type.shape[out_dim] != 1
+    )
+    if expand_dims:
+        g = ops.reduce_sum(g, axis=expand_dims, keepdims=True)
+    return [g.reshape(operand.type.shape)]
+
+
+@vjp_rule("transpose")
+def _vjp_transpose(op, out_cts):
+    perm = tuple(op.attrs["permutation"])
+    inverse = tuple(int(i) for i in np.argsort(perm))
+    return [_g(out_cts).transpose(inverse)]
+
+
+@vjp_rule("reshape")
+def _vjp_reshape(op, out_cts):
+    return [_g(out_cts).reshape(op.operands[0].type.shape)]
+
+
+@vjp_rule("reduce_sum")
+def _vjp_reduce_sum(op, out_cts):
+    g = _g(out_cts)
+    operand = op.operands[0]
+    dims = tuple(sorted(op.attrs["dims"]))
+    kept = tuple(d for d in range(len(operand.type.shape)) if d not in dims)
+    return [
+        g.tracer.emit(
+            "broadcast_in_dim",
+            [g],
+            {"shape": operand.type.shape, "broadcast_dimensions": kept},
+        )
+    ]
+
+
+@vjp_rule("reduce_max")
+def _vjp_reduce_max(op, out_cts):
+    g = _g(out_cts)
+    x = _w(op.operands[0])
+    dims = tuple(sorted(op.attrs["dims"]))
+    kept = tuple(d for d in range(x.ndim) if d not in dims)
+    attrs = {"shape": x.shape, "broadcast_dimensions": kept}
+    y_b = g.tracer.emit("broadcast_in_dim", [_w(op.result)], attrs)
+    g_b = g.tracer.emit("broadcast_in_dim", [g], attrs)
+    return [ops.select(ops.equal(x, y_b), g_b, 0.0)]
+
+
+@vjp_rule("concatenate")
+def _vjp_concatenate(op, out_cts):
+    g = _g(out_cts)
+    dim = op.attrs["dim"]
+    grads = []
+    offset = 0
+    for operand in op.operands:
+        size = operand.type.shape[dim]
+        starts = [0] * g.ndim
+        limits = list(g.shape)
+        starts[dim] = offset
+        limits[dim] = offset + size
+        grads.append(
+            g.tracer.emit(
+                "slice",
+                [g],
+                {"starts": tuple(starts), "limits": tuple(limits),
+                 "strides": (1,) * g.ndim},
+            )
+        )
+        offset += size
+    return grads
+
+
+@vjp_rule("slice")
+def _vjp_slice(op, out_cts):
+    g = _g(out_cts)
+    operand = op.operands[0]
+    strides = tuple(op.attrs.get("strides") or (1,) * g.ndim)
+    if any(s != 1 for s in strides):
+        raise TraceError("VJP of strided slice is not supported")
+    starts = tuple(op.attrs["starts"])
+    limits = tuple(op.attrs["limits"])
+    high = tuple(
+        full - limit for full, limit in zip(operand.type.shape, limits)
+    )
+    return [ops.pad(g, starts, high)]
+
+
+@vjp_rule("pad")
+def _vjp_pad(op, out_cts):
+    g = _g(out_cts)
+    operand = op.operands[0]
+    low = tuple(op.attrs["low"])
+    starts = low
+    limits = tuple(lo + s for lo, s in zip(low, operand.type.shape))
+    return [
+        g.tracer.emit(
+            "slice",
+            [g],
+            {"starts": starts, "limits": limits, "strides": (1,) * g.ndim},
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# dot_general
+# ---------------------------------------------------------------------------
+
+@vjp_rule("dot_general")
+def _vjp_dot_general(op, out_cts):
+    g = _g(out_cts)
+    lhs, rhs = op.operands
+    lhs_rank = len(lhs.type.shape)
+    rhs_rank = len(rhs.type.shape)
+    lb, rb, lc, rc, lf, rf = dot_general_dims(lhs_rank, rhs_rank, op.attrs)
+    nb = len(lb)
+    g_batch = tuple(range(nb))
+    g_lf = tuple(range(nb, nb + len(lf)))
+    g_rf = tuple(range(nb + len(lf), nb + len(lf) + len(rf)))
+
+    # dlhs = g . rhs over rhs free dims; free rhs dims of this dot are rc.
+    dlhs_raw = ops.dot_general(g, _w(rhs), (g_rf, rf), (g_batch, rb))
+    rc_asc = tuple(sorted(rc))
+    pos = {}
+    for i, d in enumerate(lb):
+        pos[d] = i
+    for j, d in enumerate(lf):
+        pos[d] = nb + j
+    for d_l, d_r in zip(lc, rc):
+        pos[d_l] = nb + len(lf) + rc_asc.index(d_r)
+    dlhs = dlhs_raw.transpose(tuple(pos[d] for d in range(lhs_rank)))
+
+    # drhs = lhs . g over lhs free dims; free lhs dims of this dot are lc.
+    drhs_raw = ops.dot_general(_w(lhs), g, (lf, g_lf), (lb, g_batch))
+    lc_asc = tuple(sorted(lc))
+    pos = {}
+    for i, d in enumerate(rb):
+        pos[d] = i
+    for d_l, d_r in zip(lc, rc):
+        pos[d_r] = nb + lc_asc.index(d_l)
+    for j, d in enumerate(rf):
+        pos[d] = nb + len(lc) + j
+    drhs = drhs_raw.transpose(tuple(pos[d] for d in range(rhs_rank)))
+    return [dlhs, drhs]
+
+
+# ---------------------------------------------------------------------------
+# gather / scatter / dynamic slicing
+# ---------------------------------------------------------------------------
+
+@vjp_rule("take")
+def _vjp_take(op, out_cts):
+    g = _g(out_cts)
+    operand, indices = op.operands
+    n_indices = 1
+    for s in indices.type.shape:
+        n_indices *= s
+    flat_indices = _w(indices).reshape((n_indices,))
+    flat_g = g.reshape((n_indices,) + operand.type.shape[1:])
+    zeros = ops.zeros(operand.type.shape, operand.type.dtype)
+    return [ops.scatter_add(zeros, flat_indices, flat_g), None]
+
+
+@vjp_rule("scatter_add")
+def _vjp_scatter_add(op, out_cts):
+    g = _g(out_cts)
+    _, indices, _ = op.operands
+    return [g, None, ops.take(g, _w(indices))]
+
+
+@vjp_rule("dynamic_slice_in_dim")
+def _vjp_dynamic_slice(op, out_cts):
+    g = _g(out_cts)
+    operand, index = op.operands
+    zeros = ops.zeros(operand.type.shape, operand.type.dtype)
+    return [
+        ops.dynamic_update_slice_in_dim(zeros, g, _w(index), op.attrs["dim"]),
+        None,
+    ]
+
+
+@vjp_rule("dynamic_update_slice_in_dim")
+def _vjp_dynamic_update_slice(op, out_cts):
+    g = _g(out_cts)
+    operand, update, index = op.operands
+    dim = op.attrs["dim"]
+    zeros_update = ops.zeros(update.type.shape, update.type.dtype)
+    d_operand = ops.dynamic_update_slice_in_dim(
+        g, zeros_update, _w(index), dim
+    )
+    d_update = ops.dynamic_slice_in_dim(
+        g, _w(index), update.type.shape[dim], dim
+    )
+    return [d_operand, d_update, None]
+
+
+# ---------------------------------------------------------------------------
+# convolution / resampling
+# ---------------------------------------------------------------------------
+
+@vjp_rule("conv2d")
+def _vjp_conv2d(op, out_cts):
+    g = _g(out_cts)
+    x, k = op.operands
+    stride = op.attrs.get("stride", 1)
+    pad = op.attrs.get("pad", 0)
+    dx = g.tracer.emit(
+        "conv2d_input_grad",
+        [g, _w(k)],
+        {"stride": stride, "pad": pad, "input_hw": x.type.shape[2:4]},
+    )
+    dk = g.tracer.emit(
+        "conv2d_kernel_grad",
+        [_w(x), g],
+        {"stride": stride, "pad": pad, "kernel_hw": k.type.shape[2:4]},
+    )
+    return [dx, dk]
+
+
+@vjp_rule("upsample2d")
+def _vjp_upsample2d(op, out_cts):
+    return [ops.downsample2d_sum(_g(out_cts), op.attrs["factor"])]
+
+
+@vjp_rule("downsample2d_sum")
+def _vjp_downsample2d_sum(op, out_cts):
+    return [ops.upsample2d(_g(out_cts), op.attrs["factor"])]
+
+
+# ---------------------------------------------------------------------------
+# the backward sweep
+# ---------------------------------------------------------------------------
+
+def backward(loss: TracedArray,
+             wrt: List[Value]) -> Dict[Value, Optional[TracedArray]]:
+    """Reverse sweep from scalar ``loss``; returns cotangents for ``wrt``."""
+    if loss.shape != ():
+        raise TraceError(f"backward() needs a scalar loss, got {loss.shape}")
+    tracer = loss.tracer
+    tape = list(tracer.builder.function.ops)
+    cotangents: Dict[Value, TracedArray] = {
+        loss.value: tracer.constant(np.asarray(1.0, dtype=np.float32))
+    }
+
+    def accumulate(value: Value, contribution: Optional[TracedArray]):
+        if contribution is None or not value.type.dtype.is_float:
+            return
+        existing = cotangents.get(value)
+        cotangents[value] = (
+            contribution if existing is None else existing + contribution
+        )
+
+    with tracer.active():
+        for op in reversed(tape):
+            out_cts = [cotangents.get(r) for r in op.results]
+            if all(ct is None for ct in out_cts):
+                continue
+            rule = VJP_RULES.get(op.opcode)
+            if rule is None:
+                raise TraceError(f"no VJP rule for op {op.opcode!r}")
+            in_cts = rule(op, out_cts)
+            for operand, ct in zip(op.operands, in_cts):
+                accumulate(operand, ct)
+    return {v: cotangents.get(v) for v in wrt}
+
+
+def value_and_grad(f, has_aux: bool = False):
+    """Differentiate ``f(params, *rest) -> loss`` (or ``(loss, aux)``) with
+    respect to the first argument's pytree; usable only inside ``trace()``."""
+
+    def wrapped(params, *rest):
+        out = f(params, *rest)
+        if has_aux:
+            loss, aux = out
+        else:
+            loss, aux = out, None
+        leaves, treedef = pytree.flatten(params)
+        values = [leaf.value for leaf in leaves]
+        cts = backward(loss, values)
+        with loss.tracer.active():
+            grad_leaves = [
+                cts[v] if cts[v] is not None
+                else ops.zeros(v.type.shape, v.type.dtype)
+                for v in values
+            ]
+        grads = pytree.unflatten(treedef, grad_leaves)
+        if has_aux:
+            return (loss, aux), grads
+        return loss, grads
+
+    return wrapped
+
+
+# Ops that can receive a cotangent but propagate nothing backwards.
+
+@vjp_rule("constant")
+def _vjp_constant(op, out_cts):
+    return []
+
+
+@vjp_rule("iota")
+def _vjp_iota(op, out_cts):
+    return []
+
+
+@vjp_rule("compare")
+def _vjp_compare(op, out_cts):
+    return [None, None]
+
+
+@vjp_rule("sign")
+def _vjp_sign(op, out_cts):
+    return [None]
+
+
+@vjp_rule("tag")
+def _vjp_tag(op, out_cts):
+    return [_g(out_cts)]

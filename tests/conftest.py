@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.ir import FunctionBuilder
+from repro.mesh import Mesh
+
+
+@pytest.fixture
+def rng():
+    return np.random.RandomState(0)
+
+
+def build_matmul_chain(m=256, k=8, h=16, n=8):
+    """The paper's running example (Listing 1): (x @ w1) @ w2."""
+    b = FunctionBuilder("main")
+    x = b.param((m, k), name="x")
+    w1 = b.param((k, h), name="w1")
+    w2 = b.param((h, n), name="w2")
+    x1 = b.emit1("dot_general", [x, w1],
+                 {"lhs_contract": (1,), "rhs_contract": (0,)})
+    x2 = b.emit1("dot_general", [x1, w2],
+                 {"lhs_contract": (1,), "rhs_contract": (0,)})
+    function = b.ret(x2)
+    return function, (x, w1, w2, x1, x2)
+
+
+@pytest.fixture
+def matmul_chain():
+    return build_matmul_chain()
+
+
+@pytest.fixture
+def paper_mesh():
+    """The {B:4, M:2} mesh from Section 2.4."""
+    return Mesh({"B": 4, "M": 2})
+
+
+def random_args(function, rng, scale=1.0):
+    out = []
+    for p in function.params:
+        if p.type.dtype.is_float:
+            out.append(
+                (rng.randn(*p.type.shape) * scale).astype(
+                    p.type.dtype.np_dtype
+                )
+            )
+        else:
+            out.append(
+                rng.randint(0, 2, size=p.type.shape).astype(
+                    p.type.dtype.np_dtype
+                )
+            )
+    return out

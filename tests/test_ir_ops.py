@@ -1,0 +1,184 @@
+"""Evaluator correctness: every op family vs its numpy reference."""
+
+import numpy as np
+import pytest
+
+from repro.ir import FunctionBuilder, dtypes, evaluate_function
+
+
+def run_op(opcode, arrays, attrs=None, regions=None):
+    b = FunctionBuilder()
+    params = [b.param(a.shape, dtypes.from_numpy(a.dtype)) for a in arrays]
+    out = b.emit("blah" if False else opcode, params, attrs, regions)
+    f = b.ret(*out.results)
+    return evaluate_function(f, arrays)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("opcode,fn", [
+        ("neg", np.negative), ("exp", np.exp), ("tanh", np.tanh),
+        ("abs", np.abs), ("sign", np.sign), ("sin", np.sin),
+        ("cos", np.cos),
+    ])
+    def test_unary(self, opcode, fn, rng):
+        x = rng.randn(3, 4).astype(np.float32)
+        (out,) = run_op(opcode, [x])
+        np.testing.assert_allclose(out, fn(x), rtol=1e-5)
+
+    def test_rsqrt_and_sqrt(self, rng):
+        x = np.abs(rng.randn(5)).astype(np.float32) + 0.5
+        np.testing.assert_allclose(run_op("sqrt", [x])[0], np.sqrt(x),
+                                   rtol=1e-5)
+        np.testing.assert_allclose(run_op("rsqrt", [x])[0],
+                                   1 / np.sqrt(x), rtol=1e-5)
+
+    @pytest.mark.parametrize("opcode,fn", [
+        ("add", np.add), ("sub", np.subtract), ("mul", np.multiply),
+        ("div", np.divide), ("maximum", np.maximum),
+        ("minimum", np.minimum),
+    ])
+    def test_binary(self, opcode, fn, rng):
+        x = rng.randn(3, 4).astype(np.float32)
+        y = rng.randn(3, 4).astype(np.float32) + 2.0
+        (out,) = run_op(opcode, [x, y])
+        np.testing.assert_allclose(out, fn(x, y), rtol=1e-5)
+
+    def test_compare_and_select(self, rng):
+        x = rng.randn(4).astype(np.float32)
+        y = rng.randn(4).astype(np.float32)
+        (mask,) = run_op("compare", [x, y], {"direction": "LT"})
+        np.testing.assert_array_equal(mask, x < y)
+        (out,) = run_op("select", [mask, x, y])
+        np.testing.assert_array_equal(out, np.where(x < y, x, y))
+
+    def test_convert(self, rng):
+        x = rng.randn(4).astype(np.float32)
+        (out,) = run_op("convert", [x], {"dtype": dtypes.i32})
+        assert out.dtype == np.int32
+
+
+class TestStructural:
+    def test_iota(self):
+        (out,) = run_op("iota", [], {"shape": (2, 3), "dim": 1})
+        np.testing.assert_array_equal(out, [[0, 1, 2], [0, 1, 2]])
+
+    def test_transpose_reshape(self, rng):
+        x = rng.randn(2, 3, 4).astype(np.float32)
+        (out,) = run_op("transpose", [x], {"permutation": (2, 0, 1)})
+        np.testing.assert_array_equal(out, x.transpose(2, 0, 1))
+        (out,) = run_op("reshape", [x], {"new_shape": (6, 4)})
+        np.testing.assert_array_equal(out, x.reshape(6, 4))
+
+    def test_broadcast_in_dim(self, rng):
+        x = rng.randn(3).astype(np.float32)
+        (out,) = run_op("broadcast_in_dim", [x],
+                        {"shape": (2, 3), "broadcast_dimensions": (1,)})
+        np.testing.assert_array_equal(out, np.broadcast_to(x, (2, 3)))
+
+    def test_reductions(self, rng):
+        x = rng.randn(3, 4, 5).astype(np.float32)
+        (out,) = run_op("reduce_sum", [x], {"dims": (0, 2)})
+        np.testing.assert_allclose(out, x.sum(axis=(0, 2)), rtol=1e-5)
+        (out,) = run_op("reduce_max", [x], {"dims": (1,)})
+        np.testing.assert_array_equal(out, x.max(axis=1))
+
+    def test_concatenate_slice_pad(self, rng):
+        x = rng.randn(2, 3).astype(np.float32)
+        y = rng.randn(2, 2).astype(np.float32)
+        (out,) = run_op("concatenate", [x, y], {"dim": 1})
+        np.testing.assert_array_equal(out, np.concatenate([x, y], axis=1))
+        (out,) = run_op("slice", [x], {"starts": (0, 1), "limits": (2, 3),
+                                       "strides": (1, 1)})
+        np.testing.assert_array_equal(out, x[:, 1:3])
+        (out,) = run_op("pad", [x], {"low": (1, 0), "high": (0, 2)})
+        np.testing.assert_array_equal(out, np.pad(x, ((1, 0), (0, 2))))
+
+    def test_dynamic_slice_and_update(self, rng):
+        x = rng.randn(4, 6).astype(np.float32)
+        idx = np.asarray(2, dtype=np.int32)
+        (out,) = run_op("dynamic_slice_in_dim", [x, idx],
+                        {"dim": 1, "size": 3})
+        np.testing.assert_array_equal(out, x[:, 2:5])
+        update = np.ones((4, 2), dtype=np.float32)
+        (out,) = run_op("dynamic_update_slice_in_dim", [x, update, idx],
+                        {"dim": 1})
+        expected = x.copy()
+        expected[:, 2:4] = 1.0
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestDotGeneral:
+    def test_plain_matmul(self, rng):
+        x = rng.randn(5, 3).astype(np.float32)
+        y = rng.randn(3, 4).astype(np.float32)
+        (out,) = run_op("dot_general", [x, y],
+                        {"lhs_contract": (1,), "rhs_contract": (0,)})
+        np.testing.assert_allclose(out, x @ y, rtol=1e-4)
+
+    def test_batched(self, rng):
+        x = rng.randn(2, 5, 3).astype(np.float32)
+        y = rng.randn(2, 3, 4).astype(np.float32)
+        (out,) = run_op(
+            "dot_general", [x, y],
+            {"lhs_contract": (2,), "rhs_contract": (1,),
+             "lhs_batch": (0,), "rhs_batch": (0,)},
+        )
+        np.testing.assert_allclose(out, np.einsum("bij,bjk->bik", x, y),
+                                   rtol=1e-4)
+
+    def test_multiple_contractions(self, rng):
+        x = rng.randn(5, 3, 2).astype(np.float32)
+        y = rng.randn(3, 2, 7).astype(np.float32)
+        (out,) = run_op("dot_general", [x, y],
+                        {"lhs_contract": (1, 2), "rhs_contract": (0, 1)})
+        np.testing.assert_allclose(out, np.einsum("ijk,jkl->il", x, y),
+                                   rtol=1e-4)
+
+
+class TestGatherScatter:
+    def test_take(self, rng):
+        table = rng.randn(10, 4).astype(np.float32)
+        ids = np.array([[1, 3], [0, 9]], dtype=np.int32)
+        (out,) = run_op("take", [table, ids])
+        np.testing.assert_array_equal(out, table[ids])
+
+    def test_scatter_add_accumulates_duplicates(self, rng):
+        operand = np.zeros((4, 2), dtype=np.float32)
+        ids = np.array([1, 1, 3], dtype=np.int32)
+        updates = np.ones((3, 2), dtype=np.float32)
+        (out,) = run_op("scatter_add", [operand, ids, updates])
+        expected = np.zeros((4, 2), dtype=np.float32)
+        expected[1] = 2.0
+        expected[3] = 1.0
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestConv:
+    def _ref_conv(self, x, k, stride, pad):
+        xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        n, c, h, w = xp.shape
+        o, _, kh, kw = k.shape
+        oh = (h - kh) // stride + 1
+        ow = (w - kw) // stride + 1
+        out = np.zeros((n, o, oh, ow), dtype=np.float32)
+        for i in range(oh):
+            for j in range(ow):
+                patch = xp[:, :, i * stride:i * stride + kh,
+                           j * stride:j * stride + kw]
+                out[:, :, i, j] = np.einsum("ncij,ocij->no", patch, k)
+        return out
+
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 1)])
+    def test_conv2d(self, rng, stride, pad):
+        x = rng.randn(2, 3, 8, 8).astype(np.float32)
+        k = rng.randn(5, 3, 3, 3).astype(np.float32)
+        (out,) = run_op("conv2d", [x, k], {"stride": stride, "pad": pad})
+        np.testing.assert_allclose(out, self._ref_conv(x, k, stride, pad),
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_upsample_downsample_duality(self, rng):
+        x = rng.randn(1, 2, 4, 4).astype(np.float32)
+        (up,) = run_op("upsample2d", [x], {"factor": 2})
+        assert up.shape == (1, 2, 8, 8)
+        (down,) = run_op("downsample2d_sum", [up], {"factor": 2})
+        np.testing.assert_allclose(down, x * 4, rtol=1e-5)

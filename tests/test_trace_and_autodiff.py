@@ -1,0 +1,227 @@
+"""Tracer and reverse-mode autodiff tests, including numeric grad checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.ir import dtypes, evaluate_function, verify_function
+from repro.trace import ShapeDtype, ops, pytree, trace, value_and_grad
+
+
+class TestPytree:
+    def test_flatten_unflatten_roundtrip(self):
+        tree = {"b": [1, 2], "a": (3, {"x": 4})}
+        leaves, treedef = pytree.flatten(tree)
+        assert leaves == [3, 4, 1, 2]  # sorted dict keys: a < b
+        assert pytree.unflatten(treedef, leaves) == tree
+
+    def test_paths(self):
+        tree = {"p": {"w": 1}, "q": [2, 3]}
+        paths = pytree.flatten_with_paths(tree)
+        assert paths == [("p.w", 1), ("q.0", 2), ("q.1", 3)]
+
+    def test_tree_map_multiple(self):
+        a = {"x": 1, "y": 2}
+        b = {"x": 10, "y": 20}
+        assert pytree.tree_map(lambda u, v: u + v, a, b) == {"x": 11, "y": 22}
+
+    def test_tree_map_structure_mismatch(self):
+        with pytest.raises(ValueError):
+            pytree.tree_map(lambda a, b: a, {"x": 1}, {"y": 1})
+
+
+class TestTracer:
+    def test_broadcasting_binop(self):
+        tf = trace(lambda x, y: x + y, ShapeDtype((3, 4)), ShapeDtype((4,)))
+        verify_function(tf.function)
+        out, = evaluate_function(
+            tf.function,
+            [np.ones((3, 4), np.float32), np.arange(4, dtype=np.float32)],
+        )
+        np.testing.assert_array_equal(out, np.broadcast_to(1.0 + np.arange(4), (3, 4)))
+
+    def test_python_scalars_become_constants(self):
+        tf = trace(lambda x: x * 2.0 + 1.0, ShapeDtype((3,)))
+        out, = evaluate_function(tf.function, [np.ones(3, np.float32)])
+        np.testing.assert_array_equal(out, np.full(3, 3.0))
+
+    def test_getitem_slicing(self, rng):
+        x = rng.randn(4, 6).astype(np.float32)
+        tf = trace(lambda a: a[1, 2:5], ShapeDtype((4, 6)))
+        out, = evaluate_function(tf.function, [x])
+        np.testing.assert_array_equal(out, x[1, 2:5])
+
+    def test_input_names_from_pytree_paths(self):
+        tf = trace(lambda s, x: s["p"]["w"] + x,
+                   {"p": {"w": ShapeDtype((2,))}}, ShapeDtype((2,)))
+        assert tf.input_names == ["0/p/w", "1"]
+
+    def test_softmax_matches_numpy(self, rng):
+        x = rng.randn(3, 5).astype(np.float32)
+        tf = trace(lambda a: ops.softmax(a, axis=-1), ShapeDtype((3, 5)))
+        out, = evaluate_function(tf.function, [x])
+        e = np.exp(x - x.max(-1, keepdims=True))
+        np.testing.assert_allclose(out, e / e.sum(-1, keepdims=True),
+                                   rtol=1e-5)
+
+    def test_one_hot(self):
+        ids = np.array([0, 2], dtype=np.int32)
+        tf = trace(lambda i: ops.one_hot(i, 3), ShapeDtype((2,), dtypes.i32))
+        out, = evaluate_function(tf.function, [ids])
+        np.testing.assert_array_equal(out, np.eye(3, dtype=np.float32)[ids])
+
+    def test_primitive_outside_trace_rejected(self):
+        with pytest.raises(TraceError):
+            ops.zeros((2,))
+
+
+def numeric_grad(f, args, index, eps=1e-3):
+    """Central differences w.r.t. args[index] (float64)."""
+    args = [a.astype(np.float64) for a in args]
+    grad = np.zeros_like(args[index])
+    it = np.nditer(args[index], flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        orig = args[index][idx]
+        args[index][idx] = orig + eps
+        hi = f(*args)
+        args[index][idx] = orig - eps
+        lo = f(*args)
+        args[index][idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_grads(traced_loss, np_loss, arg_arrays, atol=5e-3):
+    tf = trace(lambda *a: value_and_grad(traced_loss)(*a),
+               *[ShapeDtype(a.shape) for a in arg_arrays])
+    verify_function(tf.function)
+    flat = [a.astype(np.float32) for a in arg_arrays]
+    results = evaluate_function(tf.function, flat)
+    loss, grad0 = tf.unflatten_results(results)
+    expected = numeric_grad(np_loss, list(arg_arrays), 0)
+    np.testing.assert_allclose(grad0, expected, atol=atol, rtol=1e-2)
+
+
+class TestAutodiff:
+    def test_dot_general_batched_grads(self, rng):
+        x = rng.randn(2, 3, 4)
+        y = rng.randn(2, 4, 5)
+
+        def loss(a, b):
+            return ops.reduce_sum(
+                ops.dot_general(a, b, ((2,), (1,)), ((0,), (0,)))
+                * ops.dot_general(a, b, ((2,), (1,)), ((0,), (0,)))
+            ) * 0.5
+
+        check_grads(loss, lambda a, b: 0.5 * (np.einsum(
+            "bij,bjk->bik", a, b) ** 2).sum(), [x, y])
+
+    def test_reduce_and_broadcast_grads(self, rng):
+        x = rng.randn(3, 4)
+
+        def loss(a):
+            m = ops.mean(a, axis=0, keepdims=True)
+            return ops.reduce_sum((a - m) * (a - m))
+
+        check_grads(loss,
+                    lambda a: ((a - a.mean(0, keepdims=True)) ** 2).sum(),
+                    [x])
+
+    def test_softmax_cross_entropy_style_grads(self, rng):
+        x = rng.randn(4, 5)
+
+        def loss(a):
+            return ops.reduce_sum(ops.logsumexp(a, axis=-1))
+
+        def np_loss(a):
+            m = a.max(-1, keepdims=True)
+            return (np.log(np.exp(a - m).sum(-1)) + m[:, 0]).sum()
+
+        check_grads(loss, np_loss, [x])
+
+    def test_take_scatter_grads(self, rng):
+        table = rng.randn(6, 3)
+        ids = np.array([1, 4, 1], dtype=np.int32)
+
+        def loss(t):
+            ids_tr = ops.constant(ids)
+            rows = ops.take(t, ids_tr)
+            return ops.reduce_sum(rows * rows) * 0.5
+
+        def np_loss(t):
+            return 0.5 * (t[ids] ** 2).sum()
+
+        check_grads(loss, np_loss, [table])
+
+    def test_conv2d_grads(self, rng):
+        x = rng.randn(2, 2, 5, 5)
+        k = rng.randn(3, 2, 3, 3)
+
+        def loss(a, b):
+            y = ops.conv2d(a, b, stride=1, pad=1)
+            return ops.reduce_sum(y * y) * 0.5
+
+        tf = trace(lambda a, b: value_and_grad(loss)(a, b),
+                   ShapeDtype(x.shape), ShapeDtype(k.shape))
+        results = evaluate_function(
+            tf.function, [x.astype(np.float32), k.astype(np.float32)]
+        )
+        _, grad_x = tf.unflatten_results(results)
+
+        def np_loss(a, b):
+            from repro.ir.ops_nn import _eval_conv2d
+
+            y = _eval_conv2d([a.astype(np.float32), b.astype(np.float32)],
+                             {"stride": 1, "pad": 1})[0]
+            return 0.5 * (y.astype(np.float64) ** 2).sum()
+
+        expected = numeric_grad(np_loss, [x, k], 0, eps=1e-2)
+        np.testing.assert_allclose(grad_x, expected, atol=5e-2, rtol=5e-2)
+
+    def test_slice_pad_grads(self, rng):
+        x = rng.randn(4, 6)
+
+        def loss(a):
+            part = a[1:3, 2:5]
+            return ops.reduce_sum(part * part) * 0.5
+
+        def np_loss(a):
+            return 0.5 * (a[1:3, 2:5] ** 2).sum()
+
+        check_grads(loss, np_loss, [x])
+
+    def test_maximum_grad_routes_to_winner(self, rng):
+        x = rng.randn(8)
+
+        def loss(a):
+            return ops.reduce_sum(ops.relu(a))
+
+        check_grads(loss, lambda a: np.maximum(a, 0).sum(), [x])
+
+    def test_stop_gradient(self, rng):
+        x = rng.randn(4).astype(np.float32)
+        tf = trace(
+            lambda a: value_and_grad(
+                lambda b: ops.reduce_sum(ops.stop_gradient(b) * b)
+            )(a),
+            ShapeDtype((4,)),
+        )
+        _, grad = tf.unflatten_results(evaluate_function(tf.function, [x]))
+        np.testing.assert_allclose(grad, x, rtol=1e-5)
+
+    def test_grad_accumulation_of_shared_param(self, rng):
+        x = rng.randn(3, 3)
+
+        def loss(w):
+            y = ops.dot_general(w, w, ((1,), (0,)))
+            return ops.reduce_sum(y)
+
+        check_grads(loss, lambda w: (w @ w).sum(), [x])
+
+    def test_backward_requires_scalar_loss(self):
+        with pytest.raises(TraceError, match="scalar"):
+            trace(
+                lambda x: value_and_grad(lambda a: a + 1.0)(x),
+                ShapeDtype((3,)),
+            )
