@@ -78,13 +78,17 @@ class Run:
     env: ShardingEnv
     partition_s: float
     lower_s: float
+    # Propagation-engine counters (repro.core.sharding.PropagationStats).
+    propagate_calls: int = 0
+    ops_processed: int = 0
 
 
-def run_schedule(traced, schedule, mesh, device=TPU_V3) -> Run:
+def run_schedule(traced, schedule, mesh, device=TPU_V3,
+                 incremental: bool = True) -> Run:
     env = ShardingEnv(mesh)
     t0 = time.perf_counter()
     for tactic in schedule:
-        tactic.apply(traced.function, env)
+        tactic.apply(traced.function, env, incremental=incremental)
     partition_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     lowered = lower(traced.function, env)
@@ -98,6 +102,8 @@ def run_schedule(traced, schedule, mesh, device=TPU_V3) -> Run:
         env=env,
         partition_s=partition_s,
         lower_s=lower_s,
+        propagate_calls=env.stats.propagate_calls,
+        ops_processed=env.stats.ops_processed,
     )
 
 

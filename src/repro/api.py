@@ -79,11 +79,17 @@ class TacticReport:
 
 
 class Tactic:
-    """Base class: a tactic issues actions into the env, then propagates."""
+    """Base class: a tactic issues actions into the env, then propagates.
+
+    ``incremental=True`` asks the tactic's trailing propagation to run the
+    worklist engine seeded from the actions just issued (byte-identical
+    fixed point, less work) instead of a whole-function sweep.
+    """
 
     name = "tactic"
 
-    def apply(self, function: Function, env: ShardingEnv) -> int:
+    def apply(self, function: Function, env: ShardingEnv,
+              incremental: bool = False) -> int:
         raise NotImplementedError
 
 
@@ -109,7 +115,8 @@ class ManualPartition(Tactic):
             spec = spec(name, value)
         return spec
 
-    def apply(self, function: Function, env: ShardingEnv) -> int:
+    def apply(self, function: Function, env: ShardingEnv,
+              incremental: bool = False) -> int:
         axis_size = env.mesh.size(self.axis)
         applied = 0
         for key, spec in self.inputs.items():
@@ -152,7 +159,7 @@ class ManualPartition(Tactic):
                     continue
                 core_actions.tile(env, value, resolved, self.axis)
                 applied += 1
-        propagate(function, env)
+        propagate(function, env, incremental=incremental)
         return applied
 
 
@@ -169,11 +176,14 @@ class AutomaticPartition(Tactic):
         self.options = dict(options or {})
         self.name = f"auto<{','.join(self.axes)}>"
 
-    def apply(self, function: Function, env: ShardingEnv) -> int:
+    def apply(self, function: Function, env: ShardingEnv,
+              incremental: bool = False) -> int:
         from repro.auto.search import run_automatic_partition
 
+        options = dict(self.options)
+        options.setdefault("incremental", incremental)
         return run_automatic_partition(
-            function, env, self.axes, **self.options
+            function, env, self.axes, **options
         )
 
 
@@ -219,20 +229,40 @@ def partir_jit(
     schedule: Sequence[Tactic],
     device: DeviceSpec = TPU_V3,
     estimate_per_tactic: bool = True,
+    incremental: bool = True,
 ):
     """Partition a traced function with a schedule of tactics.
 
     Returns ``(PartitionedFunction, Metadata)``: the callable runs on the
     simulated mesh; the metadata carries per-tactic collective counts, cost
     estimates and conflicts — PartIR's incremental feedback loop.
+
+    ``incremental=True`` (default) re-propagates each tactic with the
+    worklist engine seeded from that tactic's actions instead of sweeping
+    the whole function; the resulting shardings are byte-identical (see
+    ``tests/test_incremental_equivalence.py``).  Per-tactic ``conflicts``
+    lists the *distinct* conflicts that first appeared under that tactic —
+    deduped across the schedule, so the reports are identical in both
+    modes (a full re-sweep would otherwise re-report persisting conflicts
+    that the worklist, never revisiting unchanged ops, does not).
     """
     function = traced.function
     env = ShardingEnv(mesh)
     reports: List[TacticReport] = []
+    seen_conflicts = set()
+
+    def new_conflicts() -> List[str]:
+        fresh = []
+        for event in env.conflicts():
+            key = (id(event.op), event.kind, event.axis, event.detail)
+            if key not in seen_conflicts:
+                seen_conflicts.add(key)
+                fresh.append(event.detail)
+        return fresh
+
     start = time.perf_counter()
     for tactic in schedule:
-        conflicts_before = len(env.conflicts())
-        applied = tactic.apply(function, env)
+        applied = tactic.apply(function, env, incremental=incremental)
         report_estimate = None
         counts = CollectiveCounts()
         if estimate_per_tactic:
@@ -245,9 +275,7 @@ def partir_jit(
                 tactic=tactic.name,
                 counts=counts,
                 estimate=report_estimate,
-                conflicts=[
-                    e.detail for e in env.conflicts()[conflicts_before:]
-                ],
+                conflicts=new_conflicts(),
                 actions=applied,
             )
         )

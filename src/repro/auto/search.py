@@ -6,10 +6,23 @@ we implement an MCTS whose actions are exactly the manual API's tile actions
 and whose reward comes from the analytical cost model — so automatic and
 manual tactics compose through the same action vocabulary.
 
-The search state is a sequence of tile actions on function inputs; each
-evaluation applies the actions to a copy of the sharding environment, runs
-propagation, lowers, and scores estimated runtime with a hard penalty for
-exceeding device memory.
+The search state is a *set* of tile actions on function inputs.  Evaluation
+is canonical: the actions are sorted and deduped, then applied in that order
+with one propagation fixed point per action — so an evaluation's outcome is
+a pure function of the canonical action set, independent of the order the
+tree discovered it in.  That purity is what makes the two speed layers
+exact:
+
+* a **transposition table** keyed by the canonical action tuple means a
+  rollout that reaches an already-scored action set costs a dict lookup
+  instead of a propagate/lower/estimate pipeline run, and
+* a **prefix env cache**: the propagated :class:`ShardingEnv` for each
+  canonical prefix is memoized, so scoring a set extends its longest cached
+  prefix with incremental propagation (worklist seeded from the one new
+  action) rather than replaying the whole prefix from scratch.
+
+``memoize=False`` / ``incremental=False`` disable the caches / the worklist
+engine without changing any result — the regression tests pin this.
 """
 
 from __future__ import annotations
@@ -17,7 +30,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.propagate import propagate
 from repro.core.sharding import ShardingEnv
@@ -29,13 +42,31 @@ from repro.spmd.lower import lower
 
 # An action: (input_index, dim, axis). None is STOP.
 Action = Optional[Tuple[int, int, str]]
+ActionKey = Tuple[Tuple[int, int, str], ...]
 
 
 @dataclasses.dataclass
 class SearchResult:
     actions: List[Tuple[int, int, str]]
     cost: float
-    evaluations: int
+    evaluations: int  # cost-model evaluations actually computed
+    cache_hits: int = 0  # transposition-table hits
+    propagate_calls: int = 0
+    ops_processed: int = 0
+
+
+def _canonical(actions: Sequence[Tuple[int, int, str]]) -> ActionKey:
+    """Canonical form of an action sequence: sorted, deduped tuple."""
+    return tuple(sorted(set(actions)))
+
+
+def _action_legal(env: ShardingEnv, param, dim: int, axis: str) -> bool:
+    """May ``param``'s ``dim`` still be tiled along ``axis`` under ``env``?"""
+    sharding = env.sharding(param)
+    if sharding.uses(axis) or sharding.is_pinned(axis):
+        return False
+    denom = env.mesh.group_size(sharding.dim_axes[dim])
+    return param.type.shape[dim] % (denom * env.mesh.size(axis)) == 0
 
 
 def _candidate_actions(function: Function, env: ShardingEnv,
@@ -48,42 +79,84 @@ def _candidate_actions(function: Function, env: ShardingEnv,
     )[:max_inputs]
     actions = []
     for index, param in ranked:
-        sharding = env.sharding(param)
         for axis in axes:
-            if sharding.uses(axis):
-                continue
-            for dim, size in enumerate(param.type.shape):
-                denom = env.mesh.group_size(sharding.dim_axes[dim])
-                if size % (denom * env.mesh.size(axis)) == 0:
+            for dim in range(len(param.type.shape)):
+                if _action_legal(env, param, dim, axis):
                     actions.append((index, dim, axis))
     return actions
 
 
-def _evaluate(function: Function, base_env: ShardingEnv,
-              actions: Sequence[Tuple[int, int, str]],
-              device: DeviceSpec) -> float:
-    env = base_env.copy()
-    for index, dim, axis in actions:
-        param = function.params[index]
-        sharding = env.sharding(param)
-        if sharding.uses(axis):
-            continue
-        denom = env.mesh.group_size(sharding.dim_axes[dim])
-        if param.type.shape[dim] % (denom * env.mesh.size(axis)):
-            continue
-        env.set_sharding(param, sharding.with_tile(dim, axis))
-    propagate(function, env)
-    lowered = lower(function, env)
-    lowered.function = fuse_collectives(lowered.function)
-    estimate = costmodel.estimate(lowered, device)
-    cost = estimate.runtime_s
-    if estimate.peak_memory_bytes > device.hbm_bytes:
-        cost *= 1e3 * (estimate.peak_memory_bytes / device.hbm_bytes)
-    return cost
+def _try_apply_action(function: Function, env: ShardingEnv,
+                      action: Tuple[int, int, str]) -> bool:
+    """Apply one tile action if it is still legal under ``env``."""
+    index, dim, axis = action
+    param = function.params[index]
+    if not _action_legal(env, param, dim, axis):
+        return False
+    env.set_sharding(param, env.sharding(param).with_tile(dim, axis))
+    return True
+
+
+class _Evaluator:
+    """Scores canonical action sets; owns the memoization layers."""
+
+    def __init__(self, function: Function, env: ShardingEnv,
+                 device: DeviceSpec, incremental: bool = True,
+                 memoize: bool = True):
+        self.function = function
+        self.device = device
+        self.incremental = incremental
+        self.memoize = memoize
+        self.evaluations = 0
+        self.cache_hits = 0
+        self._cost_cache: Dict[ActionKey, float] = {}
+        self._env_cache: Dict[ActionKey, ShardingEnv] = {}
+        # Root fixed point: search never mutates the caller's env.  The
+        # event log is dropped — evaluation envs never read it, and every
+        # cached prefix env would otherwise re-copy the whole history.
+        self.root = env.copy(with_events=False)
+        propagate(function, self.root, incremental=incremental)
+
+    def _env_for(self, key: ActionKey) -> ShardingEnv:
+        """Propagated env for a canonical action prefix.
+
+        Recursively extends the env of ``key[:-1]`` by one action + one
+        propagation fixed point, reusing cached prefixes when memoizing.
+        """
+        if not key:
+            return self.root
+        if self.memoize:
+            cached = self._env_cache.get(key)
+            if cached is not None:
+                return cached
+        env = self._env_for(key[:-1]).copy()
+        _try_apply_action(self.function, env, key[-1])
+        propagate(self.function, env, incremental=self.incremental)
+        if self.memoize:
+            self._env_cache[key] = env
+        return env
+
+    def evaluate(self, actions: Sequence[Tuple[int, int, str]]) -> float:
+        key = _canonical(actions)
+        if self.memoize:
+            cached = self._cost_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        env = self._env_for(key)
+        lowered = lower(self.function, env)
+        lowered.function = fuse_collectives(lowered.function)
+        estimate = costmodel.estimate(lowered, self.device)
+        cost = costmodel.search_objective(estimate, self.device)
+        self.evaluations += 1
+        if self.memoize:
+            self._cost_cache[key] = cost
+        return cost
 
 
 class _Node:
-    __slots__ = ("action", "parent", "children", "visits", "total", "untried")
+    __slots__ = ("action", "parent", "children", "visits", "total",
+                 "untried", "action_set")
 
     def __init__(self, action: Action, parent: Optional["_Node"],
                  untried: List[Action]):
@@ -93,6 +166,12 @@ class _Node:
         self.visits = 0
         self.total = 0.0
         self.untried = list(untried)
+        # O(1) membership for "is this action already on my path" — replaces
+        # the former O(n) list scans over the prefix.
+        base: FrozenSet = parent.action_set if parent is not None else frozenset()
+        self.action_set: FrozenSet = (
+            base | {action} if action is not None else base
+        )
 
     def path(self) -> List[Tuple[int, int, str]]:
         node, actions = self, []
@@ -121,14 +200,24 @@ def mcts_search(
     exploration: float = 0.5,
     seed: int = 0,
     max_inputs: int = 48,
+    incremental: bool = True,
+    memoize: bool = True,
 ) -> SearchResult:
-    """UCT search; returns the best action sequence found."""
+    """UCT search; returns the best action sequence found.
+
+    ``incremental``/``memoize`` toggle the worklist propagation engine and
+    the transposition/prefix-env caches; neither changes the returned
+    actions or cost for a fixed seed.
+    """
     rng = random.Random(seed)
     candidates = _candidate_actions(function, env, axes, max_inputs)
-    baseline = _evaluate(function, env, [], device)
-    best_actions: List[Tuple[int, int, str]] = []
+    # Snapshot before _Evaluator.__init__: its root fixed point counts too.
+    stats_before = env.stats.snapshot()
+    evaluator = _Evaluator(function, env, device,
+                           incremental=incremental, memoize=memoize)
+    baseline = evaluator.evaluate([])
+    best_actions: ActionKey = ()
     best_cost = baseline
-    evaluations = 1
 
     root = _Node(None, None, [None] + candidates)
     for _ in range(budget):
@@ -139,33 +228,38 @@ def mcts_search(
         # Expansion.
         if node.untried:
             action = node.untried.pop(rng.randrange(len(node.untried)))
-            prefix = node.path()
-            remaining = [
-                a for a in candidates
-                if a is not None and a not in prefix and a != action
-            ]
-            child = _Node(action, node,
-                          [None] + remaining if action is not None else [])
+            child = _Node(action, node, [])
+            if action is not None:
+                child.untried = [None] + [
+                    a for a in candidates if a not in child.action_set
+                ]
             node.children.append(child)
             node = child
         # Rollout.
         actions = node.path()
         depth = rng.randrange(rollout_depth + 1)
-        pool = [a for a in candidates if a not in actions]
+        pool = [a for a in candidates if a not in node.action_set]
         rng.shuffle(pool)
         rollout = actions + pool[:depth]
-        cost = _evaluate(function, env, rollout, device)
-        evaluations += 1
+        cost = evaluator.evaluate(rollout)
         if cost < best_cost:
             best_cost = cost
-            best_actions = rollout
+            best_actions = _canonical(rollout)
         # Backpropagation (reward = relative improvement).
         reward = (baseline - cost) / max(baseline, 1e-12)
         while node is not None:
             node.visits += 1
             node.total += reward
             node = node.parent
-    return SearchResult(best_actions, best_cost, evaluations)
+    stats_after = evaluator.root.stats.snapshot()
+    return SearchResult(
+        actions=list(best_actions),
+        cost=best_cost,
+        evaluations=evaluator.evaluations,
+        cache_hits=evaluator.cache_hits,
+        propagate_calls=stats_after[0] - stats_before[0],
+        ops_processed=stats_after[2] - stats_before[2],
+    )
 
 
 def run_automatic_partition(
@@ -177,6 +271,8 @@ def run_automatic_partition(
     rollout_depth: int = 3,
     seed: int = 0,
     max_inputs: int = 48,
+    incremental: bool = True,
+    memoize: bool = True,
     **_ignored,
 ) -> int:
     """Entry point used by :class:`repro.api.AutomaticPartition`.
@@ -187,18 +283,22 @@ def run_automatic_partition(
     """
     result = mcts_search(function, env, axes, device=device, budget=budget,
                          rollout_depth=rollout_depth, seed=seed,
-                         max_inputs=max_inputs)
+                         max_inputs=max_inputs, incremental=incremental,
+                         memoize=memoize)
+    # Replay the winner exactly the way the evaluator scored it: one
+    # propagation fixed point per canonical action.  Applying all actions
+    # first and propagating once could reach a different fixed point (a
+    # later action's legality check would no longer see the propagated
+    # state it was evaluated under), so the env would not realize
+    # ``result.cost``.
+    propagate(function, env, incremental=incremental)
     applied = 0
-    for index, dim, axis in result.actions:
-        param = function.params[index]
-        sharding = env.sharding(param)
-        if sharding.uses(axis):
-            continue
-        denom = env.mesh.group_size(sharding.dim_axes[dim])
-        if param.type.shape[dim] % (denom * env.mesh.size(axis)):
-            continue
-        env.set_sharding(param, sharding.with_tile(dim, axis))
-        env.record("tile", None, axis, f"auto tile dim {dim}")
-        applied += 1
-    propagate(function, env)
+    for action in _canonical(result.actions):
+        if _try_apply_action(function, env, action):
+            env.record("tile", None, action[2], f"auto tile dim {action[1]}")
+            applied += 1
+            # A skipped action needs no re-propagation: the env is already
+            # at a fixed point and the evaluator's sweep after a skipped
+            # apply provably changes nothing.
+            propagate(function, env, incremental=incremental)
     return applied

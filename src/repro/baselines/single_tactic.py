@@ -25,7 +25,8 @@ class SingleTactic(Tactic):
         self.schedule = list(schedule)
         self.name = "st(" + "+".join(t.name for t in self.schedule) + ")"
 
-    def apply(self, function: Function, env: ShardingEnv) -> int:
+    def apply(self, function: Function, env: ShardingEnv,
+              incremental: bool = False) -> int:
         applied = 0
         for tactic in self.schedule:
             if not isinstance(tactic, ManualPartition):
@@ -33,7 +34,10 @@ class SingleTactic(Tactic):
                     "SingleTactic amalgamates manual tactics only"
                 )
             applied += _apply_actions_only(tactic, function, env)
-        propagate(function, env)
+        # One propagation over all amalgamated actions; the incremental
+        # worklist (seeded from every issued action) reaches the same fixed
+        # point as a whole-function sweep.
+        propagate(function, env, incremental=incremental)
         return applied
 
 
@@ -50,7 +54,7 @@ def _apply_actions_only(tactic: ManualPartition, function: Function,
             from repro.core import propagate as prop_mod
 
             saved = api_mod.propagate
-            api_mod.propagate = lambda f, e: None
+            api_mod.propagate = lambda f, e, **kw: None
             try:
                 return ManualPartition.apply(self, function, env)
             finally:

@@ -5,7 +5,7 @@ from repro.core.loopview import render_loop_view
 from repro.core.actions import atomic, find_tagged, first_divisible_dim, tile
 from repro.core.propagate import Propagator, propagate
 from repro.core.rules import Factor, OpShardingRule, rule_for
-from repro.core.sharding import Event, Sharding, ShardingEnv
+from repro.core.sharding import Event, PropagationStats, Sharding, ShardingEnv
 
 __all__ = [
     "render_loop_view",
@@ -19,6 +19,7 @@ __all__ = [
     "OpShardingRule",
     "rule_for",
     "Event",
+    "PropagationStats",
     "Sharding",
     "ShardingEnv",
 ]

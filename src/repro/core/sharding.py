@@ -20,7 +20,7 @@ Sharding"; all mutation helpers enforce it.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import ShardingError
 from repro.ir.values import Value
@@ -120,13 +120,43 @@ class Event:
     detail: str = ""
 
 
+@dataclasses.dataclass
+class PropagationStats:
+    """Observability counters for the propagation engine.
+
+    The stats object is *shared* between an env and its :meth:`ShardingEnv.copy`
+    clones, so a pipeline that forks envs (e.g. the MCTS evaluating many
+    candidate schedules) accumulates one global tally.  Counters never feed
+    back into propagation decisions.
+    """
+
+    propagate_calls: int = 0
+    incremental_calls: int = 0
+    ops_processed: int = 0
+    rounds: int = 0
+
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        return (self.propagate_calls, self.incremental_calls,
+                self.ops_processed, self.rounds)
+
+
 class ShardingEnv:
-    """Sharding assignment for every value of a function (and its regions)."""
+    """Sharding assignment for every value of a function (and its regions).
+
+    The env also tracks *dirty* values — values whose sharding changed since
+    the last ``propagate`` fixed point — and a monotone ``version`` counter
+    bumped on every effective sharding update.  Incremental propagation seeds
+    its worklist from the dirty set instead of sweeping the whole function.
+    """
 
     def __init__(self, mesh: Mesh):
         self.mesh = mesh
         self._shardings: Dict[Value, Sharding] = {}
         self.events: List[Event] = []
+        #: Monotone counter: bumped once per sharding change.
+        self.version: int = 0
+        self._dirty: Set[Value] = set()
+        self.stats = PropagationStats()
 
     def sharding(self, value: Value) -> Sharding:
         existing = self._shardings.get(value)
@@ -145,12 +175,36 @@ class ShardingEnv:
                 f"sharding rank {sharding.rank} != value rank "
                 f"{len(value.type.shape)}"
             )
+        if self._shardings.get(value) == sharding:
+            return
         self._shardings[value] = sharding
+        self.version += 1
+        self._dirty.add(value)
 
-    def copy(self) -> "ShardingEnv":
+    def dirty_values(self) -> Set[Value]:
+        """Values whose sharding changed since the last :meth:`clear_dirty`."""
+        return set(self._dirty)
+
+    def drain_dirty(self) -> Set[Value]:
+        """Return the dirty set and reset it — no copy, for hot loops."""
+        drained, self._dirty = self._dirty, set()
+        return drained
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()
+
+    def copy(self, with_events: bool = True) -> "ShardingEnv":
+        """Clone the env.  ``with_events=False`` starts the clone with an
+        empty event log — for throwaway evaluation envs (e.g. the search's
+        prefix cache) that never read the caller's history, so hundreds of
+        cached copies don't each duplicate it."""
         clone = ShardingEnv(self.mesh)
         clone._shardings = dict(self._shardings)
-        clone.events = list(self.events)
+        if with_events:
+            clone.events = list(self.events)
+        clone.version = self.version
+        clone._dirty = set(self._dirty)
+        clone.stats = self.stats  # shared tally (see PropagationStats)
         return clone
 
     def record(self, kind: str, op, axis: str, detail: str = "") -> None:

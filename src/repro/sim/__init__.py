@@ -1,6 +1,7 @@
 """Analytical performance simulator: device specs, cost model, memory."""
 
-from repro.sim.costmodel import CostEstimate, estimate, mfu, model_flops
+from repro.sim.costmodel import (CostEstimate, estimate, mfu,
+                                 model_flops, search_objective)
 from repro.sim.devices import A100_40GB, TPU_V3, DeviceSpec, get, register
 from repro.sim.memory import peak_live_bytes
 
@@ -9,6 +10,7 @@ __all__ = [
     "estimate",
     "mfu",
     "model_flops",
+    "search_objective",
     "A100_40GB",
     "TPU_V3",
     "DeviceSpec",

@@ -124,6 +124,19 @@ def estimate(lowered: LoweredModule, device: DeviceSpec,
     return result
 
 
+def search_objective(estimate: CostEstimate, device: DeviceSpec) -> float:
+    """Scalar objective the automatic-partitioning search minimizes.
+
+    Estimated runtime, with a hard multiplicative penalty once the program's
+    peak memory exceeds the device's HBM — an out-of-memory partitioning can
+    never win on a runtime tie-break.
+    """
+    cost = estimate.runtime_s
+    if estimate.peak_memory_bytes > device.hbm_bytes:
+        cost *= 1e3 * (estimate.peak_memory_bytes / device.hbm_bytes)
+    return cost
+
+
 def model_flops(function: Function) -> float:
     """Total FLOPs of the *global* (unpartitioned) program."""
     total = 0.0

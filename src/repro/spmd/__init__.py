@@ -2,7 +2,8 @@
 
 from repro.spmd import collectives  # registers collective ops
 from repro.spmd.collectives import COLLECTIVE_OPS, is_collective
-from repro.spmd.count import CollectiveCounts, count_collectives
+from repro.spmd.count import (CollectiveCounts, collective_sequence,
+                              count_collectives)
 from repro.spmd.fusion import fuse_collectives
 from repro.spmd.lower import LoweredModule, lower
 
@@ -11,6 +12,7 @@ __all__ = [
     "COLLECTIVE_OPS",
     "is_collective",
     "CollectiveCounts",
+    "collective_sequence",
     "count_collectives",
     "fuse_collectives",
     "LoweredModule",

@@ -9,11 +9,14 @@ iteration, matching how the paper reports IT32's serving loop.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.ir.function import Function
 
 COUNTED = ("all_gather", "all_reduce", "reduce_scatter", "all_to_all")
+# all_slice is device-local, but its placement pins the lowering, so the
+# sequence view (used by the incremental-equivalence tests) includes it.
+SEQUENCED = COUNTED + ("all_slice",)
 
 
 @dataclasses.dataclass
@@ -39,6 +42,28 @@ class CollectiveCounts:
     def __repr__(self) -> str:
         d = self.as_dict()
         return "Counts(" + ", ".join(f"{k}={v}" for k, v in d.items()) + ")"
+
+
+def _canonical_attrs(attrs: dict) -> Tuple[Tuple[str, str], ...]:
+    out = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, dict):
+            value = tuple(sorted(value.items()))
+        out.append((key, repr(value)))
+    return tuple(out)
+
+
+def collective_sequence(function: Function) -> List[Tuple[str, tuple]]:
+    """The ordered (opcode, canonicalized attrs) sequence of collective and
+    slice ops, regions included — a structural fingerprint of the lowering
+    that ignores SSA value identities.  Two lowerings with equal sequences
+    emit the same communication in the same order."""
+    return [
+        (op.opcode, _canonical_attrs(op.attrs))
+        for op in function.walk()
+        if op.opcode in SEQUENCED
+    ]
 
 
 def count_collectives(function: Function, multiplier: int = 1,

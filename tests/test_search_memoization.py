@@ -1,0 +1,142 @@
+"""Search regression tests for the memoized, incremental MCTS.
+
+The transposition table and the incremental prefix-env reuse are pure
+speedups: for a fixed seed the search must return exactly the same
+``SearchResult.actions``/``cost`` with them on or off.
+"""
+
+import pytest
+
+from repro import ManualPartition, Mesh, ShapeDtype, trace
+from repro.core import ShardingEnv
+from repro.auto.search import _canonical, mcts_search
+from repro.sim import DeviceSpec
+from repro.trace import ops
+
+from conftest import build_matmul_chain
+
+# Small enough that replication blows HBM, so the search must shard.
+TINY_DEVICE = DeviceSpec("tiny", peak_flops=1e9, hbm_bytes=200_000,
+                         link_bandwidth=1e9)
+
+MESH = Mesh({"B": 4, "M": 2})
+
+
+def _mlp_traced(batch=32, width=64):
+    def f(state, x):
+        h = ops.relu(x @ state["w1"])
+        return ops.reduce_sum(h @ state["w2"])
+
+    return trace(
+        f,
+        {"w1": ShapeDtype((width, width)), "w2": ShapeDtype((width, width))},
+        ShapeDtype((batch, width)),
+    )
+
+
+def _search(function, **kwargs):
+    env = ShardingEnv(MESH)
+    defaults = dict(device=TINY_DEVICE, budget=16, rollout_depth=3, seed=11)
+    defaults.update(kwargs)
+    return mcts_search(function, env, ["B", "M"], **defaults)
+
+
+class TestMemoizationIsExact:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_same_result_with_and_without_transposition_table(self, seed):
+        function, _ = build_matmul_chain()
+        plain = _search(function, seed=seed, memoize=False)
+        memo = _search(function, seed=seed, memoize=True)
+        assert memo.actions == plain.actions
+        assert memo.cost == plain.cost
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_same_result_with_and_without_incremental_engine(self, seed):
+        function, _ = build_matmul_chain()
+        scratch = _search(function, seed=seed, incremental=False)
+        inc = _search(function, seed=seed, incremental=True)
+        assert inc.actions == scratch.actions
+        assert inc.cost == scratch.cost
+
+    def test_mlp_same_result_all_modes(self):
+        tf = _mlp_traced()
+        results = [
+            _search(tf.function, incremental=inc, memoize=memo)
+            for inc in (False, True) for memo in (False, True)
+        ]
+        assert len({tuple(r.actions) for r in results}) == 1
+        assert len({r.cost for r in results}) == 1
+
+
+class TestCaches:
+    def test_transposition_table_hits_on_quickstart(self):
+        """The quickstart example (paper Listing 1): with a single-axis
+        action space the budget exceeds the number of distinct small action
+        sets, so rollouts must revisit canonical sets and the table hits."""
+        function, _ = build_matmul_chain()
+        env = ShardingEnv(MESH)
+        kwargs = dict(device=TINY_DEVICE, budget=48, rollout_depth=1, seed=11)
+        result = mcts_search(function, env, ["B"], memoize=True, **kwargs)
+        assert result.cache_hits > 0
+        # Hits replace evaluations: computed evals + hits = total rollouts.
+        plain = mcts_search(function, ShardingEnv(MESH), ["B"],
+                            memoize=False, **kwargs)
+        assert result.evaluations + result.cache_hits == plain.evaluations
+        assert result.evaluations < plain.evaluations
+        assert result.actions == plain.actions and result.cost == plain.cost
+
+    def test_incremental_reduces_propagation_work(self):
+        tf = _mlp_traced()
+        scratch = _search(tf.function, incremental=False, memoize=False)
+        inc = _search(tf.function, incremental=True, memoize=True)
+        assert inc.ops_processed * 2 <= scratch.ops_processed
+        assert inc.cost == scratch.cost
+
+    def test_search_counters_are_populated(self):
+        tf = _mlp_traced()
+        result = _search(tf.function)
+        assert result.evaluations > 1
+        assert result.propagate_calls > 0
+        assert result.ops_processed > 0
+
+
+class TestCanonicalization:
+    def test_canonical_sorts_and_dedupes(self):
+        actions = [(2, 0, "B"), (0, 1, "M"), (2, 0, "B"), (0, 0, "B")]
+        assert _canonical(actions) == ((0, 0, "B"), (0, 1, "M"), (2, 0, "B"))
+
+    def test_best_actions_are_canonical(self):
+        tf = _mlp_traced()
+        result = _search(tf.function)
+        assert result.actions == list(_canonical(result.actions))
+
+    def test_search_respects_atomic_pins(self):
+        """An axis pinned replicated by the atomic action is never tiled by
+        the search — neither enumerated nor applied."""
+        from repro.core import atomic
+        from repro.auto.search import _candidate_actions, _try_apply_action
+
+        tf = _mlp_traced()
+        env = ShardingEnv(MESH)
+        pinned = tf.function.params[1]
+        atomic(env, pinned, "M")
+        assert all(i != 1 for i, _, a in
+                   _candidate_actions(tf.function, env, ["M"]) if a == "M")
+        assert not _try_apply_action(tf.function, env, (1, 0, "M"))
+        assert env.sharding(pinned).spec() == "[{}, {}] pin{M}"
+
+    def test_composes_with_manual_tactics(self):
+        """Auto after manual still never undoes the manual decision."""
+        from repro.api import AutomaticPartition
+
+        tf = _mlp_traced()
+        mesh = Mesh({"batch": 4, "model": 2})
+        env = ShardingEnv(mesh)
+        ManualPartition({"1": 0}, axis="batch").apply(
+            tf.function, env, incremental=True
+        )
+        AutomaticPartition(
+            ["model"], {"budget": 6, "device": TINY_DEVICE}
+        ).apply(tf.function, env, incremental=True)
+        sharding = env.sharding(tf.function.params[2])
+        assert sharding.dim_axes[0][0] == "batch"
