@@ -3,10 +3,24 @@
 The paper shows search time growing with the number of mesh axes (more
 decisions), and search cost dominated by cheap cost-model evaluations.  We
 time the MCTS on one and two axes for UNet and GNS with a fixed simulation
-budget, and compare the incremental engine (worklist propagation + the
-transposition table + prefix-env reuse) against from-scratch evaluation at
-equal budget: the best-found cost must be unchanged while the propagation
-work drops by at least 2x.
+budget across three evaluator configurations:
+
+* ``scratch``   — worklist engine, caches and streaming all off: full sweep
+  per action, every prefix replayed, every evaluation materializes and
+  fuses a device-local function (identical per-action semantics, so its
+  best-found cost is comparable action-for-action),
+* ``incremental`` — PR 1's layers on (worklist propagation, transposition
+  table, prefix-env reuse) but the materializing cost pipeline,
+* ``streaming``  — additionally the streaming cost evaluator: lower +
+  fuse + estimate fused into one pass with per-op plan memoization.
+
+The best-found actions/cost must be identical in all three modes, the
+propagation work must drop >= 2x (incremental vs scratch), and the
+per-evaluation cost-model wall-clock must drop >= 2x (streaming vs the
+materializing pipeline at identical evaluation counts).  Each run also
+reports the propagate-vs-estimate wall-clock split, keeping the "next
+hottest path" claim measurable, and the whole table is dumped to
+``BENCH_fig11.json``.
 """
 
 import time
@@ -19,13 +33,23 @@ from repro.mesh import Mesh
 from repro.models import gns as gns_mod
 from repro.models import unet as unet_mod
 from repro.sim import TPU_V3
-from benchmarks.common import gns_paper, print_table, unet_paper
+from benchmarks.common import (gns_paper, print_table, unet_paper,
+                               write_bench_json)
 
 MESH = Mesh({"batch": 8, "model": 4})
+
+# (incremental+memoize, streaming) per mode; see module docstring.
+MODES = {
+    "scratch": (False, False),
+    "incremental": (True, False),
+    "streaming": (True, True),
+}
 
 
 def test_fig11(benchmark):
     rows = []
+    records = []
+    estimate_totals = {"incremental": 0.0, "streaming": 0.0}
 
     def run_all():
         cases = [
@@ -38,48 +62,83 @@ def test_fig11(benchmark):
             timings = {}
             for axes in (["batch"], ["batch", "model"]):
                 results = {}
-                # "scratch" = identical per-action evaluation semantics with
-                # the worklist engine and both caches off (full sweep per
-                # action, every prefix replayed).  That is the only baseline
-                # whose best-found cost is comparable action-for-action; the
-                # pre-memoization evaluator propagated once per rollout with
-                # order-dependent results, so it cannot share this assert.
-                for mode in ("scratch", "incremental"):
-                    incremental = mode == "incremental"
+                for mode, (incremental, streaming) in MODES.items():
                     env = ShardingEnv(MESH)
                     t0 = time.perf_counter()
                     result = mcts_search(
                         traced.function, env, axes, device=TPU_V3,
                         budget=8, rollout_depth=2, max_inputs=12,
                         incremental=incremental, memoize=incremental,
+                        streaming=streaming,
                     )
                     elapsed = time.perf_counter() - t0
                     results[mode] = (result, elapsed)
+                    per_eval_est = result.estimate_time_s / max(
+                        result.evaluations, 1)
                     rows.append((
                         label, "+".join(axes), mode, f"{elapsed:.2f}s",
+                        f"{result.propagate_time_s:.2f}s",
+                        f"{result.estimate_time_s:.2f}s",
                         result.evaluations, result.cache_hits,
-                        result.propagate_calls, result.ops_processed,
-                        len(result.actions),
+                        result.lower_calls, result.estimate_ops_reused,
+                        result.ops_processed, len(result.actions),
                     ))
+                    records.append({
+                        "model": label, "axes": axes, "mode": mode,
+                        "wall_clock_s": elapsed,
+                        "propagate_time_s": result.propagate_time_s,
+                        "estimate_time_s": result.estimate_time_s,
+                        "per_evaluation_estimate_s": per_eval_est,
+                        "evaluations": result.evaluations,
+                        "cache_hits": result.cache_hits,
+                        "lower_calls": result.lower_calls,
+                        "estimate_ops_reused": result.estimate_ops_reused,
+                        "propagate_calls": result.propagate_calls,
+                        "ops_processed": result.ops_processed,
+                        "best_cost": result.cost,
+                        "best_actions": [list(a) for a in result.actions],
+                    })
                 scratch, _ = results["scratch"]
-                incr, inc_time = results["incremental"]
-                timings[len(axes)] = inc_time
-                # Memoization + incrementality are pure speedups: the
-                # fixed-seed search outcome is unchanged...
-                assert incr.actions == scratch.actions
-                assert incr.cost == scratch.cost
-                # ...while the propagation work drops by at least 2x.
+                incr, _ = results["incremental"]
+                stream, stream_time = results["streaming"]
+                timings[len(axes)] = stream_time
+                # Every speed layer is pure: the fixed-seed search outcome
+                # is unchanged across all three configurations...
+                assert incr.actions == scratch.actions == stream.actions
+                assert incr.cost == scratch.cost == stream.cost
+                # ...the propagation work drops by at least 2x...
                 assert incr.ops_processed * 2 <= scratch.ops_processed
+                # ...and the streaming evaluator runs the same evaluations
+                # without ever materializing a lowering.
+                assert stream.evaluations == incr.evaluations
+                assert stream.lower_calls == 0
+                estimate_totals["incremental"] += incr.estimate_time_s
+                estimate_totals["streaming"] += stream.estimate_time_s
             # More axes should not be cheaper to search than one axis.
             assert timings[2] >= 0.5 * timings[1]
+        # The streaming evaluator cuts per-evaluation cost-model wall-clock
+        # by at least 2x vs the materializing pipeline.  Asserted on the
+        # aggregate across all cases (identical evaluation counts per case,
+        # so the ratio of totals is a per-evaluation ratio): individual
+        # cases measure ~2.4-3.5x locally, and aggregating keeps a noisy
+        # shared CI runner from flaking the gate on the weakest case.
+        assert (estimate_totals["incremental"]
+                >= 2.0 * estimate_totals["streaming"]), (
+            f"streaming estimate total {estimate_totals['streaming']:.3f}s "
+            f"not 2x faster than materialized "
+            f"{estimate_totals['incremental']:.3f}s"
+        )
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
     print_table(
         "Figure 11: automatic partitioning search time grows with #axes "
         "(paper: up to ~1250s at full scale; budget-scaled here); "
         "incremental+memoized search matches scratch results with >=2x "
-        "less propagation work",
-        ["model", "axes", "mode", "search time", "evals", "tt hits",
-         "propagates", "ops processed", "actions found"],
+        "less propagation work, and the streaming cost evaluator cuts "
+        "per-evaluation lower/estimate time >=2x more",
+        ["model", "axes", "mode", "search", "propagate", "estimate",
+         "evals", "tt hits", "lowers", "plans reused", "ops processed",
+         "actions"],
         rows,
     )
+    write_bench_json("fig11", {"mesh": dict(MESH.axes), "runs": records})

@@ -2,8 +2,12 @@
 
 The paper reports partitioning at <= 14% of XLA's total compile time.  Our
 "compilation" pipeline is trace + partition (tactics + propagation) +
-lowering + fusion; the reproduction target is that partitioning stays a
-modest fraction of the total.
+lowering + fusion + estimation; the reproduction target is that
+partitioning stays a modest fraction of the total.  Each row reports the
+propagate vs lower+fuse vs estimate wall-clock split explicitly — after
+the streaming search evaluator moved the hot loop off the materializing
+pipeline, this is the measurement that shows where the remaining one-shot
+compile time goes — and the table is dumped to ``BENCH_fig8.json``.
 """
 
 import time
@@ -26,6 +30,7 @@ from benchmarks.common import (
     run_schedule,
     t32_paper,
     unet_paper,
+    write_bench_json,
 )
 
 MESH = Mesh({"batch": 16, "model": 2})
@@ -33,6 +38,7 @@ MESH = Mesh({"batch": 16, "model": 2})
 
 def test_fig8(benchmark):
     rows = []
+    records = []
 
     def run_all():
         cases = []
@@ -64,25 +70,42 @@ def test_fig8(benchmark):
         for name, traced, schedule, mesh, trace_s in cases:
             scratch = run_schedule(traced, schedule, mesh, incremental=False)
             result = run_schedule(traced, schedule, mesh, incremental=True)
-            total = trace_s + result.partition_s + result.lower_s
+            total = (trace_s + result.partition_s + result.lower_s
+                     + result.estimate_s)
             fraction = 100.0 * result.partition_s / total
             rows.append((
-                name, f"{result.partition_s:.2f}s",
-                f"{scratch.partition_s:.2f}s", f"{total:.2f}s",
-                f"{fraction:.1f}%", result.propagate_calls,
+                name, f"{result.partition_s:.2f}s", f"{result.lower_s:.2f}s",
+                f"{result.estimate_s:.2f}s", f"{scratch.partition_s:.2f}s",
+                f"{total:.2f}s", f"{fraction:.1f}%", result.propagate_calls,
                 result.ops_processed, scratch.ops_processed,
             ))
+            records.append({
+                "model": name,
+                "trace_s": trace_s,
+                "partition_s": result.partition_s,
+                "lower_fuse_s": result.lower_s,
+                "estimate_s": result.estimate_s,
+                "scratch_partition_s": scratch.partition_s,
+                "pipeline_total_s": total,
+                "partition_pct": fraction,
+                "propagate_calls": result.propagate_calls,
+                "ops_processed_incremental": result.ops_processed,
+                "ops_processed_scratch": scratch.ops_processed,
+            })
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
     print_table(
         "Figure 8: partition time as % of the compile pipeline "
-        "(paper: <= 14% of XLA compile); incremental per-tactic "
-        "propagation vs from-scratch sweeps",
-        ["model", "partition", "scratch part.", "pipeline total",
-         "partition %", "propagates", "ops (incr)", "ops (scratch)"],
+        "(paper: <= 14% of XLA compile); explicit propagate vs lower+fuse "
+        "vs estimate split; incremental per-tactic propagation vs "
+        "from-scratch sweeps",
+        ["model", "partition", "lower+fuse", "estimate", "scratch part.",
+         "pipeline total", "partition %", "propagates", "ops (incr)",
+         "ops (scratch)"],
         rows,
     )
+    write_bench_json("fig8", {"runs": records})
     # Partitioning stays a bounded fraction of the pipeline, and the
     # incremental engine never does more propagation work than scratch.
-    assert all(float(row[4].rstrip("%")) < 80.0 for row in rows)
-    assert all(row[6] <= row[7] for row in rows)
+    assert all(float(row[6].rstrip("%")) < 80.0 for row in rows)
+    assert all(row[8] <= row[9] for row in rows)

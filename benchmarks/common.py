@@ -14,6 +14,8 @@ Run with:  pytest benchmarks/ --benchmark-only -s
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -76,8 +78,11 @@ class Run:
     estimate: object
     lowered: object
     env: ShardingEnv
+    # Wall-clock split: tactics+propagation vs lower+fuse vs estimate, so
+    # "which phase is the next hottest path" stays directly measurable.
     partition_s: float
     lower_s: float
+    estimate_s: float = 0.0
     # Propagation-engine counters (repro.core.sharding.PropagationStats).
     propagate_calls: int = 0
     ops_processed: int = 0
@@ -94,17 +99,37 @@ def run_schedule(traced, schedule, mesh, device=TPU_V3,
     lowered = lower(traced.function, env)
     lowered.function = fuse_collectives(lowered.function)
     lower_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    estimate = costmodel.estimate(lowered, device)
+    estimate_s = time.perf_counter() - t0
     return Run(
         name="+".join(t.name for t in schedule),
         counts=count_collectives(lowered.function),
-        estimate=costmodel.estimate(lowered, device),
+        estimate=estimate,
         lowered=lowered,
         env=env,
         partition_s=partition_s,
         lower_s=lower_s,
+        estimate_s=estimate_s,
         propagate_calls=env.stats.propagate_calls,
         ops_processed=env.stats.ops_processed,
     )
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write BENCH_<name>.json (machine-readable perf trajectory).
+
+    Output lands in ``$BENCH_OUTPUT_DIR`` (default: current directory) so
+    CI can upload the files as artifacts and downstream tooling can diff
+    wall-clock / evaluation / cache-hit trends across commits.
+    """
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\n[bench] wrote {path}")
+    return path
 
 
 def print_table(title: str, header: Sequence[str],

@@ -168,6 +168,13 @@ class AutomaticPartition(Tactic):
 
     Wraps :mod:`repro.auto`'s Monte-Carlo tree search; any optimisation
     algorithm with the same action interface can be substituted.
+
+    Candidate shardings are scored through the streaming cost evaluator
+    (``lower + fuse_collectives + estimate`` fused into one pass that never
+    materializes device-local IR); pass ``options={"streaming": False}`` to
+    score through the materializing pipeline instead — the results are
+    bit-identical either way.  ``partir_jit`` itself always materializes
+    the final lowering, since the executor needs real IR.
     """
 
     def __init__(self, axes: Sequence[str],

@@ -10,19 +10,28 @@ The search state is a *set* of tile actions on function inputs.  Evaluation
 is canonical: the actions are sorted and deduped, then applied in that order
 with one propagation fixed point per action — so an evaluation's outcome is
 a pure function of the canonical action set, independent of the order the
-tree discovered it in.  That purity is what makes the two speed layers
+tree discovered it in.  That purity is what makes the three speed layers
 exact:
 
 * a **transposition table** keyed by the canonical action tuple means a
   rollout that reaches an already-scored action set costs a dict lookup
-  instead of a propagate/lower/estimate pipeline run, and
+  instead of a propagate/lower/estimate pipeline run,
 * a **prefix env cache**: the propagated :class:`ShardingEnv` for each
   canonical prefix is memoized, so scoring a set extends its longest cached
   prefix with incremental propagation (worklist seeded from the one new
-  action) rather than replaying the whole prefix from scratch.
+  action) rather than replaying the whole prefix from scratch, and
+* a **streaming cost evaluator** (``streaming=True``): instead of
+  materializing a device-local function, fusing its collectives, and
+  walking it (thousands of Operation/Value allocations thrown away per
+  rollout), the cost is accumulated directly from the lowering stream
+  (:class:`repro.sim.costmodel.StreamingEstimator`), with per-op lowering
+  plans memoized on sharding signatures so only ops whose neighborhood
+  changed since a previous evaluation are re-planned.
 
-``memoize=False`` / ``incremental=False`` disable the caches / the worklist
-engine without changing any result — the regression tests pin this.
+``memoize=False`` / ``incremental=False`` / ``streaming=False`` disable the
+caches / the worklist engine / the streaming evaluator without changing any
+result — the regression and property tests pin this (the streaming path is
+bit-identical to ``lower -> fuse_collectives -> estimate``).
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
+import time
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.propagate import propagate
@@ -53,6 +63,14 @@ class SearchResult:
     cache_hits: int = 0  # transposition-table hits
     propagate_calls: int = 0
     ops_processed: int = 0
+    #: Materializing lower() pipeline runs (0 on the streaming path).
+    lower_calls: int = 0
+    #: Per-op lowering plans reused from the streaming evaluator's memo.
+    estimate_ops_reused: int = 0
+    #: Wall-clock split: env extension (apply + propagate) vs cost
+    #: evaluation (lower/fuse/estimate, streaming or materialized).
+    propagate_time_s: float = 0.0
+    estimate_time_s: float = 0.0
 
 
 def _canonical(actions: Sequence[Tuple[int, int, str]]) -> ActionKey:
@@ -102,20 +120,34 @@ class _Evaluator:
 
     def __init__(self, function: Function, env: ShardingEnv,
                  device: DeviceSpec, incremental: bool = True,
-                 memoize: bool = True):
+                 memoize: bool = True, streaming: bool = True):
         self.function = function
         self.device = device
         self.incremental = incremental
         self.memoize = memoize
+        self.streaming = streaming
         self.evaluations = 0
         self.cache_hits = 0
+        self.lower_calls = 0
+        self.propagate_time_s = 0.0
+        self.estimate_time_s = 0.0
         self._cost_cache: Dict[ActionKey, float] = {}
         self._env_cache: Dict[ActionKey, ShardingEnv] = {}
+        # One streaming estimator for the whole search: its per-op plan
+        # memo is what lets an evaluation reuse the lowering decisions of
+        # every previously-scored env that agrees on an op's neighborhood.
+        self._estimator = costmodel.StreamingEstimator(
+            function, env.mesh, device
+        ) if streaming else None
         # Root fixed point: search never mutates the caller's env.  The
         # event log is dropped — evaluation envs never read it, and every
         # cached prefix env would otherwise re-copy the whole history.
         self.root = env.copy(with_events=False)
         propagate(function, self.root, incremental=incremental)
+
+    @property
+    def estimate_ops_reused(self) -> int:
+        return self._estimator.ops_reused if self._estimator else 0
 
     def _env_for(self, key: ActionKey) -> ShardingEnv:
         """Propagated env for a canonical action prefix.
@@ -143,11 +175,19 @@ class _Evaluator:
             if cached is not None:
                 self.cache_hits += 1
                 return cached
+        t0 = time.perf_counter()
         env = self._env_for(key)
-        lowered = lower(self.function, env)
-        lowered.function = fuse_collectives(lowered.function)
-        estimate = costmodel.estimate(lowered, self.device)
+        t1 = time.perf_counter()
+        self.propagate_time_s += t1 - t0
+        if self.streaming:
+            estimate = self._estimator.estimate(env)
+        else:
+            lowered = lower(self.function, env)
+            lowered.function = fuse_collectives(lowered.function)
+            estimate = costmodel.estimate(lowered, self.device)
+            self.lower_calls += 1
         cost = costmodel.search_objective(estimate, self.device)
+        self.estimate_time_s += time.perf_counter() - t1
         self.evaluations += 1
         if self.memoize:
             self._cost_cache[key] = cost
@@ -202,19 +242,22 @@ def mcts_search(
     max_inputs: int = 48,
     incremental: bool = True,
     memoize: bool = True,
+    streaming: bool = True,
 ) -> SearchResult:
     """UCT search; returns the best action sequence found.
 
-    ``incremental``/``memoize`` toggle the worklist propagation engine and
-    the transposition/prefix-env caches; neither changes the returned
-    actions or cost for a fixed seed.
+    ``incremental``/``memoize``/``streaming`` toggle the worklist
+    propagation engine, the transposition/prefix-env caches, and the
+    streaming cost evaluator; none of them changes the returned actions or
+    cost for a fixed seed (the streaming evaluator is bit-identical to the
+    materializing pipeline).
     """
     rng = random.Random(seed)
     candidates = _candidate_actions(function, env, axes, max_inputs)
     # Snapshot before _Evaluator.__init__: its root fixed point counts too.
     stats_before = env.stats.snapshot()
-    evaluator = _Evaluator(function, env, device,
-                           incremental=incremental, memoize=memoize)
+    evaluator = _Evaluator(function, env, device, incremental=incremental,
+                           memoize=memoize, streaming=streaming)
     baseline = evaluator.evaluate([])
     best_actions: ActionKey = ()
     best_cost = baseline
@@ -259,6 +302,10 @@ def mcts_search(
         cache_hits=evaluator.cache_hits,
         propagate_calls=stats_after[0] - stats_before[0],
         ops_processed=stats_after[2] - stats_before[2],
+        lower_calls=evaluator.lower_calls,
+        estimate_ops_reused=evaluator.estimate_ops_reused,
+        propagate_time_s=evaluator.propagate_time_s,
+        estimate_time_s=evaluator.estimate_time_s,
     )
 
 
@@ -273,18 +320,22 @@ def run_automatic_partition(
     max_inputs: int = 48,
     incremental: bool = True,
     memoize: bool = True,
+    streaming: bool = True,
     **_ignored,
 ) -> int:
     """Entry point used by :class:`repro.api.AutomaticPartition`.
 
     Runs the search against a copy of the env, then applies the winning
     actions to the real env and propagates (so the tactic composes with
-    earlier manual tactics and can never undo them).
+    earlier manual tactics and can never undo them).  The search itself
+    scores candidates through the streaming cost evaluator; the winner's
+    replay only re-applies actions — real device-local IR is materialized
+    once, later, by ``partir_jit``'s final lowering.
     """
     result = mcts_search(function, env, axes, device=device, budget=budget,
                          rollout_depth=rollout_depth, seed=seed,
                          max_inputs=max_inputs, incremental=incremental,
-                         memoize=memoize)
+                         memoize=memoize, streaming=streaming)
     # Replay the winner exactly the way the evaluator scored it: one
     # propagation fixed point per canonical action.  Applying all actions
     # first and propagating once could reach a different fixed point (a

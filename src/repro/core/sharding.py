@@ -27,6 +27,9 @@ from repro.ir.values import Value
 from repro.mesh import Mesh
 
 
+_REPLICATED: Dict[int, "Sharding"] = {}
+
+
 @dataclasses.dataclass(frozen=True)
 class Sharding:
     """Sharding of one value (see module docstring)."""
@@ -37,7 +40,33 @@ class Sharding:
 
     @staticmethod
     def replicated(rank: int) -> "Sharding":
-        return Sharding(tuple(() for _ in range(rank)))
+        # Interned: fully-replicated shardings are requested for every value
+        # an env has never seen, so sharing one immutable instance per rank
+        # keeps overlay envs allocation-free on the default path.
+        cached = _REPLICATED.get(rank)
+        if cached is None:
+            cached = _REPLICATED[rank] = Sharding(
+                tuple(() for _ in range(rank))
+            )
+        return cached
+
+    def signature(self) -> Tuple:
+        """Cached hashable signature.
+
+        Equal shardings have equal signatures (frozensets are canonicalized
+        by sorting), and the tuple hashes much faster than the dataclass's
+        generated ``__hash__`` over frozensets — it is the key the streaming
+        cost evaluator memoizes per-op lowering plans on.
+        """
+        sig = getattr(self, "_signature", None)
+        if sig is None:
+            sig = (
+                self.dim_axes,
+                tuple(sorted(self.sum_axes)),
+                tuple(sorted(self.pinned)),
+            )
+            object.__setattr__(self, "_signature", sig)
+        return sig
 
     @property
     def rank(self) -> int:
@@ -147,11 +176,28 @@ class ShardingEnv:
     the last ``propagate`` fixed point — and a monotone ``version`` counter
     bumped on every effective sharding update.  Incremental propagation seeds
     its worklist from the dirty set instead of sweeping the whole function.
+
+    Storage is a parent-chain overlay: :meth:`copy` freezes the env's own
+    writes into a shared immutable base map and hands the clone the same
+    chain, so forking a prefix-cache env costs O(delta written since the
+    last fork), not O(all values) — the search's per-tree-node copies were
+    previously a full-dict copy each.  Lookups probe the local delta then
+    the frozen bases newest-first; once the chain grows past
+    ``_FLATTEN_DEPTH`` it is squashed into one map to bound probe cost.
+    Frozen bases are never mutated, so parents and clones may diverge
+    freely after a fork.
     """
+
+    #: Squash the base chain into one dict once it grows past this depth.
+    _FLATTEN_DEPTH = 8
 
     def __init__(self, mesh: Mesh):
         self.mesh = mesh
-        self._shardings: Dict[Value, Sharding] = {}
+        #: Frozen ancestor write-sets, oldest first.  Shared across copies;
+        #: never mutated after freezing.
+        self._bases: Tuple[Dict[Value, Sharding], ...] = ()
+        #: This env's own writes since the last fork.
+        self._delta: Dict[Value, Sharding] = {}
         self.events: List[Event] = []
         #: Monotone counter: bumped once per sharding change.
         self.version: int = 0
@@ -159,11 +205,14 @@ class ShardingEnv:
         self.stats = PropagationStats()
 
     def sharding(self, value: Value) -> Sharding:
-        existing = self._shardings.get(value)
-        if existing is None:
-            existing = Sharding.replicated(len(value.type.shape))
-            self._shardings[value] = existing
-        return existing
+        existing = self._delta.get(value)
+        if existing is not None:
+            return existing
+        for base in reversed(self._bases):
+            existing = base.get(value)
+            if existing is not None:
+                return existing
+        return Sharding.replicated(len(value.type.shape))
 
     def set_sharding(self, value: Value, sharding: Sharding) -> None:
         # Axis order within a dim is insertion order (outer-to-inner), i.e.
@@ -175,9 +224,9 @@ class ShardingEnv:
                 f"sharding rank {sharding.rank} != value rank "
                 f"{len(value.type.shape)}"
             )
-        if self._shardings.get(value) == sharding:
+        if self.sharding(value) == sharding:
             return
-        self._shardings[value] = sharding
+        self._delta[value] = sharding
         self.version += 1
         self._dirty.add(value)
 
@@ -194,12 +243,24 @@ class ShardingEnv:
         self._dirty.clear()
 
     def copy(self, with_events: bool = True) -> "ShardingEnv":
-        """Clone the env.  ``with_events=False`` starts the clone with an
-        empty event log — for throwaway evaluation envs (e.g. the search's
-        prefix cache) that never read the caller's history, so hundreds of
-        cached copies don't each duplicate it."""
+        """Clone the env in O(writes since the last fork).
+
+        The env's own delta is frozen into the shared base chain (both the
+        parent and the clone keep reading it; neither ever mutates it), and
+        both sides continue with fresh empty deltas.  ``with_events=False``
+        starts the clone with an empty event log — for throwaway evaluation
+        envs (e.g. the search's prefix cache) that never read the caller's
+        history, so hundreds of cached copies don't each duplicate it."""
+        if self._delta:
+            self._bases = self._bases + (self._delta,)
+            self._delta = {}
+        if len(self._bases) > self._FLATTEN_DEPTH:
+            merged: Dict[Value, Sharding] = {}
+            for base in self._bases:
+                merged.update(base)
+            self._bases = (merged,)
         clone = ShardingEnv(self.mesh)
-        clone._shardings = dict(self._shardings)
+        clone._bases = self._bases
         if with_events:
             clone.events = list(self.events)
         clone.version = self.version

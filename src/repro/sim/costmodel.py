@@ -11,6 +11,18 @@ transfers" — this module does exactly that over device-local programs:
   launch latencies),
 * peak memory from live-range analysis (:mod:`repro.sim.memory`).
 
+Two evaluation paths produce identical numbers:
+
+* :func:`estimate` walks a materialized, fused device-local
+  :class:`~repro.ir.function.Function` (the classic
+  ``lower -> fuse_collectives -> estimate`` pipeline), and
+* :class:`CostSink` + :class:`StreamingEstimator` price the lowering
+  *stream* directly — fusing collectives peephole-style as they are emitted
+  and accumulating the same :class:`CostEstimate` without ever allocating
+  IR.  The automatic-partitioning search uses this path; per-op lowering
+  plans are memoized on sharding signatures so an evaluation that extends a
+  cached prefix re-plans only the ops whose neighborhood changed.
+
 Absolute numbers are not calibrated against real hardware (the paper makes
 the same disclaimer); *relative* comparisons between schedules are the
 product.
@@ -19,16 +31,20 @@ product.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import math
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.ir import opdefs
 from repro.ir.function import Function
+from repro.ir.types import TensorType
 from repro.mesh import Mesh
 from repro.sim.devices import DeviceSpec
-from repro.sim.memory import peak_live_bytes
+from repro.sim import memory as memory_mod
+from repro.sim.memory import LiveRangeLog, peak_live_bytes
 from repro.spmd.collectives import is_collective
-from repro.spmd.lower import LoweredModule
+from repro.spmd.fusion import single_axis_move
+from repro.spmd.lower import LoweredModule, Lowerer
 
 # Fraction of peak FLOPs dense ops actually achieve; keeps MFU in the
 # realistic 40-60% band the paper reports instead of an idealised 100%.
@@ -58,32 +74,40 @@ class CostEstimate:
             )
 
 
-def _collective_cost(op, mesh: Mesh, device: DeviceSpec):
-    """(bytes_on_wire, seconds) for one collective op."""
-    operand_bytes = op.operands[0].type.nbytes
-    result_bytes = op.results[0].type.nbytes
-    if op.opcode == "all_reduce":
-        axes = op.attrs["axes"]
+def collective_cost(opcode: str, attrs: dict, operand_bytes: float,
+                    result_bytes: float, mesh: Mesh,
+                    device: DeviceSpec) -> Tuple[float, float]:
+    """(bytes_on_wire, seconds) for one collective, from sizes + attrs."""
+    if opcode == "all_reduce":
+        axes = attrs["axes"]
         n = mesh.group_size(axes)
         bytes_moved = 2.0 * operand_bytes * (n - 1) / max(n, 1)
-    elif op.opcode == "all_gather":
-        axes = [a for axes in op.attrs["dims"] for a in axes]
+    elif opcode == "all_gather":
+        axes = [a for dim_axes in attrs["dims"] for a in dim_axes]
         n = mesh.group_size(axes)
         bytes_moved = result_bytes * (n - 1) / max(n, 1)
-    elif op.opcode == "reduce_scatter":
-        axes = [a for axes in op.attrs["dims"] for a in axes]
+    elif opcode == "reduce_scatter":
+        axes = [a for dim_axes in attrs["dims"] for a in dim_axes]
         n = mesh.group_size(axes)
         bytes_moved = operand_bytes * (n - 1) / max(n, 1)
-    elif op.opcode == "all_to_all":
-        axes = op.attrs["axes"]
+    elif opcode == "all_to_all":
+        axes = attrs["axes"]
         n = mesh.group_size(axes)
         bytes_moved = operand_bytes * (n - 1) / max(n, 1)
-    elif op.opcode == "all_slice":
+    elif opcode == "all_slice":
         return 0.0, 0.0  # device-local
     else:
-        raise ValueError(f"not a collective: {op.opcode}")
+        raise ValueError(f"not a collective: {opcode}")
     seconds = bytes_moved / device.link_bandwidth + device.collective_latency
     return bytes_moved, seconds
+
+
+def _collective_cost(op, mesh: Mesh, device: DeviceSpec):
+    """(bytes_on_wire, seconds) for one collective op."""
+    return collective_cost(
+        op.opcode, op.attrs, op.operands[0].type.nbytes,
+        op.results[0].type.nbytes, mesh, device,
+    )
 
 
 def _estimate_function(function: Function, mesh: Mesh,
@@ -135,6 +159,313 @@ def search_objective(estimate: CostEstimate, device: DeviceSpec) -> float:
     if estimate.peak_memory_bytes > device.hbm_bytes:
         cost *= 1e3 * (estimate.peak_memory_bytes / device.hbm_bytes)
     return cost
+
+
+# -- streaming cost evaluation ---------------------------------------------------
+
+
+class _StreamValue:
+    """A lowered value in the cost stream: a type and a uid, nothing else."""
+
+    __slots__ = ("type", "uid")
+
+    def __init__(self, type: TensorType, uid: int):
+        self.type = type
+        self.uid = uid
+
+
+@dataclasses.dataclass
+class _StreamResult:
+    """What a CostSink's ``finish`` returns (also the scan-body payload)."""
+
+    estimate: CostEstimate
+    peak_bytes: int
+    params_bytes: int
+
+
+class CostSink:
+    """Sink that prices the lowering stream instead of materializing it.
+
+    Accepts the same emission protocol as
+    :class:`~repro.spmd.lower.MaterializeSink`, but accumulates a
+    :class:`CostEstimate` and a :class:`~repro.sim.memory.LiveRangeLog`
+    directly.  The collective-fusion peepholes of
+    :mod:`repro.spmd.fusion` are applied in-stream: an ``all_reduce`` /
+    ``all_gather`` is held *pending* for exactly one emission step, and an
+    immediately-following ``all_slice`` consuming it fuses into
+    ``reduce_scatter`` (plus a residual ``all_reduce`` when the slice
+    covers only part of the reduction axes), a cancellation, or an
+    ``all_to_all``.  The reconcile chains the lowerer emits are contiguous
+    and their intermediates single-use by construction, so this one-step
+    window is exactly the fixed point ``fuse_collectives`` reaches on the
+    materialized function — the streaming-equivalence property tests pin
+    that claim.
+    """
+
+    __slots__ = ("mesh", "device", "estimate", "_uids", "_log",
+                 "_params_bytes", "_pending")
+
+    def __init__(self, mesh: Mesh, device: DeviceSpec, uids=None):
+        self.mesh = mesh
+        self.device = device
+        self.estimate = CostEstimate(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, {})
+        self._uids = uids if uids is not None else itertools.count()
+        self._log = LiveRangeLog()
+        self._params_bytes = 0
+        self._pending: Optional[tuple] = None
+
+    # -- sink protocol ------------------------------------------------------
+
+    def add_param(self, type: TensorType, name=None) -> _StreamValue:
+        handle = _StreamValue(type, next(self._uids))
+        nbytes = type.nbytes
+        self._params_bytes += nbytes
+        self._log.add_param(handle.uid, nbytes)
+        return handle
+
+    def set_input_names(self, names) -> None:
+        pass
+
+    def set_name(self, handle, name) -> None:
+        pass
+
+    def subsink(self, name: str) -> "CostSink":
+        return CostSink(self.mesh, self.device, self._uids)
+
+    def emit(self, opcode, operands, attrs, regions=None):
+        if opcode == "scan":
+            return self._emit_scan(operands, attrs, regions)
+        pending = self._pending
+        if pending is not None:
+            if opcode == "all_slice" and operands[0] is pending[3]:
+                fused = self._try_fuse(pending, attrs)
+                if fused is not None:
+                    self._pending = None
+                    return fused
+            self._flush_pending()
+        attrs = dict(attrs)
+        result_types = opdefs.get(opcode).infer(
+            [o.type for o in operands], attrs, []
+        )
+        handles = [_StreamValue(t, next(self._uids)) for t in result_types]
+        if opcode in ("all_reduce", "all_gather"):
+            # Hold for one step: the next emission either fuses it away
+            # (an all_slice consuming it) or finalizes it unchanged.
+            self._pending = (opcode, operands[0], attrs, handles[0])
+            return handles
+        self._cost_op(opcode, operands, attrs, handles)
+        return handles
+
+    def emit_planned(self, opcode, operands, attrs, plan):
+        """Fast path for a planned main-op emission: result types, sizes and
+        FLOPs were precomputed at plan time, so no type inference runs.
+        Main ops come from the global program and are never collectives, so
+        no fusion window applies — just flush any pending chain tail."""
+        if self._pending is not None:
+            self._flush_pending()
+        uids = self._uids
+        handles = [_StreamValue(t, next(uids)) for t in plan.result_types]
+        est = self.estimate
+        flops = plan.flops
+        est.local_flops += flops
+        est.compute_s += flops / (
+            self.device.peak_flops * _COMPUTE_EFFICIENCY
+        )
+        self._log.add_op(
+            [o.uid for o in operands],
+            [(h.uid, b) for h, b in zip(handles, plan.result_nbytes)],
+            alias=opcode in memory_mod.ALIASING_OPS,
+        )
+        return handles
+
+    def finish(self, results, names) -> _StreamResult:
+        self._flush_pending()
+        peak = self._log.peak_bytes([r.uid for r in results])
+        return _StreamResult(self.estimate, peak, self._params_bytes)
+
+    # -- accounting ---------------------------------------------------------
+
+    def _cost_op(self, opcode, operands, attrs, handles) -> None:
+        est = self.estimate
+        if is_collective(opcode):
+            bytes_moved, seconds = collective_cost(
+                opcode, attrs, operands[0].type.nbytes,
+                handles[0].type.nbytes, self.mesh, self.device,
+            )
+            est.comm_bytes += bytes_moved
+            est.comm_s += seconds
+            est.collective_time_s[opcode] = (
+                est.collective_time_s.get(opcode, 0.0) + seconds
+            )
+        else:
+            opdef = opdefs.get(opcode)
+            flops = opdef.flops([o.type for o in operands], attrs) \
+                if opdef.flops else 0.0
+            est.local_flops += flops
+            est.compute_s += flops / (
+                self.device.peak_flops * _COMPUTE_EFFICIENCY
+            )
+        self._log.add_op(
+            [o.uid for o in operands],
+            [(h.uid, h.type.nbytes) for h in handles],
+            alias=opcode in memory_mod.ALIASING_OPS,
+        )
+
+    def _flush_pending(self) -> None:
+        if self._pending is None:
+            return
+        opcode, operand, attrs, handle = self._pending
+        self._pending = None
+        self._cost_op(opcode, [operand], attrs, [handle])
+
+    def _try_fuse(self, pending, slice_attrs):
+        """Fuse the pending collective with the all_slice consuming it.
+        Returns the fused result handles, or None if the pair is unfusable
+        (the caller then finalizes the pending op and emits the slice)."""
+        p_opcode, p_operand, p_attrs, _ = pending
+        if p_opcode == "all_reduce":
+            reduce_axes = tuple(p_attrs["axes"])
+            slice_axes = {a for axes in slice_attrs["dims"] for a in axes}
+            if not slice_axes or not slice_axes <= set(reduce_axes):
+                return None
+            kind = p_attrs.get("kind", "add")
+            value = p_operand
+            residual = tuple(a for a in reduce_axes if a not in slice_axes)
+            if residual:
+                residual_attrs = {
+                    "axes": residual,
+                    "kind": kind,
+                    "sizes": {a: p_attrs["sizes"][a] for a in residual},
+                }
+                handle = _StreamValue(value.type, next(self._uids))
+                self._cost_op("all_reduce", [value], residual_attrs, [handle])
+                value = handle
+            rs_attrs = dict(slice_attrs)
+            rs_attrs["kind"] = kind
+            result_type = opdefs.get("reduce_scatter").infer(
+                [value.type], rs_attrs, []
+            )[0]
+            handle = _StreamValue(result_type, next(self._uids))
+            self._cost_op("reduce_scatter", [value], rs_attrs, [handle])
+            return [handle]
+
+        # all_gather + all_slice
+        g_dims = p_attrs["dims"]
+        s_dims = slice_attrs["dims"]
+        if tuple(g_dims) == tuple(s_dims):
+            return [p_operand]  # exact cancellation: nothing executes
+        move = single_axis_move(g_dims, s_dims)
+        if move is None:
+            return None
+        a2a_attrs = {
+            **move,
+            "sizes": {a: p_attrs["sizes"][a] for a in move["axes"]},
+            "operand_dims": p_attrs.get("operand_dims"),
+            "result_dims": slice_attrs.get("result_dims"),
+        }
+        result_type = opdefs.get("all_to_all").infer(
+            [p_operand.type], a2a_attrs, []
+        )[0]
+        handle = _StreamValue(result_type, next(self._uids))
+        self._cost_op("all_to_all", [p_operand], a2a_attrs, [handle])
+        return [handle]
+
+    def _emit_scan(self, operands, attrs, regions):
+        self._flush_pending()
+        body: _StreamResult = regions[0]
+        num_carries = attrs.get("num_carries", len(operands))
+        handles = [
+            _StreamValue(operands[i].type, next(self._uids))
+            for i in range(num_carries)
+        ]
+        self.estimate.merge_scaled(body.estimate, attrs["trip_count"])
+        self._log.add_op(
+            [o.uid for o in operands],
+            [(h.uid, h.type.nbytes) for h in handles],
+            extra=memory_mod.scan_body_extra_bytes(
+                body.peak_bytes, body.params_bytes
+            ),
+        )
+        return handles
+
+
+class _MemoLowerer(Lowerer):
+    """A lowerer whose per-op plans come from the estimator's memo table."""
+
+    def __init__(self, env, estimator: "StreamingEstimator"):
+        super().__init__(env)
+        self._estimator = estimator
+
+    def _lower_op(self, op, sink, value_map) -> None:
+        if op.opcode == "scan":
+            # Scan lowering reads the whole body, not just adjacent
+            # shardings; its *body ops* are memoized individually instead.
+            super()._lower_op(op, sink, value_map)
+            return
+        estimator = self._estimator
+        env = self.env
+        signature = tuple(
+            env.sharding(v).signature()
+            for v in itertools.chain(op.operands, op.results)
+        )
+        plans = estimator._plans.get(id(op))
+        if plans is None:
+            plans = estimator._plans[id(op)] = {}
+        plan = plans.get(signature)
+        if plan is None:
+            plan = plans[signature] = self._plan_op(op)
+            estimator.ops_planned += 1
+        else:
+            estimator.ops_reused += 1
+        self._execute_plan(op, plan, sink, value_map)
+
+
+class StreamingEstimator:
+    """Fused lower + fuse_collectives + estimate in one incremental pass.
+
+    Reusable across many envs over the *same* function (the MCTS evaluates
+    thousands): per-op lowering plans are memoized on the cached sharding
+    signatures of the op's adjacent values, so evaluating an env that
+    differs from a previously-seen one only on part of the program re-plans
+    only that part.  ``ops_reused`` / ``ops_planned`` count memo hits and
+    misses across the estimator's lifetime.
+    """
+
+    def __init__(self, function: Function, mesh: Mesh, device: DeviceSpec):
+        self.function = function
+        self.mesh = mesh
+        self.device = device
+        self.ops_planned = 0
+        self.ops_reused = 0
+        # id(op) -> {adjacent-sharding signature -> _OpPlan}.  Keying on
+        # id() is safe: self.function keeps every op (and region op) alive.
+        self._plans: Dict[int, Dict[tuple, object]] = {}
+
+    def estimate(self, env, overlap: bool = True) -> CostEstimate:
+        lowerer = _MemoLowerer(env, self)
+        sink = CostSink(self.mesh, self.device)
+        stream = lowerer.lower_function(self.function, sink)
+        result = stream.estimate
+        if overlap:
+            result.runtime_s = max(result.compute_s, result.comm_s)
+        else:
+            result.runtime_s = result.compute_s + result.comm_s
+        result.peak_memory_bytes = stream.peak_bytes
+        return result
+
+
+def estimate_streaming(function: Function, env, device: DeviceSpec,
+                       overlap: bool = True) -> CostEstimate:
+    """One-shot streaming estimate of ``function`` under ``env``.
+
+    Numerically identical — bit-for-bit, including the per-collective time
+    breakdown and peak memory — to
+    ``estimate(fuse_collectives(lower(function, env)), device)``, without
+    materializing the device-local IR.
+    """
+    return StreamingEstimator(function, env.mesh, device).estimate(
+        env, overlap=overlap
+    )
 
 
 def model_flops(function: Function) -> float:

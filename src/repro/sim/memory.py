@@ -5,80 +5,126 @@ at the PartIR:HLO level, where we follow a tensor as long as it is being
 used" — this module is that analysis.  A simple fusion heuristic treats
 zero-cost shape ops (reshape/transpose/broadcast-of-scalar) as aliasing their
 operand rather than allocating, mimicking what a backend compiler would fuse.
+
+The analysis runs over a :class:`LiveRangeLog` — a compact stream of
+``(operand uids, result (uid, nbytes) pairs, alias flag, transient extra)``
+records.  :func:`peak_live_bytes` builds the log by walking a materialized
+:class:`~repro.ir.function.Function`; the streaming cost evaluator
+(:class:`repro.sim.costmodel.CostSink`) appends the identical records as it
+prices the lowered stream, so both paths share one peak-memory algorithm
+without the streaming path ever allocating IR objects.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.ir.function import Function
 from repro.ir.values import Value
 
 # Ops assumed fused/aliased by the backend: they do not allocate.
-_ALIASING = {"reshape", "transpose", "tag", "stop_gradient", "convert"}
+ALIASING_OPS = {"reshape", "transpose", "tag", "stop_gradient", "convert"}
 
 
 def value_bytes(value: Value) -> int:
     return value.type.nbytes
 
 
+class LiveRangeLog:
+    """Streaming op log feeding the live-range peak-memory analysis.
+
+    One record per executed op: which uids it reads, which (uid, nbytes)
+    it defines, whether it aliases its operand instead of allocating, and
+    any transient bytes (a scan body's extra) that spike only during the op.
+    """
+
+    __slots__ = ("_params", "_ops")
+
+    def __init__(self):
+        self._params: List[Tuple[int, int]] = []
+        self._ops: List[tuple] = []
+
+    def add_param(self, uid: int, nbytes: int) -> None:
+        self._params.append((uid, nbytes))
+
+    def add_op(self, operand_uids: Sequence[int],
+               result_pairs: Sequence[Tuple[int, int]],
+               alias: bool = False, extra: int = 0) -> None:
+        self._ops.append((tuple(operand_uids), tuple(result_pairs),
+                          alias, extra))
+
+    def peak_bytes(self, result_uids: Sequence[int]) -> int:
+        """Peak sum of live tensor bytes across the logged execution."""
+        last_use: Dict[int, int] = {}
+        for index, (operands, _, _, _) in enumerate(self._ops):
+            for uid in operands:
+                last_use[uid] = index
+        out_set = set(result_uids)
+        for uid in out_set:
+            last_use[uid] = len(self._ops)
+
+        nbytes = dict(self._params)
+        live = 0
+        # Parameters are live from the start.
+        for _, size in self._params:
+            live += size
+        peak = live
+
+        alias_of: Dict[int, int] = {}
+
+        def root(uid: int) -> int:
+            while uid in alias_of:
+                uid = alias_of[uid]
+            return uid
+
+        freed: Set[int] = set()
+        for index, (operands, results, alias, extra) in enumerate(self._ops):
+            for uid, size in results:
+                nbytes[uid] = size
+            if alias:
+                alias_of[results[0][0]] = operands[0]
+                # Aliases extend the root's lifetime.
+                root_uid = root(operands[0])
+                last_use[root_uid] = max(
+                    last_use.get(root_uid, index),
+                    last_use.get(results[0][0], index),
+                )
+            else:
+                for _, size in results:
+                    live += size
+                if extra:
+                    # A scan body's transient peak rides on top of the
+                    # carries for the duration of the op.
+                    live += extra
+                    peak = max(peak, live)
+                    live -= extra
+            peak = max(peak, live)
+            # Free values whose last use has passed.
+            for uid in set(operands) | {u for u, _ in results}:
+                root_uid = root(uid)
+                if root_uid in freed:
+                    continue
+                if last_use.get(root_uid, -1) <= index \
+                        and root_uid not in out_set:
+                    freed.add(root_uid)
+                    live -= nbytes[root_uid]
+        return peak
+
+
 def peak_live_bytes(function: Function) -> int:
     """Peak sum of live tensor bytes across the function's execution."""
-    last_use: Dict[Value, int] = {}
-    for index, op in enumerate(function.ops):
-        for operand in op.operands:
-            last_use[operand] = index
-    for result in function.results:
-        last_use[result] = len(function.ops)
-
-    live = 0
-    peak = 0
-    # Parameters are live from the start.
+    log = LiveRangeLog()
     for param in function.params:
-        live += value_bytes(param)
-    peak = live
-
-    alias_of: Dict[Value, Value] = {}
-
-    def root(value: Value) -> Value:
-        while value in alias_of:
-            value = alias_of[value]
-        return value
-
-    freed: Set[Value] = set()
-    for index, op in enumerate(function.ops):
-        if op.opcode in _ALIASING:
-            alias_of[op.results[0]] = op.operands[0]
-            # Aliases extend the root's lifetime.
-            root_value = root(op.operands[0])
-            last_use[root_value] = max(
-                last_use.get(root_value, index),
-                last_use.get(op.results[0], index),
-            )
-        else:
-            for result in op.results:
-                live += value_bytes(result)
-            if op.opcode == "scan":
-                # The body's transient peak rides on top of the carries.
-                live += _scan_body_extra(op.regions[0])
-                peak = max(peak, live)
-                live -= _scan_body_extra(op.regions[0])
-        peak = max(peak, live)
-        # Free values whose last use has passed.
-        for operand in set(op.operands) | set(op.results):
-            root_value = root(operand)
-            if root_value in freed:
-                continue
-            if last_use.get(root_value, -1) <= index and not _is_output(
-                root_value, function
-            ):
-                freed.add(root_value)
-                live -= value_bytes(root_value)
-    return peak
-
-
-def _is_output(value: Value, function: Function) -> bool:
-    return value in function.results
+        log.add_param(param.uid, value_bytes(param))
+    for op in function.ops:
+        extra = _scan_body_extra(op.regions[0]) if op.opcode == "scan" else 0
+        log.add_op(
+            [operand.uid for operand in op.operands],
+            [(result.uid, value_bytes(result)) for result in op.results],
+            alias=op.opcode in ALIASING_OPS,
+            extra=extra,
+        )
+    return log.peak_bytes([result.uid for result in function.results])
 
 
 def _scan_body_extra(body: Function) -> int:
@@ -86,3 +132,10 @@ def _scan_body_extra(body: Function) -> int:
     inner_peak = peak_live_bytes(body)
     carries = sum(value_bytes(p) for p in body.params)
     return max(0, inner_peak - carries)
+
+
+def scan_body_extra_bytes(body_peak: int, body_params_bytes: int) -> int:
+    """The streaming analogue of :func:`_scan_body_extra`: the transient
+    spike a lowered scan body adds on top of its carries, from the body's
+    already-computed peak and parameter bytes."""
+    return max(0, body_peak - body_params_bytes)

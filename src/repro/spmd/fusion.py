@@ -7,6 +7,19 @@
 
 Fusion rewrites the device-local function; it never changes semantics, only
 which collective implements them — exactly the fusions the paper describes.
+
+The pass is plan-then-rebuild: one planning sweep collects *every*
+non-overlapping producer/consumer pair (each is gated on the producer's
+result having a single use), then a single rebuild applies them all — so
+``fuse_collectives`` costs one rebuild per fusion *generation*, not one per
+fused pair.  The outer fixed-point loop only re-enters when applying a
+generation exposes a chain that was not fusable before (it terminates
+immediately otherwise, without rebuilding).  Region bodies (scan) are fused
+once up front rather than re-walked inside every rebuild.
+
+The same peepholes are applied in-stream — without materializing the
+function at all — by :class:`repro.sim.costmodel.CostSink` on the search's
+streaming cost-evaluation path.
 """
 
 from __future__ import annotations
@@ -25,12 +38,13 @@ def fuse_collectives(function: Function) -> Function:
         if op.regions:
             op.regions = [fuse_collectives(region) for region in op.regions]
     while True:
-        function, changed = _fuse_once(function)
-        if not changed:
+        fused_into, consumed = _plan_fusions(function)
+        if not fused_into:
             return function
+        function = _apply_fusions(function, fused_into, consumed)
 
 
-def _single_axis_move(gather_dims, slice_dims) -> Optional[dict]:
+def single_axis_move(gather_dims, slice_dims) -> Optional[dict]:
     """Detect a pure axis move: gather axes on one dim, slice the same axes
     on a different dim."""
     g_dims = [d for d, axes in enumerate(gather_dims) if axes]
@@ -46,7 +60,12 @@ def _single_axis_move(gather_dims, slice_dims) -> Optional[dict]:
     }
 
 
-def _fuse_once(function: Function):
+def _plan_fusions(function: Function):
+    """One sweep over the function collecting all fusable pairs.
+
+    Returns ``(fused_into, consumed)``: producer op id -> the consuming
+    ``all_slice`` to fuse it with, and the set of consumed slice op ids.
+    """
     uses: Dict[Value, int] = {}
     for op in function.ops:
         for operand in op.operands:
@@ -54,7 +73,6 @@ def _fuse_once(function: Function):
     for result in function.results:
         uses[result] = uses.get(result, 0) + 1
 
-    # Plan: map producer op -> consuming all_slice op to fuse with.
     fused_into: Dict[int, Operation] = {}
     consumed = set()
     for op in function.ops:
@@ -77,13 +95,15 @@ def _fuse_once(function: Function):
             if tuple(g_dims) == tuple(s_dims):
                 fused_into[id(producer)] = op
                 consumed.add(id(op))
-            elif _single_axis_move(g_dims, s_dims) is not None:
+            elif single_axis_move(g_dims, s_dims) is not None:
                 fused_into[id(producer)] = op
                 consumed.add(id(op))
+    return fused_into, consumed
 
-    if not fused_into:
-        return function, False
 
+def _apply_fusions(function: Function, fused_into: Dict[int, Operation],
+                   consumed) -> Function:
+    """Rebuild the function once, applying every planned fusion."""
     builder = FunctionBuilder(function.name)
     subst: Dict[Value, Value] = {}
     for param in function.params:
@@ -104,16 +124,14 @@ def _fuse_once(function: Function):
             subst[consumer.results[0]] = new_value
             subst[op.results[0]] = new_value  # producer result is dead
             continue
-        regions = [
-            fuse_collectives(region) for region in op.regions
-        ] or None
-        new_op = builder.emit(op.opcode, operands, dict(op.attrs), regions)
+        new_op = builder.emit(op.opcode, operands, dict(op.attrs),
+                              op.regions or None)
         for old, new in zip(op.results, new_op.results):
             new.name = old.name
             subst[old] = new
     builder.ret(*[remap(r) for r in function.results],
                 names=function.output_names)
-    return builder.function, True
+    return builder.function
 
 
 def _emit_fused(builder: FunctionBuilder, producer: Operation,
@@ -143,7 +161,7 @@ def _emit_fused(builder: FunctionBuilder, producer: Operation,
     s_dims = consumer.attrs["dims"]
     if tuple(g_dims) == tuple(s_dims):
         return operand  # exact cancellation
-    move = _single_axis_move(g_dims, s_dims)
+    move = single_axis_move(g_dims, s_dims)
     assert move is not None
     return builder.emit1(
         "all_to_all",

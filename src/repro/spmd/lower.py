@@ -1,25 +1,49 @@
 """Lowering a sharded module to device-local SPMD code (Sections 6, C).
 
 Given the sharding environment produced by tactics + propagation, this pass
-emits a *device-local* function in which:
-
-* every value has its device-local shape,
-* communication is explicit via mesh-axis collectives,
-* shape-carrying attrs (broadcast/reshape/iota/slice) are localized.
-
-The reconciliation discipline mirrors the paper's lowering:
-
-* a pending ``#sum`` operand is ``all_reduce``-d at its first use that cannot
-  defer the reduction (fusion later turns AR+slice into ``reduce_scatter``),
-* an operand sharded on axes the op's factor assignment does not explain is
-  ``all_gather``-ed at the use site (this is where FSDP's per-use parameter
-  gathers come from — one AG in forward, one in backward),
-* an operand missing required tiling is ``all_slice``-d (local, free),
-* an op whose *result* sharding its rule cannot explain (e.g. a sharded
-  constant) is computed replicated and ``all_slice``-d after.
-
+*reconciles* every op: a pending ``#sum`` operand is ``all_reduce``-d at its
+first use that cannot defer the reduction, an operand sharded on axes the
+op's factor assignment does not explain is ``all_gather``-ed at the use
+site (FSDP's per-use parameter gathers), an operand missing required tiling
+is ``all_slice``-d (local, free), and an op whose *result* sharding its
+rule cannot explain is computed replicated and ``all_slice``-d after.
 Gathers are deliberately *not* CSE-d across uses: the paper counts (and XLA
 materializes) one gather per use site.
+
+**Sink architecture.**  The lowerer itself only *decides* what to emit; the
+emission target is a pluggable sink:
+
+* :class:`MaterializeSink` wraps a :class:`FunctionBuilder` and produces the
+  classic device-local :class:`Function` — every value has its device-local
+  shape, communication is explicit via mesh-axis collectives, shape-carrying
+  attrs (broadcast/reshape/iota/slice) are localized.  This is what
+  :func:`lower` (and therefore ``partir_jit`` and the executor) use.
+* :class:`repro.sim.costmodel.CostSink` prices the same emission stream
+  directly — applying the collective-fusion peepholes in-stream and
+  accumulating a :class:`~repro.sim.costmodel.CostEstimate` — without
+  allocating a single :class:`Operation`/:class:`Value`.  The automatic-
+  partitioning search evaluates thousands of candidate shardings through it.
+
+**Plan/execute split.**  Per-op lowering is two phases: :meth:`Lowerer.
+_plan_op` computes the op's reconciliation *plan* (required per-operand
+layouts, allowed-pending sets, localized attrs, expected local shapes,
+trailing slices) purely from the adjacent shardings, and :meth:`Lowerer.
+_execute_plan` replays a plan into a sink.  A plan is a pure function of
+``(op, operand shardings, result shardings)`` — the streaming cost
+evaluator memoizes plans on the shardings' cached signatures and only
+re-plans ops whose neighborhood changed, mirroring incremental propagation.
+
+The sink protocol (duck-typed):
+
+* ``add_param(type, name) -> handle`` / ``set_input_names(names)``
+* ``emit(opcode, operands, attrs, regions=None) -> [handle, ...]``
+* ``set_name(handle, name)``
+* ``subsink(name) -> sink`` — a fresh sink for a region (scan body)
+* ``finish(results, names) -> payload`` — the lowered artifact; region
+  payloads are passed back through ``emit``'s ``regions`` argument.
+
+Handles expose ``.type`` (a :class:`TensorType`) and a per-lowering unique
+``.uid``; :class:`Value` satisfies this natively.
 """
 
 from __future__ import annotations
@@ -28,6 +52,7 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import LoweringError
+from repro.ir import opdefs
 from repro.ir.function import Function, FunctionBuilder
 from repro.ir.values import Operation, Value
 from repro.mesh import Mesh
@@ -50,11 +75,44 @@ class LoweredModule:
     output_shardings: List[Sharding]
 
 
+class MaterializeSink:
+    """Sink that builds real device-local IR through a FunctionBuilder."""
+
+    __slots__ = ("builder",)
+
+    def __init__(self, name: str):
+        self.builder = FunctionBuilder(name)
+
+    def add_param(self, type, name=None):
+        return self.builder.function.add_param(type, name=name)
+
+    def set_input_names(self, names) -> None:
+        self.builder.function.input_names = list(names)
+
+    def emit(self, opcode, operands, attrs, regions=None):
+        return self.builder.emit(opcode, operands, attrs, regions).results
+
+    def emit_planned(self, opcode, operands, attrs, plan):
+        # Materializing ignores the plan's precomputed types: the builder
+        # re-infers them, keeping lower()'s verification byte-for-byte.
+        return self.builder.emit(opcode, operands, attrs).results
+
+    def set_name(self, handle, name) -> None:
+        handle.name = name
+
+    def subsink(self, name: str) -> "MaterializeSink":
+        return MaterializeSink(name)
+
+    def finish(self, results, names) -> Function:
+        return self.builder.ret(*results, names=names)
+
+
 def lower(function: Function, env: ShardingEnv) -> LoweredModule:
     """Lower ``function`` under ``env`` to a device-local function."""
-    lowerer = _Lowerer(env)
+    lowerer = Lowerer(env)
     input_shardings = [env.sharding(p) for p in function.params]
-    local = lowerer.lower_function(function, function.name + "_spmd")
+    sink = MaterializeSink(function.name + "_spmd")
+    local = lowerer.lower_function(function, sink)
     output_shardings = [
         env.sharding(r).without_sum(env.sharding(r).sum_axes)
         for r in function.results
@@ -62,7 +120,32 @@ def lower(function: Function, env: ShardingEnv) -> LoweredModule:
     return LoweredModule(local, env.mesh, input_shardings, output_shardings)
 
 
-class _Lowerer:
+@dataclasses.dataclass
+class _OpPlan:
+    """The per-op lowering decisions, decoupled from any emission target.
+
+    Everything here is a pure function of the op (opcode, attrs, types) and
+    the shardings of its adjacent values — the memo key the streaming
+    evaluator uses.  Plans are immutable after construction: execution only
+    reads them, so one plan may be replayed into many sinks.
+    """
+
+    operand_shardings: Tuple[Sharding, ...]
+    required: Tuple[Dict[int, List[str]], ...]
+    allowed_pending: Tuple[Set[str], ...]
+    attrs: dict
+    expected_shapes: Tuple[Tuple[int, ...], ...]
+    trailing: Tuple[Optional[dict], ...]
+    # Precomputed for the cost path (sink.emit_planned): the device-local
+    # result types/sizes and the op's local FLOPs under this plan's layouts.
+    # The materializing sink ignores these and re-infers, so the classic
+    # lower() keeps its full type-inference verification.
+    result_types: Tuple = ()
+    result_nbytes: Tuple[int, ...] = ()
+    flops: float = 0.0
+
+
+class Lowerer:
     def __init__(self, env: ShardingEnv):
         self.env = env
         self.mesh = env.mesh
@@ -71,7 +154,7 @@ class _Lowerer:
         # the fused form is the paper's one reduce_scatter per gradient).
         # Pure gathers are deliberately NOT cached: parameters are gathered
         # per use site (FSDP's forward + backward all_gathers).
-        self._reduce_cache: Dict[Tuple, Tuple[Value, Sharding]] = {}
+        self._reduce_cache: Dict[Tuple, Tuple[object, Sharding]] = {}
 
     # -- helpers ------------------------------------------------------------
 
@@ -86,27 +169,26 @@ class _Lowerer:
     def lower_function(
         self,
         function: Function,
-        name: str,
+        sink,
         fixed_param_shardings: Optional[List[Sharding]] = None,
         result_targets: Optional[List[Sharding]] = None,
-    ) -> Function:
-        builder = FunctionBuilder(name)
-        value_map: Dict[Value, Value] = {}
+    ):
+        value_map: Dict[Value, object] = {}
         for i, param in enumerate(function.params):
             sharding = (
                 fixed_param_shardings[i]
                 if fixed_param_shardings is not None
                 else self.env.sharding(param)
             )
-            local = builder.function.add_param(
+            local = sink.add_param(
                 param.type.with_shape(self._local_shape(param, sharding)),
                 name=param.name,
             )
             value_map[param] = local
-        builder.function.input_names = list(function.input_names)
+        sink.set_input_names(function.input_names)
 
         for op in function.ops:
-            self._emit_op(op, builder, value_map)
+            self._lower_op(op, sink, value_map)
 
         # Reconcile results to their targets (default: env sharding with all
         # pending sums materialized — outputs are never partial).
@@ -121,22 +203,30 @@ class _Lowerer:
                 d: list(axes) for d, axes in enumerate(target.dim_axes)
             }
             value, _ = self._reconcile(
-                builder, value_map[result], actual, required, set()
+                sink, value_map[result], actual, required, set()
             )
             results.append(value)
-        builder.ret(*results, names=function.output_names)
-        return builder.function
+        return sink.finish(results, function.output_names)
+
+    def _lower_op(self, op: Operation, sink, value_map) -> None:
+        """Lower one op into the sink.  Overridden by the streaming
+        evaluator to memoize plans; scan is always re-planned (its lowering
+        reads the whole body, not just adjacent shardings)."""
+        if op.opcode == "scan":
+            self._emit_scan(op, sink, value_map)
+        else:
+            self._execute_plan(op, self._plan_op(op), sink, value_map)
 
     # -- reconciliation ---------------------------------------------------------
 
     def _reconcile(
         self,
-        builder: FunctionBuilder,
-        value: Value,
+        sink,
+        value,
         actual: Sharding,
         required: Dict[int, List[str]],
         allowed_pending: Set[str],
-    ) -> Tuple[Value, Sharding]:
+    ):
         """Convert ``value`` (laid out per ``actual``) to the ``required``
         per-dim layout, emitting collectives as needed."""
         rank = actual.rank
@@ -147,18 +237,18 @@ class _Lowerer:
         cache_key = None
         if ar_axes:
             cache_key = (
-                id(builder), value.uid, ar_axes,
+                id(sink), value.uid, ar_axes,
                 tuple(tuple(required.get(d, [])) for d in range(rank)),
             )
             cached = self._reduce_cache.get(cache_key)
             if cached is not None:
                 return cached
         if ar_axes:
-            value = builder.emit1(
+            value = sink.emit(
                 "all_reduce",
                 [value],
                 {"axes": ar_axes, "kind": "add", "sizes": self._sizes(ar_axes)},
-            )
+            )[0]
             actual = actual.without_sum(frozenset(ar_axes))
         # 2/3. Per-dim layout change: keep the longest common prefix, gather
         # the rest of the actual layout, then slice in the required suffix.
@@ -181,7 +271,7 @@ class _Lowerer:
                                          - len(gather_dims[d])])
                 for d in range(rank)
             )
-            value = builder.emit1(
+            value = sink.emit(
                 "all_gather",
                 [value],
                 {
@@ -190,11 +280,11 @@ class _Lowerer:
                     "operand_dims": actual.dim_axes,
                     "result_dims": mid_dims,
                 },
-            )
+            )[0]
             actual = dataclasses.replace(actual, dim_axes=mid_dims)
         if any(slice_dims):
             result_dims = tuple(new_dims)
-            value = builder.emit1(
+            value = sink.emit(
                 "all_slice",
                 [value],
                 {
@@ -203,40 +293,39 @@ class _Lowerer:
                     "operand_dims": actual.dim_axes,
                     "result_dims": result_dims,
                 },
-            )
+            )[0]
             actual = dataclasses.replace(actual, dim_axes=result_dims)
         if cache_key is not None:
             self._reduce_cache[cache_key] = (value, actual)
         return value, actual
 
-    # -- per-op assignment -------------------------------------------------------
+    # -- per-op planning ---------------------------------------------------------
 
-    def _emit_op(self, op: Operation, builder: FunctionBuilder,
-                 value_map: Dict[Value, Value]) -> None:
-        if op.opcode == "scan":
-            self._emit_scan(op, builder, value_map)
-            return
-
+    def _plan_op(self, op: Operation) -> _OpPlan:
+        """Compute the op's lowering plan from its adjacent shardings."""
         rule = None
         if op.opcode != "constant":
             rule = rules_mod.rule_for(op)
 
         n_in = len(op.operands)
+        operand_shardings = tuple(
+            self.env.sharding(operand) for operand in op.operands
+        )
         required: List[Dict[int, List[str]]] = [dict() for _ in range(n_in)]
         allowed_pending: List[Set[str]] = [set() for _ in range(n_in)]
         unexplained: List[Dict[int, List[str]]] = [
             dict() for _ in range(len(op.results))
         ]
 
-        def require(i: int, dim: int, axis: str, template_value: Value,
-                    template_dim: int, template_sharding: Sharding):
+        def require(i: int, dim: int, axis: str,
+                    template_sharding: Sharding, template_dim: int):
             """Append axis to required[i][dim], ordering by the template
             (the operand's own env layout first, then appended)."""
             axes = required[i].setdefault(dim, [])
             if axis in axes:
                 return
             template = list(template_sharding.dim_axes[template_dim])
-            env_layout = list(self.env.sharding(op.operands[i]).dim_axes[dim])
+            env_layout = list(operand_shardings[i].dim_axes[dim])
             # Build the union order: operand env layout first (max prefix
             # overlap with the actual layout), then template order.
             desired = [a for a in env_layout if a == axis or a in axes]
@@ -256,13 +345,13 @@ class _Lowerer:
                         continue
                     for side, i, dd in rule.factors[fid].entries:
                         if side == "in":
-                            require(i, dd, axis, result, d, result_sharding)
+                            require(i, dd, axis, result_sharding, d)
             # Explain result pendings: deferred from operands, or introduced
             # by a contracting factor whose operands are tiled.
             for axis in result_sharding.sum_axes:
                 pending_idx = [
-                    i for i, operand in enumerate(op.operands)
-                    if axis in self.env.sharding(operand).sum_axes
+                    i for i in range(n_in)
+                    if axis in operand_shardings[i].sum_axes
                 ]
                 if pending_idx and may_defer(self.env, op, axis, pending_idx):
                     for i in pending_idx:
@@ -275,16 +364,11 @@ class _Lowerer:
                             continue
                         entries = factor.in_entries()
                         if all(
-                            self.env.sharding(op.operands[i]).tile_dim_of(axis)
-                            == dd
+                            operand_shardings[i].tile_dim_of(axis) == dd
                             for _, i, dd in entries
                         ):
                             for _, i, dd in entries:
-                                operand_sharding = self.env.sharding(
-                                    op.operands[i]
-                                )
-                                require(i, dd, axis, op.operands[i], dd,
-                                        operand_sharding)
+                                require(i, dd, axis, operand_shardings[i], dd)
                             applied = True
                             break
                 if not applied and pending_idx:
@@ -292,18 +376,6 @@ class _Lowerer:
                     # the pending operand by propagation's construction).
                     for i in pending_idx:
                         allowed_pending[i].add(axis)
-
-        # Reconcile operands.
-        new_operands = []
-        for i, operand in enumerate(op.operands):
-            value, _ = self._reconcile(
-                builder,
-                value_map[operand],
-                self.env.sharding(operand),
-                required[i],
-                allowed_pending[i],
-            )
-            new_operands.append(value)
 
         # Localize shape-carrying attrs against the explained result sharding.
         attrs = dict(op.attrs)
@@ -324,7 +396,15 @@ class _Lowerer:
                 op.results[0], result_shardings_local[0]
             )
         elif op.opcode == "slice":
-            local_in = new_operands[0].type.shape
+            # The reconciled operand's local shape: reconciliation lays the
+            # operand out exactly per required[0], dim by dim.
+            in_dims = tuple(
+                tuple(required[0].get(d, ()))
+                for d in range(op.operands[0].type.rank)
+            )
+            local_in = Sharding(in_dims).local_shape(
+                op.operands[0].type.shape, self.mesh
+            )
             starts = list(attrs["starts"])
             limits = list(attrs["limits"])
             for d, axes in enumerate(result_shardings_local[0].dim_axes):
@@ -334,44 +414,99 @@ class _Lowerer:
             attrs["starts"] = tuple(starts)
             attrs["limits"] = tuple(limits)
 
-        new_op = builder.emit(op.opcode, new_operands, attrs)
-
+        expected_shapes: List[Tuple[int, ...]] = []
+        trailing: List[Optional[dict]] = []
         for r, (result, local_sharding) in enumerate(
             zip(op.results, result_shardings_local)
         ):
-            new_value = new_op.results[r]
-            expected = self._local_shape(result, local_sharding)
-            if new_value.type.shape != expected:
-                raise LoweringError(
-                    f"lowering {op.opcode}: local result shape "
-                    f"{new_value.type.shape} != expected {expected} "
-                    f"(sharding {local_sharding.spec()})"
-                )
+            expected_shapes.append(self._local_shape(result, local_sharding))
             if unexplained[r]:
                 full_sharding = self.env.sharding(result)
                 slice_dims = tuple(
                     tuple(unexplained[r].get(d, ()))
                     for d in range(full_sharding.rank)
                 )
-                new_value = builder.emit1(
-                    "all_slice",
-                    [new_value],
-                    {
-                        "dims": slice_dims,
-                        "sizes": self._sizes(
-                            [a for s in slice_dims for a in s]
-                        ),
-                        "operand_dims": local_sharding.dim_axes,
-                        "result_dims": full_sharding.dim_axes,
-                    },
+                trailing.append({
+                    "dims": slice_dims,
+                    "sizes": self._sizes(
+                        [a for s in slice_dims for a in s]
+                    ),
+                    "operand_dims": local_sharding.dim_axes,
+                    "result_dims": full_sharding.dim_axes,
+                })
+            else:
+                trailing.append(None)
+
+        # Precompute what the cost path needs so it can skip type inference:
+        # reconciliation lays every operand out exactly per required[i], so
+        # the local operand types (and hence the op's local FLOPs) are
+        # already determined here.
+        local_operand_types = []
+        for i, operand in enumerate(op.operands):
+            dims = tuple(
+                tuple(required[i].get(d, ()))
+                for d in range(operand.type.rank)
+            )
+            local_operand_types.append(operand.type.with_shape(
+                Sharding(dims).local_shape(operand.type.shape, self.mesh)
+            ))
+        result_types = tuple(
+            result.type.with_shape(shape)
+            for result, shape in zip(op.results, expected_shapes)
+        )
+        opdef = opdefs.get(op.opcode)
+        flops = opdef.flops(local_operand_types, attrs) if opdef.flops else 0.0
+
+        return _OpPlan(
+            operand_shardings=operand_shardings,
+            required=tuple(required),
+            allowed_pending=tuple(allowed_pending),
+            attrs=attrs,
+            expected_shapes=tuple(expected_shapes),
+            trailing=tuple(trailing),
+            result_types=result_types,
+            result_nbytes=tuple(t.nbytes for t in result_types),
+            flops=flops,
+        )
+
+    # -- per-op execution --------------------------------------------------------
+
+    def _execute_plan(self, op: Operation, plan: _OpPlan, sink,
+                      value_map) -> None:
+        """Replay a plan into a sink: reconcile operands, emit the op, slice
+        unexplained result axes back in, and bind the result handles."""
+        new_operands = []
+        for i, operand in enumerate(op.operands):
+            value, _ = self._reconcile(
+                sink,
+                value_map[operand],
+                plan.operand_shardings[i],
+                plan.required[i],
+                plan.allowed_pending[i],
+            )
+            new_operands.append(value)
+
+        new_results = sink.emit_planned(op.opcode, new_operands, plan.attrs,
+                                        plan)
+
+        for r, result in enumerate(op.results):
+            new_value = new_results[r]
+            if new_value.type.shape != plan.expected_shapes[r]:
+                raise LoweringError(
+                    f"lowering {op.opcode}: local result shape "
+                    f"{new_value.type.shape} != expected "
+                    f"{plan.expected_shapes[r]}"
                 )
-            new_value.name = result.name
+            if plan.trailing[r] is not None:
+                new_value = sink.emit(
+                    "all_slice", [new_value], plan.trailing[r]
+                )[0]
+            sink.set_name(new_value, result.name)
             value_map[result] = new_value
 
     # -- scan ---------------------------------------------------------------------
 
-    def _emit_scan(self, op: Operation, builder: FunctionBuilder,
-                   value_map: Dict[Value, Value]) -> None:
+    def _emit_scan(self, op: Operation, sink, value_map) -> None:
         body = op.regions[0]
         num_carries = op.attrs.get("num_carries", len(op.operands))
         operand_shardings = [
@@ -386,20 +521,21 @@ class _Lowerer:
                 for d, axes in enumerate(operand_shardings[i].dim_axes)
             }
             value, _ = self._reconcile(
-                builder, value_map[operand], self.env.sharding(operand),
+                sink, value_map[operand], self.env.sharding(operand),
                 required, set(),
             )
             new_operands.append(value)
         param_shardings = [Sharding.replicated(0)] + operand_shardings
+        body_sink = sink.subsink("body")
         local_body = self.lower_function(
-            body, "body",
+            body, body_sink,
             fixed_param_shardings=param_shardings,
             result_targets=carry_shardings,
         )
-        new_op = builder.emit("scan", new_operands, dict(op.attrs),
-                              regions=[local_body])
+        new_results = sink.emit("scan", new_operands, dict(op.attrs),
+                                regions=[local_body])
         for i, result in enumerate(op.results):
-            value = new_op.results[i]
+            value = new_results[i]
             env_sharding = self.env.sharding(result)
             if env_sharding.dim_axes != carry_shardings[i].dim_axes:
                 required = {
@@ -407,7 +543,7 @@ class _Lowerer:
                     for d, axes in enumerate(env_sharding.dim_axes)
                 }
                 value, _ = self._reconcile(
-                    builder, value,
+                    sink, value,
                     dataclasses.replace(
                         carry_shardings[i], sum_axes=frozenset()
                     ),
