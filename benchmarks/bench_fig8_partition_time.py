@@ -8,12 +8,19 @@ propagate vs lower+fuse vs estimate wall-clock split explicitly — after
 the streaming search evaluator moved the hot loop off the materializing
 pipeline, this is the measurement that shows where the remaining one-shot
 compile time goes — and the table is dumped to ``BENCH_fig8.json``.
+
+A trailing section adds the **backend axis** for schedules containing an
+``AutomaticPartition`` tactic: the same fixed-seed auto schedule run
+through each rollout scheduler must produce identical input shardings,
+and the per-backend partition time lands in the JSON so the search
+backend's contribution to compile time stays tracked.
 """
 
 import time
 
 import pytest
 
+from repro.api import AutomaticPartition, partir_jit
 from repro.mesh import Mesh
 from repro.models import gns as gns_mod
 from repro.models import transformer, unet as unet_mod
@@ -28,6 +35,7 @@ from benchmarks.common import (
     it32_paper,
     print_table,
     run_schedule,
+    search_backend_matrix,
     t32_paper,
     unet_paper,
     write_bench_json,
@@ -35,10 +43,13 @@ from benchmarks.common import (
 
 MESH = Mesh({"batch": 16, "model": 2})
 
+AUTO_BACKENDS, AUTO_WORKERS = search_backend_matrix()
+
 
 def test_fig8(benchmark):
     rows = []
     records = []
+    auto_rows = []
 
     def run_all():
         cases = []
@@ -93,6 +104,43 @@ def test_fig8(benchmark):
                 "ops_processed_scratch": scratch.ops_processed,
             })
 
+        # -- backend axis: AutomaticPartition inside the compile pipeline --
+        gcfg = gns_paper(message_steps=4)
+        shardings_by_backend = {}
+        for backend in AUTO_BACKENDS:
+            gtraced = gns_mod.trace_training_step(gcfg)
+            tactic = AutomaticPartition(
+                ["batch"],
+                {"budget": 8, "rollout_depth": 2, "max_inputs": 12,
+                 "seed": 0, "workers": AUTO_WORKERS},
+                search_backend=backend,
+            )
+            t0 = time.perf_counter()
+            _, metadata = partir_jit(gtraced, Mesh({"batch": 16}), [tactic],
+                                     estimate_per_tactic=False)
+            elapsed = time.perf_counter() - t0
+            search = tactic.last_search
+            shardings_by_backend[backend] = metadata.input_shardings
+            auto_rows.append((
+                "GNS-auto", backend, f"{metadata.partition_time_s:.2f}s",
+                f"{elapsed:.2f}s", search.evaluations, search.cache_hits,
+                search.reconcile_chain_hits,
+            ))
+            records.append({
+                "model": "GNS-auto", "backend": backend,
+                "workers": AUTO_WORKERS if backend == "process" else 1,
+                "partition_s": metadata.partition_time_s,
+                "pipeline_total_s": elapsed,
+                "search_evaluations": search.evaluations,
+                "search_cache_hits": search.cache_hits,
+                "reconcile_chain_hits": search.reconcile_chain_hits,
+            })
+        reference = shardings_by_backend[AUTO_BACKENDS[0]]
+        for backend, shardings in shardings_by_backend.items():
+            # The backend is a pure scheduling choice: the partitioned
+            # program must be identical.
+            assert shardings == reference, backend
+
     benchmark.pedantic(run_all, rounds=1, iterations=1)
     print_table(
         "Figure 8: partition time as % of the compile pipeline "
@@ -103,6 +151,13 @@ def test_fig8(benchmark):
          "pipeline total", "partition %", "propagates", "ops (incr)",
          "ops (scratch)"],
         rows,
+    )
+    print_table(
+        "Figure 8 (backend axis): AutomaticPartition in the pipeline, "
+        "one row per rollout scheduler — identical shardings by purity",
+        ["model", "backend", "partition", "pipeline total", "evals",
+         "tt hits", "chain hits"],
+        auto_rows,
     )
     write_bench_json("fig8", {"runs": records})
     # Partitioning stays a bounded fraction of the pipeline, and the

@@ -116,6 +116,25 @@ def run_schedule(traced, schedule, mesh, device=TPU_V3,
     )
 
 
+def search_backend_matrix():
+    """Search backends + worker count for benchmarks, from the environment.
+
+    ``BENCH_SEARCH_BACKENDS`` is a comma list (whitespace tolerated, e.g.
+    ``"serial, process"``); ``BENCH_SEARCH_WORKERS`` sizes the process
+    backend.  CI matrix legs use these to pick which schedulers a
+    benchmark exercises.
+    """
+    backends = tuple(
+        entry.strip()
+        for entry in os.environ.get(
+            "BENCH_SEARCH_BACKENDS", "serial,batched,process"
+        ).split(",")
+        if entry.strip()
+    )
+    workers = int(os.environ.get("BENCH_SEARCH_WORKERS", "2"))
+    return backends, workers
+
+
 def write_bench_json(name: str, payload: dict) -> str:
     """Write BENCH_<name>.json (machine-readable perf trajectory).
 

@@ -175,13 +175,29 @@ class AutomaticPartition(Tactic):
     score through the materializing pipeline instead — the results are
     bit-identical either way.  ``partir_jit`` itself always materializes
     the final lowering, since the executor needs real IR.
+
+    ``search_backend`` picks the rollout scheduler (``"serial"``,
+    ``"batched"`` or ``"process"`` — see :mod:`repro.auto.scheduler`);
+    ``cache_dir`` persists the search's transposition table on disk
+    (append-only, keyed by the traced function's fingerprint) so repeated
+    ``partir_jit`` calls warm-start from earlier scores.  After ``apply``,
+    ``last_search`` holds the full :class:`repro.auto.SearchResult`
+    (evaluations, cache/warm-start hit counters, timing split).
     """
 
     def __init__(self, axes: Sequence[str],
-                 options: Optional[Dict[str, Any]] = None):
+                 options: Optional[Dict[str, Any]] = None,
+                 search_backend: Optional[str] = None,
+                 cache_dir: Optional[str] = None):
         self.axes = list(axes)
         self.options = dict(options or {})
+        if search_backend is not None:
+            self.options["backend"] = search_backend
+        if cache_dir is not None:
+            self.options["cache_dir"] = cache_dir
         self.name = f"auto<{','.join(self.axes)}>"
+        #: The SearchResult of the most recent apply() (None before).
+        self.last_search = None
 
     def apply(self, function: Function, env: ShardingEnv,
               incremental: bool = False) -> int:
@@ -189,9 +205,12 @@ class AutomaticPartition(Tactic):
 
         options = dict(self.options)
         options.setdefault("incremental", incremental)
-        return run_automatic_partition(
-            function, env, self.axes, **options
+        results: list = []
+        applied = run_automatic_partition(
+            function, env, self.axes, result_sink=results, **options
         )
+        self.last_search = results[-1] if results else None
+        return applied
 
 
 @dataclasses.dataclass

@@ -1,5 +1,31 @@
-"""Automatic partitioning (the AutomaticPartition tactic's search)."""
+"""Automatic partitioning (the AutomaticPartition tactic's search).
 
+Package map:
+
+* :mod:`repro.auto.search` — public entry points (``mcts_search``,
+  ``run_automatic_partition``) and ``SearchResult``.
+* :mod:`repro.auto.tree` — UCT tree policy, virtual loss, rollout RNG.
+* :mod:`repro.auto.evaluator` — canonical-action-set scoring pipeline.
+* :mod:`repro.auto.scheduler` — serial / batched / process backends.
+* :mod:`repro.auto.cache` — transposition table + on-disk persistence.
+"""
+
+from repro.auto.cache import TranspositionTable, function_fingerprint
+from repro.auto.evaluator import Evaluator
+from repro.auto.scheduler import BACKENDS, RolloutScheduler, make_scheduler
 from repro.auto.search import SearchResult, mcts_search, run_automatic_partition
+from repro.auto.tree import TreePolicy, canonical_key
 
-__all__ = ["SearchResult", "mcts_search", "run_automatic_partition"]
+__all__ = [
+    "BACKENDS",
+    "Evaluator",
+    "RolloutScheduler",
+    "SearchResult",
+    "TranspositionTable",
+    "TreePolicy",
+    "canonical_key",
+    "function_fingerprint",
+    "make_scheduler",
+    "mcts_search",
+    "run_automatic_partition",
+]

@@ -1,0 +1,192 @@
+"""The transposition table: in-memory + append-only on-disk persistence.
+
+Evaluation is a pure function of the canonical action set (given the
+function, its initial shardings, the mesh and the device), so scored sets
+can be reused not just within one search but across *searches*: repeated
+``partir_jit``/``AutomaticPartition`` calls over the same traced function
+warm-start from everything earlier calls learned.
+
+The on-disk format is deliberately **write-lean** (in the spirit of
+append-optimized structures for asymmetric memories): one JSON record per
+line, appended once when an action set is first scored, never rewritten.
+A cache *hit* touches no bytes on disk; re-running a fully-warm search
+leaves the file byte-identical.  Reloading replays the log (last record
+wins, so a crashed half-written tail line is simply skipped).
+
+Files are keyed by :func:`function_fingerprint` — a stable hash of the
+traced function's structure (op sequence, operand wiring, attrs, shapes,
+dtypes), the mesh, the device, and the initial sharding state the search
+starts from.  Any of those changing changes the fingerprint, so stale
+costs can never leak across programs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.sharding import ShardingEnv, enumerate_function_values
+from repro.ir.function import Function
+
+from repro.auto.tree import ActionKey
+
+
+# -- fingerprinting ----------------------------------------------------------------
+
+
+def _canon(obj):
+    """Canonical, deterministic rendering of an attr value for hashing."""
+    if isinstance(obj, dict):
+        return ("dict",) + tuple(
+            (repr(k), _canon(v)) for k, v in sorted(obj.items(), key=repr)
+        )
+    if isinstance(obj, (list, tuple)):
+        return ("seq",) + tuple(_canon(v) for v in obj)
+    if isinstance(obj, (set, frozenset)):
+        return ("set",) + tuple(sorted(repr(v) for v in obj))
+    if hasattr(obj, "tobytes") and hasattr(obj, "shape"):  # ndarray-like
+        digest = hashlib.blake2b(obj.tobytes(), digest_size=8).hexdigest()
+        return ("nd", tuple(obj.shape), str(getattr(obj, "dtype", "")), digest)
+    return repr(obj)
+
+
+def function_fingerprint(function: Function, mesh,
+                         device=None, env: Optional[ShardingEnv] = None) -> str:
+    """Stable hex fingerprint of a traced function in its search context.
+
+    Hashes the structural identity of everything a canonical action set's
+    cost depends on: the op sequence (opcodes, attrs, operand wiring by
+    canonical value index), every value's shape/dtype, the mesh, the
+    device, and the initial (pre-search) sharding state.  Object ids,
+    value uids and Python hash salts never enter the digest, so the
+    fingerprint is stable across processes and runs.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    index = {
+        value: i
+        for i, value in enumerate(enumerate_function_values(function))
+    }
+
+    def feed(payload) -> None:
+        hasher.update(repr(payload).encode())
+        hasher.update(b"\x00")
+
+    def visit(fn: Function) -> None:
+        feed(("fn", len(fn.params), len(fn.ops), len(fn.results)))
+        for param in fn.params:
+            feed(("param", index[param], param.type.shape,
+                  str(param.type.dtype)))
+        for op in fn.ops:
+            feed((
+                "op", op.opcode,
+                tuple(index[o] for o in op.operands),
+                tuple((index[r], r.type.shape, str(r.type.dtype))
+                      for r in op.results),
+                _canon(op.attrs),
+            ))
+            for region in op.regions:
+                visit(region)
+        feed(("results", tuple(index[r] for r in fn.results)))
+
+    visit(function)
+    feed(("mesh", tuple(sorted(mesh.axes.items()))))
+    if device is not None:
+        feed(("device", _canon(dataclasses.asdict(device))
+              if dataclasses.is_dataclass(device) else repr(device)))
+    if env is not None:
+        feed(("env", env.portable_state(function)))
+    return hasher.hexdigest()
+
+
+# -- the table ---------------------------------------------------------------------
+
+
+class TranspositionTable:
+    """Canonical-action-set -> cost, with optional append-only persistence.
+
+    ``lookup`` counts hits (and, separately, *warm* hits on entries loaded
+    from disk — the cross-call reuse the persistent cache exists for).
+    ``store`` registers a fresh cost and queues one record for the log;
+    ``flush`` appends the queued records in one write.  Nothing ever
+    rewrites or rereads existing bytes.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.hits = 0
+        self.warm_hits = 0
+        self._costs: Dict[ActionKey, float] = {}
+        self._warm: Set[ActionKey] = set()
+        self._pending: List[Tuple[ActionKey, float]] = []
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    @property
+    def warm_entries(self) -> int:
+        return len(self._warm)
+
+    def __len__(self) -> int:
+        return len(self._costs)
+
+    def __contains__(self, key: ActionKey) -> bool:
+        return key in self._costs
+
+    def lookup(self, key: ActionKey) -> Optional[float]:
+        cost = self._costs.get(key)
+        if cost is not None:
+            self.hits += 1
+            if key in self._warm:
+                self.warm_hits += 1
+        return cost
+
+    def peek(self, key: ActionKey) -> Optional[float]:
+        """Like :meth:`lookup` but without counting a hit."""
+        return self._costs.get(key)
+
+    def store(self, key: ActionKey, cost: float) -> None:
+        if key in self._costs:
+            return
+        self._costs[key] = cost
+        if self.path is not None:
+            self._pending.append((key, cost))
+
+    def flush(self) -> None:
+        """Append queued records to the log (no-op when nothing is new)."""
+        if self.path is None or not self._pending:
+            return
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        with open(self.path, "a") as handle:
+            for key, cost in self._pending:
+                record = {"k": [list(action) for action in key], "c": cost}
+                handle.write(json.dumps(record) + "\n")
+        self._pending = []
+
+    def _load(self, path: str) -> None:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line from a crashed writer
+                key = tuple(
+                    (int(i), int(d), str(axis)) for i, d, axis in record["k"]
+                )
+                self._costs[key] = float(record["c"])
+                self._warm.add(key)
+
+
+def table_for(cache_dir: Optional[str], function: Function, mesh,
+              device, env: Optional[ShardingEnv]) -> TranspositionTable:
+    """The (possibly persistent) table for one search invocation."""
+    if cache_dir is None:
+        return TranspositionTable()
+    fingerprint = function_fingerprint(function, mesh, device, env)
+    return TranspositionTable(
+        path=os.path.join(cache_dir, f"tt_{fingerprint}.jsonl")
+    )

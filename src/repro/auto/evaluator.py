@@ -1,0 +1,184 @@
+"""Scoring canonical action sets: the prefix-env + streaming-estimator pipeline.
+
+The evaluator is the purity boundary the whole search subsystem leans on:
+``evaluate(actions)`` is a pure function of the canonical action set (given
+the function, initial env, mesh and device), independent of the order the
+tree discovered the set in and of which process runs the evaluation.  The
+scheduler exploits that purity to run evaluations serially, in batched
+waves, or fanned across worker processes — and the transposition table
+(:mod:`repro.auto.cache`) to reuse scores across whole searches.
+
+Speed layers, all exact:
+
+* a **prefix env cache**: the propagated :class:`ShardingEnv` for each
+  canonical prefix is memoized, so scoring a set extends its longest cached
+  prefix with one incremental-propagation fixed point per new action rather
+  than replaying the prefix from scratch, and
+* a **streaming cost evaluator** (``streaming=True``):
+  :class:`repro.sim.costmodel.StreamingEstimator` prices the lowering
+  stream directly — per-op lowering plans and whole reconcile-chain costs
+  are memoized on sharding signatures, so an evaluation re-plans only what
+  changed since any previous evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.propagate import propagate
+from repro.core.sharding import ShardingEnv
+from repro.ir.function import Function
+from repro.sim import costmodel
+from repro.sim.devices import DeviceSpec
+from repro.spmd.fusion import fuse_collectives
+from repro.spmd.lower import lower
+
+from repro.auto.cache import TranspositionTable
+from repro.auto.tree import ActionKey, canonical_key
+
+
+def action_legal(env: ShardingEnv, param, dim: int, axis: str) -> bool:
+    """May ``param``'s ``dim`` still be tiled along ``axis`` under ``env``?"""
+    sharding = env.sharding(param)
+    if sharding.uses(axis) or sharding.is_pinned(axis):
+        return False
+    denom = env.mesh.group_size(sharding.dim_axes[dim])
+    return param.type.shape[dim] % (denom * env.mesh.size(axis)) == 0
+
+
+def candidate_actions(function: Function, env: ShardingEnv,
+                      axes: Sequence[str],
+                      max_inputs: int = 48) -> List[Tuple[int, int, str]]:
+    """Enumerate legal tile actions on the largest function inputs."""
+    ranked = sorted(
+        enumerate(function.params),
+        key=lambda pair: -pair[1].type.nbytes,
+    )[:max_inputs]
+    actions = []
+    for index, param in ranked:
+        for axis in axes:
+            for dim in range(len(param.type.shape)):
+                if action_legal(env, param, dim, axis):
+                    actions.append((index, dim, axis))
+    return actions
+
+
+def try_apply_action(function: Function, env: ShardingEnv,
+                     action: Tuple[int, int, str]) -> bool:
+    """Apply one tile action if it is still legal under ``env``."""
+    index, dim, axis = action
+    param = function.params[index]
+    if not action_legal(env, param, dim, axis):
+        return False
+    env.set_sharding(param, env.sharding(param).with_tile(dim, axis))
+    return True
+
+
+class Evaluator:
+    """Scores canonical action sets; owns the memoization layers.
+
+    ``table`` is the transposition table consulted when ``memoize`` is on;
+    passing a shared (possibly disk-backed) table lets the scheduler and
+    repeated searches pool their scores.  The evaluator itself stays cheap
+    to construct in a worker process: everything it needs travels as
+    ``(function, mesh, portable env state, device, flags)``.
+    """
+
+    def __init__(self, function: Function, env: ShardingEnv,
+                 device: DeviceSpec, incremental: bool = True,
+                 memoize: bool = True, streaming: bool = True,
+                 reconcile_cache: bool = True,
+                 table: Optional[TranspositionTable] = None):
+        self.function = function
+        self.device = device
+        self.incremental = incremental
+        self.memoize = memoize
+        self.streaming = streaming
+        self.evaluations = 0
+        self.lower_calls = 0
+        self.propagate_time_s = 0.0
+        self.estimate_time_s = 0.0
+        #: Work done by remote workers on this evaluator's behalf (the
+        #: process scheduler aggregates each wave's counter deltas here,
+        #: so SearchResult reflects worker-side cache behavior too).
+        self.remote_ops_processed = 0
+        self.remote_propagate_calls = 0
+        self.remote_ops_reused = 0
+        self.remote_reconcile_hits = 0
+        self.table = table if table is not None else TranspositionTable()
+        self._env_cache: Dict[ActionKey, ShardingEnv] = {}
+        # One streaming estimator for the whole search: its per-op plan and
+        # reconcile-chain memos are what let an evaluation reuse the
+        # lowering decisions of every previously-scored env that agrees on
+        # an op's neighborhood.
+        self._estimator = costmodel.StreamingEstimator(
+            function, env.mesh, device, reconcile_cache=reconcile_cache
+        ) if streaming else None
+        # Root fixed point: search never mutates the caller's env.  The
+        # event log is dropped — evaluation envs never read it, and every
+        # cached prefix env would otherwise re-copy the whole history.
+        self.root = env.copy(with_events=False)
+        propagate(function, self.root, incremental=incremental)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.table.hits
+
+    @property
+    def estimate_ops_reused(self) -> int:
+        local = self._estimator.ops_reused if self._estimator else 0
+        return local + self.remote_ops_reused
+
+    @property
+    def reconcile_chain_hits(self) -> int:
+        local = self._estimator.reconcile_hits if self._estimator else 0
+        return local + self.remote_reconcile_hits
+
+    def _env_for(self, key: ActionKey) -> ShardingEnv:
+        """Propagated env for a canonical action prefix.
+
+        Recursively extends the env of ``key[:-1]`` by one action + one
+        propagation fixed point, reusing cached prefixes when memoizing.
+        """
+        if not key:
+            return self.root
+        if self.memoize:
+            cached = self._env_cache.get(key)
+            if cached is not None:
+                return cached
+        env = self._env_for(key[:-1]).copy()
+        try_apply_action(self.function, env, key[-1])
+        propagate(self.function, env, incremental=self.incremental)
+        if self.memoize:
+            self._env_cache[key] = env
+        return env
+
+    def evaluate(self, actions: Sequence[Tuple[int, int, str]]) -> float:
+        key = canonical_key(actions)
+        if self.memoize:
+            cached = self.table.lookup(key)
+            if cached is not None:
+                return cached
+        cost = self.compute(key)
+        if self.memoize:
+            self.table.store(key, cost)
+        return cost
+
+    def compute(self, key: ActionKey) -> float:
+        """Score ``key`` unconditionally (no transposition-table lookup)."""
+        t0 = time.perf_counter()
+        env = self._env_for(key)
+        t1 = time.perf_counter()
+        self.propagate_time_s += t1 - t0
+        if self.streaming:
+            estimate = self._estimator.estimate(env)
+        else:
+            lowered = lower(self.function, env)
+            lowered.function = fuse_collectives(lowered.function)
+            estimate = costmodel.estimate(lowered, self.device)
+            self.lower_calls += 1
+        cost = costmodel.search_objective(estimate, self.device)
+        self.estimate_time_s += time.perf_counter() - t1
+        self.evaluations += 1
+        return cost

@@ -1,0 +1,322 @@
+"""Rollout scheduling: serial, batched, and multiprocess search backends.
+
+The tree policy proposes rollouts (canonical action sets); the evaluator
+scores them; the scheduler decides *how many are in flight at once* and
+*where they are scored*:
+
+* ``serial`` — one rollout at a time, evaluate, back up: the classic
+  single-loop MCTS.  Virtual loss is applied and reverted around a wave of
+  size one, which provably changes no UCT score, so ``batched`` with
+  ``wave_size=1`` is bit-identical to ``serial``, counters included (the
+  regression suite pins this).  Note the rollout *randomness* is the
+  per-node streams of :mod:`repro.auto.tree` for every backend — a
+  deliberate change from the pre-package module's single shared
+  ``random.Random``, so that no backend's interleaving can perturb
+  another rollout's draw.
+* ``batched`` — collects a wave of leaves under virtual loss, then scores
+  the wave's distinct action sets in sorted order through the shared
+  evaluator, so consecutive sets extend common cached prefix envs, before
+  reverting the losses and backing up every leaf.
+* ``process`` — forms waves the same way, but fans the wave's
+  transposition-table misses across ``multiprocessing`` workers.  PR 1's
+  prefix-env cache made evaluations independent given their prefix: a
+  worker owns a full :class:`~repro.auto.evaluator.Evaluator` (its own
+  prefix envs, plan memos and local table), so the only bytes crossing the
+  process boundary are canonical action keys out and ``(key, cost,
+  counters)`` back.  Keys are routed to workers by a stable hash of the
+  canonical set's leading action: action sets sharing a prefix land on the
+  same worker in every wave, so each worker's prefix-env and lowering-plan
+  caches stay warm for its slice of the action space instead of every
+  worker cold-replanning everything (each worker is its own single-process
+  pool precisely so the routing — not pool timing — decides placement).
+
+Workers are primed once per search with ``(function, mesh, portable env
+state, device, flags)``; under the default ``fork`` start method that
+transfer is free, and everything in the payload is picklable for ``spawn``
+platforms (see ``ShardingEnv.portable_state`` and
+``StreamingEstimator.__getstate__``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.sharding import ShardingEnv
+
+from repro.auto.evaluator import Evaluator
+from repro.auto.tree import ActionKey, TreePolicy, _stable_hash
+
+#: Default worker count for the process backend.
+DEFAULT_WORKERS = 2
+
+BACKENDS = ("serial", "batched", "process")
+
+
+class RolloutScheduler:
+    """Drives ``budget`` rollouts of ``policy`` through ``evaluator``.
+
+    ``on_result(key, cost)`` fires once per rollout in wave order (the
+    deterministic record the caller tracks the incumbent best with);
+    rewards are backed up through the leaf that proposed the rollout.
+    """
+
+    name = "base"
+
+    def __init__(self, wave_size: Optional[int] = None,
+                 workers: Optional[int] = None):
+        self.wave_size = wave_size
+        self.workers = workers
+        self._started = False
+
+    # -- the wave loop ------------------------------------------------------
+
+    def prepare(self, evaluator: Evaluator) -> None:
+        """Start backend resources early (optional).
+
+        The process scheduler forks its worker pools here: ``Pool()``
+        returns as soon as the children exist, so their initializers —
+        which prime each worker's caches with a full root evaluation —
+        run concurrently with the main process's own baseline evaluation.
+        """
+        if not self._started:
+            self._start(evaluator)
+            self._started = True
+
+    def shutdown(self) -> None:
+        """Release backend resources (idempotent; ``run`` calls it too)."""
+        if self._started:
+            self._stop()
+            self._started = False
+
+    def run(self, policy: TreePolicy, evaluator: Evaluator, budget: int,
+            baseline: float,
+            on_result: Callable[[ActionKey, float], None]) -> None:
+        wave_size = self._effective_wave_size(budget)
+        self.prepare(evaluator)
+        try:
+            done = 0
+            while done < budget:
+                count = min(wave_size, budget - done)
+                wave = []
+                for _ in range(count):
+                    node, key = policy.next_rollout()
+                    node.apply_virtual_loss()
+                    wave.append((node, key))
+                costs = self._evaluate_wave(
+                    evaluator, [key for _, key in wave]
+                )
+                for node, key in wave:
+                    node.revert_virtual_loss()
+                    cost = costs[key]
+                    on_result(key, cost)
+                    # Reward = relative improvement over the empty set.
+                    node.backup((baseline - cost) / max(baseline, 1e-12))
+                done += count
+        finally:
+            self.shutdown()
+
+    def _effective_wave_size(self, budget: int) -> int:
+        return self.wave_size or 1
+
+    def _start(self, evaluator: Evaluator) -> None:
+        pass
+
+    def _stop(self) -> None:
+        pass
+
+    def _evaluate_wave(self, evaluator: Evaluator,
+                       keys: Sequence[ActionKey]) -> Dict[ActionKey, float]:
+        raise NotImplementedError
+
+
+class SerialScheduler(RolloutScheduler):
+    """One rollout in flight: the classic MCTS loop, bit-identical."""
+
+    name = "serial"
+
+    def _effective_wave_size(self, budget: int) -> int:
+        return 1
+
+    def _evaluate_wave(self, evaluator, keys):
+        return {key: evaluator.evaluate(key) for key in keys}
+
+
+class BatchedScheduler(RolloutScheduler):
+    """A wave of leaves in flight, scored through shared prefix envs."""
+
+    name = "batched"
+    DEFAULT_WAVE = 8
+
+    def _effective_wave_size(self, budget: int) -> int:
+        return self.wave_size or min(self.DEFAULT_WAVE, max(budget, 1))
+
+    def _evaluate_wave(self, evaluator, keys):
+        # Sorted order maximizes shared canonical prefixes between
+        # consecutive evaluations (the prefix-env cache turns those into
+        # single-action incremental extensions).
+        return {key: evaluator.evaluate(key) for key in sorted(set(keys))}
+
+
+# -- process backend ---------------------------------------------------------------
+
+# Per-worker evaluator, primed once by _worker_init (fork or spawn safe).
+_WORKER_EVALUATOR: Optional[Evaluator] = None
+
+
+def _worker_init(function, mesh, portable_env, device, incremental,
+                 memoize, streaming, reconcile_cache) -> None:
+    global _WORKER_EVALUATOR
+    env = ShardingEnv(mesh)
+    env.apply_portable_state(function, portable_env)
+    _WORKER_EVALUATOR = Evaluator(
+        function, env, device, incremental=incremental, memoize=memoize,
+        streaming=streaming, reconcile_cache=reconcile_cache,
+    )
+    # Prime the worker's per-op plan and reconcile-chain memos with the
+    # root env's full evaluation.  Initializers run while the main process
+    # computes its own baseline, so each worker's one unavoidable
+    # cold-cache full plan hides behind work the search does anyway.
+    _WORKER_EVALUATOR.evaluate(())
+
+
+def _worker_evaluate(key: ActionKey):
+    """Score one key; return the cost plus this call's counter deltas so
+    the main evaluator's observability (and the benchmark JSONs) reflect
+    worker-side cache behavior, not just the main process's."""
+    evaluator = _WORKER_EVALUATOR
+    stats = evaluator.root.stats
+    before = (
+        evaluator.propagate_time_s,
+        evaluator.estimate_time_s,
+        stats.ops_processed,
+        stats.propagate_calls,
+        evaluator.estimate_ops_reused,
+        evaluator.reconcile_chain_hits,
+        evaluator.lower_calls,
+    )
+    cost = evaluator.evaluate(key)
+    return (
+        key,
+        cost,
+        evaluator.propagate_time_s - before[0],
+        evaluator.estimate_time_s - before[1],
+        stats.ops_processed - before[2],
+        stats.propagate_calls - before[3],
+        evaluator.estimate_ops_reused - before[4],
+        evaluator.reconcile_chain_hits - before[5],
+        evaluator.lower_calls - before[6],
+    )
+
+
+class ProcessScheduler(RolloutScheduler):
+    """Waves fanned across evaluator-owning worker processes.
+
+    Each worker is a single-process pool of its own, so the prefix-affine
+    routing below — not pool scheduling timing — decides which worker
+    scores which action set.  That keeps placement (and therefore each
+    worker's cache contents) deterministic for a fixed seed.
+    """
+
+    name = "process"
+
+    def _effective_wave_size(self, budget: int) -> int:
+        workers = self.workers or DEFAULT_WORKERS
+        return self.wave_size or min(max(budget, 1), 2 * workers)
+
+    def _start(self, evaluator: Evaluator) -> None:
+        workers = self.workers or DEFAULT_WORKERS
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        root = evaluator.root
+        initargs = (
+            evaluator.function,
+            root.mesh,
+            root.portable_state(evaluator.function),
+            evaluator.device,
+            evaluator.incremental,
+            evaluator.memoize,
+            evaluator.streaming,
+            evaluator._estimator._chains is not None
+            if evaluator._estimator else True,
+        )
+        pools = []
+        try:
+            for _ in range(workers):
+                pools.append(context.Pool(1, initializer=_worker_init,
+                                          initargs=initargs))
+        except BaseException:
+            # A mid-list Pool() failure (fork limits, memory pressure)
+            # must not leak the workers already forked.
+            for pool in pools:
+                pool.terminate()
+                pool.join()
+            raise
+        self._pools = pools
+
+    def _stop(self) -> None:
+        for pool in self._pools:
+            pool.close()
+        for pool in self._pools:
+            pool.join()
+        self._pools = []
+
+    def _route(self, key: ActionKey) -> int:
+        """Stable worker index for a canonical action set.
+
+        Hashing the *leading* action sends every set extending a given
+        prefix to the same worker, wave after wave — the worker's cached
+        prefix envs and lowering plans then serve its whole slice of the
+        action space."""
+        return _stable_hash(key[:1]) % len(self._pools)
+
+    def _evaluate_wave(self, evaluator, keys):
+        costs: Dict[ActionKey, float] = {}
+        assignments: Dict[int, List[ActionKey]] = {}
+        for key in sorted(set(keys)):
+            cached = evaluator.table.lookup(key) if evaluator.memoize \
+                else None
+            if cached is not None:
+                costs[key] = cached
+            else:
+                assignments.setdefault(self._route(key), []).append(key)
+        futures = [
+            self._pools[worker].map_async(_worker_evaluate, worker_keys,
+                                          chunksize=len(worker_keys))
+            for worker, worker_keys in sorted(assignments.items())
+        ]
+        for future in futures:
+            for (key, cost, prop_dt, est_dt, ops, prop_calls, ops_reused,
+                 chain_hits, lower_calls) in future.get():
+                costs[key] = cost
+                evaluator.evaluations += 1
+                evaluator.propagate_time_s += prop_dt
+                evaluator.estimate_time_s += est_dt
+                evaluator.remote_ops_processed += ops
+                evaluator.remote_propagate_calls += prop_calls
+                evaluator.remote_ops_reused += ops_reused
+                evaluator.remote_reconcile_hits += chain_hits
+                evaluator.lower_calls += lower_calls
+                if evaluator.memoize:
+                    evaluator.table.store(key, cost)
+        return costs
+
+
+_SCHEDULERS = {
+    "serial": SerialScheduler,
+    "batched": BatchedScheduler,
+    "process": ProcessScheduler,
+}
+
+
+def make_scheduler(backend: str, wave_size: Optional[int] = None,
+                   workers: Optional[int] = None) -> RolloutScheduler:
+    try:
+        cls = _SCHEDULERS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown search backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return cls(wave_size=wave_size, workers=workers)

@@ -6,53 +6,60 @@ we implement an MCTS whose actions are exactly the manual API's tile actions
 and whose reward comes from the analytical cost model — so automatic and
 manual tactics compose through the same action vocabulary.
 
-The search state is a *set* of tile actions on function inputs.  Evaluation
-is canonical: the actions are sorted and deduped, then applied in that order
-with one propagation fixed point per action — so an evaluation's outcome is
-a pure function of the canonical action set, independent of the order the
-tree discovered it in.  That purity is what makes the three speed layers
-exact:
+This module is the public entry point of the :mod:`repro.auto` package; the
+subsystem behind it has four seams:
 
-* a **transposition table** keyed by the canonical action tuple means a
-  rollout that reaches an already-scored action set costs a dict lookup
-  instead of a propagate/lower/estimate pipeline run,
-* a **prefix env cache**: the propagated :class:`ShardingEnv` for each
-  canonical prefix is memoized, so scoring a set extends its longest cached
-  prefix with incremental propagation (worklist seeded from the one new
-  action) rather than replaying the whole prefix from scratch, and
-* a **streaming cost evaluator** (``streaming=True``): instead of
-  materializing a device-local function, fusing its collectives, and
-  walking it (thousands of Operation/Value allocations thrown away per
-  rollout), the cost is accumulated directly from the lowering stream
-  (:class:`repro.sim.costmodel.StreamingEstimator`), with per-op lowering
-  plans memoized on sharding signatures so only ops whose neighborhood
-  changed since a previous evaluation are re-planned.
+* :mod:`repro.auto.tree` — UCT node/selection policy with virtual loss (so
+  several leaves can be in flight) and per-rollout RNG streams derived from
+  ``(seed, node id)`` rather than one shared generator,
+* :mod:`repro.auto.evaluator` — the prefix-env + streaming-estimator
+  evaluation pipeline; ``evaluate`` is a pure function of the canonical
+  (sorted, deduped) action set,
+* :mod:`repro.auto.scheduler` — the rollout backends: ``serial`` (the
+  classic loop, bit-identical), ``batched`` (waves scored through shared
+  prefix envs), and ``process`` (waves fanned across ``multiprocessing``
+  workers), and
+* :mod:`repro.auto.cache` — the transposition table, including append-only
+  on-disk persistence keyed by a traced-function fingerprint so repeated
+  ``partir_jit``/``AutomaticPartition`` calls warm-start from prior scores
+  (``cache_dir=``).
 
 ``memoize=False`` / ``incremental=False`` / ``streaming=False`` disable the
 caches / the worklist engine / the streaming evaluator without changing any
-result — the regression and property tests pin this (the streaming path is
-bit-identical to ``lower -> fuse_collectives -> estimate``).
+result.  The backends agree on the best actions/cost across the fixed-seed
+regression suite and the Fig 11 configs: evaluation purity makes every
+scored set backend-independent and the incumbent rule breaks exact cost
+ties deterministically, though a parallel wave does explore a different
+rollout set than the serial loop, so agreement is a pinned regression
+property of these configs rather than a theorem.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import math
-import random
-import time
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.propagate import propagate
 from repro.core.sharding import ShardingEnv
 from repro.ir.function import Function
-from repro.sim import costmodel
 from repro.sim.devices import TPU_V3, DeviceSpec
-from repro.spmd.fusion import fuse_collectives
-from repro.spmd.lower import lower
 
-# An action: (input_index, dim, axis). None is STOP.
-Action = Optional[Tuple[int, int, str]]
-ActionKey = Tuple[Tuple[int, int, str], ...]
+from repro.auto.cache import table_for
+from repro.auto.evaluator import (
+    Evaluator,
+    action_legal,
+    candidate_actions,
+    try_apply_action,
+)
+from repro.auto.scheduler import make_scheduler
+from repro.auto.tree import ActionKey, TreePolicy, canonical_key
+
+# Backwards-compatible aliases (the pre-package module exposed these).
+_canonical = canonical_key
+_action_legal = action_legal
+_candidate_actions = candidate_actions
+_try_apply_action = try_apply_action
+_Evaluator = Evaluator
 
 
 @dataclasses.dataclass
@@ -71,163 +78,13 @@ class SearchResult:
     #: evaluation (lower/fuse/estimate, streaming or materialized).
     propagate_time_s: float = 0.0
     estimate_time_s: float = 0.0
-
-
-def _canonical(actions: Sequence[Tuple[int, int, str]]) -> ActionKey:
-    """Canonical form of an action sequence: sorted, deduped tuple."""
-    return tuple(sorted(set(actions)))
-
-
-def _action_legal(env: ShardingEnv, param, dim: int, axis: str) -> bool:
-    """May ``param``'s ``dim`` still be tiled along ``axis`` under ``env``?"""
-    sharding = env.sharding(param)
-    if sharding.uses(axis) or sharding.is_pinned(axis):
-        return False
-    denom = env.mesh.group_size(sharding.dim_axes[dim])
-    return param.type.shape[dim] % (denom * env.mesh.size(axis)) == 0
-
-
-def _candidate_actions(function: Function, env: ShardingEnv,
-                       axes: Sequence[str],
-                       max_inputs: int = 48) -> List[Tuple[int, int, str]]:
-    """Enumerate legal tile actions on the largest function inputs."""
-    ranked = sorted(
-        enumerate(function.params),
-        key=lambda pair: -pair[1].type.nbytes,
-    )[:max_inputs]
-    actions = []
-    for index, param in ranked:
-        for axis in axes:
-            for dim in range(len(param.type.shape)):
-                if _action_legal(env, param, dim, axis):
-                    actions.append((index, dim, axis))
-    return actions
-
-
-def _try_apply_action(function: Function, env: ShardingEnv,
-                      action: Tuple[int, int, str]) -> bool:
-    """Apply one tile action if it is still legal under ``env``."""
-    index, dim, axis = action
-    param = function.params[index]
-    if not _action_legal(env, param, dim, axis):
-        return False
-    env.set_sharding(param, env.sharding(param).with_tile(dim, axis))
-    return True
-
-
-class _Evaluator:
-    """Scores canonical action sets; owns the memoization layers."""
-
-    def __init__(self, function: Function, env: ShardingEnv,
-                 device: DeviceSpec, incremental: bool = True,
-                 memoize: bool = True, streaming: bool = True):
-        self.function = function
-        self.device = device
-        self.incremental = incremental
-        self.memoize = memoize
-        self.streaming = streaming
-        self.evaluations = 0
-        self.cache_hits = 0
-        self.lower_calls = 0
-        self.propagate_time_s = 0.0
-        self.estimate_time_s = 0.0
-        self._cost_cache: Dict[ActionKey, float] = {}
-        self._env_cache: Dict[ActionKey, ShardingEnv] = {}
-        # One streaming estimator for the whole search: its per-op plan
-        # memo is what lets an evaluation reuse the lowering decisions of
-        # every previously-scored env that agrees on an op's neighborhood.
-        self._estimator = costmodel.StreamingEstimator(
-            function, env.mesh, device
-        ) if streaming else None
-        # Root fixed point: search never mutates the caller's env.  The
-        # event log is dropped — evaluation envs never read it, and every
-        # cached prefix env would otherwise re-copy the whole history.
-        self.root = env.copy(with_events=False)
-        propagate(function, self.root, incremental=incremental)
-
-    @property
-    def estimate_ops_reused(self) -> int:
-        return self._estimator.ops_reused if self._estimator else 0
-
-    def _env_for(self, key: ActionKey) -> ShardingEnv:
-        """Propagated env for a canonical action prefix.
-
-        Recursively extends the env of ``key[:-1]`` by one action + one
-        propagation fixed point, reusing cached prefixes when memoizing.
-        """
-        if not key:
-            return self.root
-        if self.memoize:
-            cached = self._env_cache.get(key)
-            if cached is not None:
-                return cached
-        env = self._env_for(key[:-1]).copy()
-        _try_apply_action(self.function, env, key[-1])
-        propagate(self.function, env, incremental=self.incremental)
-        if self.memoize:
-            self._env_cache[key] = env
-        return env
-
-    def evaluate(self, actions: Sequence[Tuple[int, int, str]]) -> float:
-        key = _canonical(actions)
-        if self.memoize:
-            cached = self._cost_cache.get(key)
-            if cached is not None:
-                self.cache_hits += 1
-                return cached
-        t0 = time.perf_counter()
-        env = self._env_for(key)
-        t1 = time.perf_counter()
-        self.propagate_time_s += t1 - t0
-        if self.streaming:
-            estimate = self._estimator.estimate(env)
-        else:
-            lowered = lower(self.function, env)
-            lowered.function = fuse_collectives(lowered.function)
-            estimate = costmodel.estimate(lowered, self.device)
-            self.lower_calls += 1
-        cost = costmodel.search_objective(estimate, self.device)
-        self.estimate_time_s += time.perf_counter() - t1
-        self.evaluations += 1
-        if self.memoize:
-            self._cost_cache[key] = cost
-        return cost
-
-
-class _Node:
-    __slots__ = ("action", "parent", "children", "visits", "total",
-                 "untried", "action_set")
-
-    def __init__(self, action: Action, parent: Optional["_Node"],
-                 untried: List[Action]):
-        self.action = action
-        self.parent = parent
-        self.children: List[_Node] = []
-        self.visits = 0
-        self.total = 0.0
-        self.untried = list(untried)
-        # O(1) membership for "is this action already on my path" — replaces
-        # the former O(n) list scans over the prefix.
-        base: FrozenSet = parent.action_set if parent is not None else frozenset()
-        self.action_set: FrozenSet = (
-            base | {action} if action is not None else base
-        )
-
-    def path(self) -> List[Tuple[int, int, str]]:
-        node, actions = self, []
-        while node.parent is not None:
-            if node.action is not None:
-                actions.append(node.action)
-            node = node.parent
-        return list(reversed(actions))
-
-    def uct_child(self, exploration: float) -> "_Node":
-        log_n = math.log(max(self.visits, 1))
-        return max(
-            self.children,
-            key=lambda c: (c.total / max(c.visits, 1))
-            + exploration * math.sqrt(log_n / max(c.visits, 1)),
-        )
+    #: Which rollout scheduler ran the search.
+    backend: str = "serial"
+    #: Transposition hits on entries loaded from a persistent cache file
+    #: (cross-call warm starts; subset of ``cache_hits``).
+    warm_cache_hits: int = 0
+    #: Whole reconcile-chain costs reused by the streaming evaluator.
+    reconcile_chain_hits: int = 0
 
 
 def mcts_search(
@@ -243,6 +100,11 @@ def mcts_search(
     incremental: bool = True,
     memoize: bool = True,
     streaming: bool = True,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    wave_size: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    reconcile_cache: bool = True,
 ) -> SearchResult:
     """UCT search; returns the best action sequence found.
 
@@ -250,62 +112,68 @@ def mcts_search(
     propagation engine, the transposition/prefix-env caches, and the
     streaming cost evaluator; none of them changes the returned actions or
     cost for a fixed seed (the streaming evaluator is bit-identical to the
-    materializing pipeline).
+    materializing pipeline).  ``backend`` selects the rollout scheduler
+    (``serial``/``batched``/``process``; see :mod:`repro.auto.scheduler`),
+    ``workers``/``wave_size`` tune it, and ``cache_dir`` persists the
+    transposition table across calls (append-only, keyed by the traced
+    function's fingerprint).
     """
-    rng = random.Random(seed)
-    candidates = _candidate_actions(function, env, axes, max_inputs)
-    # Snapshot before _Evaluator.__init__: its root fixed point counts too.
+    candidates = candidate_actions(function, env, axes, max_inputs)
+    # Snapshot before Evaluator.__init__: its root fixed point counts too.
     stats_before = env.stats.snapshot()
-    evaluator = _Evaluator(function, env, device, incremental=incremental,
-                           memoize=memoize, streaming=streaming)
-    baseline = evaluator.evaluate([])
-    best_actions: ActionKey = ()
+    table = table_for(cache_dir, function, env.mesh, device, env)
+    evaluator = Evaluator(
+        function, env, device, incremental=incremental, memoize=memoize,
+        streaming=streaming, reconcile_cache=reconcile_cache, table=table,
+    )
+    scheduler = make_scheduler(backend, wave_size=wave_size, workers=workers)
+    # Fork worker pools (a no-op for in-process backends) before the
+    # baseline evaluation: worker cache-priming overlaps it.
+    scheduler.prepare(evaluator)
+    try:
+        baseline = evaluator.evaluate(())
+    except BaseException:
+        scheduler.shutdown()
+        raise
+    best_key: ActionKey = ()
     best_cost = baseline
 
-    root = _Node(None, None, [None] + candidates)
-    for _ in range(budget):
-        node = root
-        # Selection.
-        while not node.untried and node.children:
-            node = node.uct_child(exploration)
-        # Expansion.
-        if node.untried:
-            action = node.untried.pop(rng.randrange(len(node.untried)))
-            child = _Node(action, node, [])
-            if action is not None:
-                child.untried = [None] + [
-                    a for a in candidates if a not in child.action_set
-                ]
-            node.children.append(child)
-            node = child
-        # Rollout.
-        actions = node.path()
-        depth = rng.randrange(rollout_depth + 1)
-        pool = [a for a in candidates if a not in node.action_set]
-        rng.shuffle(pool)
-        rollout = actions + pool[:depth]
-        cost = evaluator.evaluate(rollout)
-        if cost < best_cost:
+    def on_result(key: ActionKey, cost: float) -> None:
+        nonlocal best_key, best_cost
+        # Deterministic incumbent rule: strictly better cost wins; an exact
+        # tie goes to the lexicographically smaller canonical set, so every
+        # backend (whatever order its waves surface results in) reports the
+        # same best.
+        if cost < best_cost or (cost == best_cost and key < best_key):
             best_cost = cost
-            best_actions = _canonical(rollout)
-        # Backpropagation (reward = relative improvement).
-        reward = (baseline - cost) / max(baseline, 1e-12)
-        while node is not None:
-            node.visits += 1
-            node.total += reward
-            node = node.parent
+            best_key = key
+
+    policy = TreePolicy(candidates, seed, exploration, rollout_depth)
+    try:
+        scheduler.run(policy, evaluator, budget, baseline, on_result)
+    finally:
+        # Persist everything scored so far even when a wave dies (e.g. a
+        # worker OOM-kill): the append-only log makes partial progress
+        # durable, so the next run warm-starts past it.
+        table.flush()
+
     stats_after = evaluator.root.stats.snapshot()
     return SearchResult(
-        actions=list(best_actions),
+        actions=list(best_key),
         cost=best_cost,
         evaluations=evaluator.evaluations,
         cache_hits=evaluator.cache_hits,
-        propagate_calls=stats_after[0] - stats_before[0],
-        ops_processed=stats_after[2] - stats_before[2],
+        propagate_calls=(stats_after[0] - stats_before[0]
+                         + evaluator.remote_propagate_calls),
+        ops_processed=(stats_after[2] - stats_before[2]
+                       + evaluator.remote_ops_processed),
         lower_calls=evaluator.lower_calls,
         estimate_ops_reused=evaluator.estimate_ops_reused,
         propagate_time_s=evaluator.propagate_time_s,
         estimate_time_s=evaluator.estimate_time_s,
+        backend=backend,
+        warm_cache_hits=table.warm_hits,
+        reconcile_chain_hits=evaluator.reconcile_chain_hits,
     )
 
 
@@ -321,6 +189,12 @@ def run_automatic_partition(
     incremental: bool = True,
     memoize: bool = True,
     streaming: bool = True,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    wave_size: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    reconcile_cache: bool = True,
+    result_sink: Optional[list] = None,
     **_ignored,
 ) -> int:
     """Entry point used by :class:`repro.api.AutomaticPartition`.
@@ -330,12 +204,19 @@ def run_automatic_partition(
     earlier manual tactics and can never undo them).  The search itself
     scores candidates through the streaming cost evaluator; the winner's
     replay only re-applies actions — real device-local IR is materialized
-    once, later, by ``partir_jit``'s final lowering.
+    once, later, by ``partir_jit``'s final lowering.  When ``result_sink``
+    is a list, the full :class:`SearchResult` is appended to it (the API
+    layer surfaces it as ``AutomaticPartition.last_search``).
     """
     result = mcts_search(function, env, axes, device=device, budget=budget,
                          rollout_depth=rollout_depth, seed=seed,
                          max_inputs=max_inputs, incremental=incremental,
-                         memoize=memoize, streaming=streaming)
+                         memoize=memoize, streaming=streaming,
+                         backend=backend, workers=workers,
+                         wave_size=wave_size, cache_dir=cache_dir,
+                         reconcile_cache=reconcile_cache)
+    if result_sink is not None:
+        result_sink.append(result)
     # Replay the winner exactly the way the evaluator scored it: one
     # propagation fixed point per canonical action.  Applying all actions
     # first and propagating once could reach a different fixed point (a
@@ -344,8 +225,8 @@ def run_automatic_partition(
     # ``result.cost``.
     propagate(function, env, incremental=incremental)
     applied = 0
-    for action in _canonical(result.actions):
-        if _try_apply_action(function, env, action):
+    for action in canonical_key(result.actions):
+        if try_apply_action(function, env, action):
             env.record("tile", None, action[2], f"auto tile dim {action[1]}")
             applied += 1
             # A skipped action needs no re-propagation: the env is already

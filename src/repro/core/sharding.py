@@ -113,6 +113,27 @@ class Sharding:
     def with_pin(self, axis: str) -> "Sharding":
         return dataclasses.replace(self, pinned=self.pinned | {axis})
 
+    def to_portable(self) -> Tuple:
+        """Process-independent encoding (plain nested tuples of str/int).
+
+        Used for worker transport in the parallel search and as the
+        canonical form hashed into persistent-cache fingerprints.  Equal
+        shardings have equal portable forms (sets are sorted)."""
+        return (
+            tuple(tuple(axes) for axes in self.dim_axes),
+            tuple(sorted(self.sum_axes)),
+            tuple(sorted(self.pinned)),
+        )
+
+    @staticmethod
+    def from_portable(portable: Tuple) -> "Sharding":
+        dim_axes, sum_axes, pinned = portable
+        return Sharding(
+            tuple(tuple(axes) for axes in dim_axes),
+            frozenset(sum_axes),
+            frozenset(pinned),
+        )
+
     def local_shape(self, shape: Tuple[int, ...], mesh: Mesh) -> Tuple[int, ...]:
         """Device-local shape of a value with this sharding."""
         out = []
@@ -137,6 +158,29 @@ class Sharding:
         if self.pinned:
             out += " pin{" + ",".join(sorted(self.pinned)) + "}"
         return out
+
+
+def enumerate_function_values(function) -> List[Value]:
+    """Every value a function defines, in a canonical structural order.
+
+    Params first, then each op's results in program order, recursing into
+    regions (region params before the region's ops).  The order is a pure
+    function of the function's *structure*, so two processes holding
+    structurally-identical copies of a function (e.g. a search worker that
+    received it over pickle) agree on every value's index — that index is
+    the portable name for a value in :meth:`ShardingEnv.portable_state`.
+    """
+    out: List[Value] = []
+
+    def visit(fn) -> None:
+        out.extend(fn.params)
+        for op in fn.ops:
+            out.extend(op.results)
+            for region in op.regions:
+                visit(region)
+
+    visit(function)
+    return out
 
 
 @dataclasses.dataclass
@@ -267,6 +311,29 @@ class ShardingEnv:
         clone._dirty = set(self._dirty)
         clone.stats = self.stats  # shared tally (see PropagationStats)
         return clone
+
+    def portable_state(self, function) -> Tuple[Tuple[int, Tuple], ...]:
+        """Non-replicated shardings as ``(value index, portable sharding)``.
+
+        Indices follow :func:`enumerate_function_values`, so the state can
+        be shipped to another process (the parallel search's workers) or
+        hashed into a persistent-cache fingerprint without referencing any
+        live :class:`Value` objects."""
+        items = []
+        for index, value in enumerate(enumerate_function_values(function)):
+            sharding = self.sharding(value)
+            if not sharding.is_fully_replicated() or sharding.pinned:
+                items.append((index, sharding.to_portable()))
+        return tuple(items)
+
+    def apply_portable_state(
+        self, function, state: Tuple[Tuple[int, Tuple], ...]
+    ) -> None:
+        """Inverse of :meth:`portable_state` against a structurally-identical
+        function (values resolved by canonical index)."""
+        values = enumerate_function_values(function)
+        for index, portable in state:
+            self.set_sharding(values[index], Sharding.from_portable(portable))
 
     def record(self, kind: str, op, axis: str, detail: str = "") -> None:
         self.events.append(Event(kind, op, axis, detail))

@@ -183,6 +183,42 @@ class _StreamResult:
     params_bytes: int
 
 
+@dataclasses.dataclass(frozen=True)
+class _ChainStep:
+    """One fused-collective emission of a recorded reconcile chain.
+
+    The chain is linear by construction (each step consumes the previous
+    step's result), so a step only needs the op's identity and its exact
+    cost contributions — replay reproduces the same estimate increments and
+    the same :class:`~repro.sim.memory.LiveRangeLog` records bit-for-bit.
+    """
+
+    opcode: str
+    result_type: TensorType
+    nbytes: int
+    is_collective: bool
+    bytes_moved: float
+    seconds: float
+    flops: float
+    alias: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class _ChainEntry:
+    """A cached reconcile chain: its replayable steps and its result.
+
+    ``did_emit`` distinguishes a chain that emitted nothing (the value was
+    already in the required layout — any pending fusion window must stay
+    open) from one whose emissions cancelled out (the window was consumed,
+    so a pre-existing pending op has been flushed).  A chain with no steps
+    returns its input handle unchanged on replay.
+    """
+
+    steps: Tuple[_ChainStep, ...]
+    did_emit: bool
+    final_sharding: object  # the Sharding the reconciled value ends up in
+
+
 class CostSink:
     """Sink that prices the lowering stream instead of materializing it.
 
@@ -203,7 +239,7 @@ class CostSink:
     """
 
     __slots__ = ("mesh", "device", "estimate", "_uids", "_log",
-                 "_params_bytes", "_pending")
+                 "_params_bytes", "_pending", "_record", "_emitted")
 
     def __init__(self, mesh: Mesh, device: DeviceSpec, uids=None):
         self.mesh = mesh
@@ -213,6 +249,10 @@ class CostSink:
         self._log = LiveRangeLog()
         self._params_bytes = 0
         self._pending: Optional[tuple] = None
+        #: When a list, _cost_op appends a _ChainStep per priced op (the
+        #: reconcile-chain recorder's scratch sinks turn this on).
+        self._record: Optional[list] = None
+        self._emitted = False
 
     # -- sink protocol ------------------------------------------------------
 
@@ -233,6 +273,7 @@ class CostSink:
         return CostSink(self.mesh, self.device, self._uids)
 
     def emit(self, opcode, operands, attrs, regions=None):
+        self._emitted = True
         if opcode == "scan":
             return self._emit_scan(operands, attrs, regions)
         pending = self._pending
@@ -287,7 +328,9 @@ class CostSink:
 
     def _cost_op(self, opcode, operands, attrs, handles) -> None:
         est = self.estimate
-        if is_collective(opcode):
+        collective = is_collective(opcode)
+        bytes_moved = seconds = flops = 0.0
+        if collective:
             bytes_moved, seconds = collective_cost(
                 opcode, attrs, operands[0].type.nbytes,
                 handles[0].type.nbytes, self.mesh, self.device,
@@ -305,11 +348,48 @@ class CostSink:
             est.compute_s += flops / (
                 self.device.peak_flops * _COMPUTE_EFFICIENCY
             )
+        alias = opcode in memory_mod.ALIASING_OPS
         self._log.add_op(
             [o.uid for o in operands],
             [(h.uid, h.type.nbytes) for h in handles],
-            alias=opcode in memory_mod.ALIASING_OPS,
+            alias=alias,
         )
+        if self._record is not None:
+            self._record.append(_ChainStep(
+                opcode, handles[0].type, handles[0].type.nbytes,
+                collective, bytes_moved, seconds, flops, alias,
+            ))
+
+    def replay_chain(self, value, entry: _ChainEntry):
+        """Apply a recorded reconcile chain's cost effects to this sink.
+
+        Reproduces exactly what emitting the chain would have done: the
+        same estimate increments in the same order, and the same linear
+        live-range records (chains consume their own previous step).  A
+        chain that emitted anything consumed the one-step fusion window, so
+        any pending collective is flushed first — the position the real
+        emission path would have flushed it in."""
+        if entry.did_emit:
+            self._flush_pending()
+        est = self.estimate
+        handle = value
+        for step in entry.steps:
+            new = _StreamValue(step.result_type, next(self._uids))
+            if step.is_collective:
+                est.comm_bytes += step.bytes_moved
+                est.comm_s += step.seconds
+                est.collective_time_s[step.opcode] = (
+                    est.collective_time_s.get(step.opcode, 0.0) + step.seconds
+                )
+            else:
+                est.local_flops += step.flops
+                est.compute_s += step.flops / (
+                    self.device.peak_flops * _COMPUTE_EFFICIENCY
+                )
+            self._log.add_op([handle.uid], [(new.uid, step.nbytes)],
+                             alias=step.alias)
+            handle = new
+        return handle
 
     def _flush_pending(self) -> None:
         if self._pending is None:
@@ -396,6 +476,77 @@ class _MemoLowerer(Lowerer):
         super().__init__(env)
         self._estimator = estimator
 
+    def _reconcile(self, sink, value, actual, required, allowed_pending):
+        """Reconcile through the estimator's whole-chain cost cache.
+
+        A reconcile chain's emissions (and their in-stream fusion) are a
+        pure function of ``(value type, source layout, target layout)`` —
+        fusion never crosses a chain boundary, because the one-step pending
+        window only matches the chain's own handles.  So the chain is
+        recorded once into a scratch sink and replayed everywhere else,
+        skipping attrs construction, type inference and collective-cost
+        math on the remaining per-evaluation hot path.
+        """
+        estimator = self._estimator
+        chains = estimator._chains
+        if chains is None or not isinstance(sink, CostSink):
+            return super()._reconcile(sink, value, actual, required,
+                                      allowed_pending)
+        rank = actual.rank
+        required_t = tuple(
+            tuple(required.get(d, ())) for d in range(rank)
+        )
+        ar_axes = tuple(
+            a for a in sorted(actual.sum_axes) if a not in allowed_pending
+        )
+        # Same dedup contract as the uncached path: a pending reduction of
+        # the same value to the same layout is materialized exactly once
+        # per lowering (one reduce_scatter per gradient).
+        reduce_key = None
+        if ar_axes:
+            reduce_key = (id(sink), value.uid, ar_axes, required_t)
+            cached = self._reduce_cache.get(reduce_key)
+            if cached is not None:
+                return cached
+        chain_key = (value.type, actual.signature(), required_t, ar_axes)
+        entry = chains.get(chain_key)
+        if entry is None:
+            entry = chains[chain_key] = self._record_chain(
+                value.type, actual, required, allowed_pending
+            )
+            estimator.reconcile_misses += 1
+        else:
+            estimator.reconcile_hits += 1
+        handle = sink.replay_chain(value, entry)
+        result = (handle, entry.final_sharding)
+        if reduce_key is not None:
+            self._reduce_cache[reduce_key] = result
+        return result
+
+    def _record_chain(self, value_type, actual, required,
+                      allowed_pending) -> _ChainEntry:
+        """Run the real reconcile once against a scratch sink, capturing
+        each priced emission as a replayable step."""
+        scratch = CostSink(self.mesh, self._estimator.device)
+        scratch._record = []
+        handle = _StreamValue(value_type, next(scratch._uids))
+        # The scratch run must not read or pollute the real per-lowering
+        # reduce cache (scratch uids/sink ids are throwaway).
+        saved, self._reduce_cache = self._reduce_cache, {}
+        try:
+            _, final_sharding = super()._reconcile(
+                scratch, handle, actual, required, allowed_pending
+            )
+        finally:
+            self._reduce_cache = saved
+        did_emit = scratch._emitted
+        scratch._flush_pending()  # capture an unfused pending tail's cost
+        return _ChainEntry(
+            steps=tuple(scratch._record),
+            did_emit=did_emit,
+            final_sharding=final_sharding,
+        )
+
     def _lower_op(self, op, sink, value_map) -> None:
         if op.opcode == "scan":
             # Scan lowering reads the whole body, not just adjacent
@@ -431,15 +582,36 @@ class StreamingEstimator:
     misses across the estimator's lifetime.
     """
 
-    def __init__(self, function: Function, mesh: Mesh, device: DeviceSpec):
+    def __init__(self, function: Function, mesh: Mesh, device: DeviceSpec,
+                 reconcile_cache: bool = True):
         self.function = function
         self.mesh = mesh
         self.device = device
         self.ops_planned = 0
         self.ops_reused = 0
+        self.reconcile_hits = 0
+        self.reconcile_misses = 0
         # id(op) -> {adjacent-sharding signature -> _OpPlan}.  Keying on
         # id() is safe: self.function keeps every op (and region op) alive.
         self._plans: Dict[int, Dict[tuple, object]] = {}
+        # (value type, source layout, target layout, reduced axes) ->
+        # _ChainEntry.  None disables whole-chain reconcile caching (the
+        # equivalence tests exercise both paths).
+        self._chains: Optional[Dict[tuple, _ChainEntry]] = (
+            {} if reconcile_cache else None
+        )
+
+    def __getstate__(self):
+        """Pickle support for shipping the estimator to search workers.
+
+        The memo tables are process-local (plans key on ``id(op)``; both
+        rebuild lazily and cheaply), so they are dropped rather than
+        serialized — the worker starts with warm code, cold caches."""
+        state = self.__dict__.copy()
+        state["_plans"] = {}
+        if state["_chains"] is not None:
+            state["_chains"] = {}
+        return state
 
     def estimate(self, env, overlap: bool = True) -> CostEstimate:
         lowerer = _MemoLowerer(env, self)

@@ -105,6 +105,105 @@ def test_deep_fork_chains_flatten():
         assert env.sharding(value) == sharding
 
 
+def test_fork_then_flatten_while_child_iterates():
+    """A child iterating its shardings must be immune to the parent
+    forking — and flattening its base chain — mid-iteration.  copy()
+    rebinds the parent's ``_bases``/``_delta`` to fresh objects; the
+    child's references (and any in-flight reader's) stay valid."""
+    values = _values(ShardingEnv._FLATTEN_DEPTH * 4)
+    parent = ShardingEnv(MESH)
+    expected = {}
+    for i, value in enumerate(values):
+        sharding = Sharding.replicated(2).with_tile(i % 2, AXES[i % 3])
+        parent.set_sharding(value, sharding)
+        expected[value] = sharding
+        parent = parent.copy()  # deep chain: next copies keep flattening
+    child = parent.copy()
+
+    reader = ((value, child.sharding(value)) for value in values)
+    seen = []
+    for step, (value, sharding) in enumerate(reader):
+        seen.append((value, sharding))
+        # Interleave: the parent keeps writing, forking and (past the
+        # depth threshold) squashing its chain while the child iterates.
+        parent.set_sharding(
+            values[step], Sharding.replicated(2).with_tile(0, "a")
+            if not expected[values[step]].uses("a")
+            else Sharding.replicated(2).with_tile(0, "b"))
+        parent.copy()
+    assert seen == [(value, expected[value]) for value in values]
+    # The child still observes only pre-fork state.
+    for value in values:
+        assert child.sharding(value) == expected[value]
+
+
+def test_concurrent_reads_during_forks_and_writes():
+    """Threaded readers hammering a child env while the parent writes,
+    forks and flattens never observe a torn or stale sharding.
+
+    ``sharding()`` probes the local delta before the frozen bases, and
+    ``copy()`` publishes the frozen delta *before* emptying it, so every
+    interleaving observes each value in exactly one layer."""
+    import threading
+
+    values = _values(32)
+    parent = ShardingEnv(MESH)
+    expected = {}
+    for i, value in enumerate(values):
+        sharding = Sharding.replicated(2).with_tile(i % 2, AXES[i % 3])
+        parent.set_sharding(value, sharding)
+        expected[value] = sharding
+    child = parent.copy()
+
+    errors = []
+    stop = threading.Event()
+
+    def read_loop():
+        while not stop.is_set():
+            for value in values:
+                observed = child.sharding(value)
+                if observed != expected[value]:
+                    errors.append((value, observed))
+                    return
+
+    readers = [threading.Thread(target=read_loop) for _ in range(4)]
+    for thread in readers:
+        thread.start()
+    # Parent churn: writes + forks force repeated freeze/flatten cycles of
+    # the base chain the child shares.
+    for round_index in range(200):
+        scratch = _values(4)
+        for value in scratch:
+            parent.set_sharding(
+                value, Sharding.replicated(2).with_tile(0, "a"))
+        parent.copy()
+    stop.set()
+    for thread in readers:
+        thread.join()
+    assert not errors
+
+
+def test_child_fork_during_parent_flatten_preserves_all_layers():
+    """Forking a child exactly when the parent's chain squashes keeps
+    every layer's writes visible in both."""
+    values = _values(ShardingEnv._FLATTEN_DEPTH + 3)
+    env = ShardingEnv(MESH)
+    expected = {}
+    forks = []
+    for i, value in enumerate(values):
+        sharding = Sharding.replicated(2).with_tile(i % 2, AXES[i % 3])
+        env.set_sharding(value, sharding)
+        expected[value] = sharding
+        forks.append(env.copy())
+    # The last forks happened across the flatten threshold; every fork
+    # must see exactly the prefix of writes made before it.
+    for count, fork in enumerate(forks, start=1):
+        for value in values[:count]:
+            assert fork.sharding(value) == expected[value]
+        for value in values[count:]:
+            assert fork.sharding(value).is_fully_replicated()
+
+
 def test_copy_is_o_delta_not_o_total():
     """A fork after a fixed point only snapshots the delta: the shared base
     maps are reused by reference, not copied."""

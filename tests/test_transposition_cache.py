@@ -1,0 +1,193 @@
+"""The persistent transposition table: fingerprints, round-trips, warm starts.
+
+The on-disk cache is append-only (write-lean: a hit never touches disk, a
+fully-warm rerun leaves the file byte-identical) and keyed by a stable
+fingerprint of the traced function + mesh + device + initial shardings, so
+costs can never leak across programs.
+"""
+
+import os
+
+import pytest
+
+from repro import AutomaticPartition, Mesh, ShapeDtype, partir_jit, trace
+from repro.core.sharding import ShardingEnv
+from repro.auto.cache import TranspositionTable, function_fingerprint
+from repro.auto.search import mcts_search
+from repro.sim import DeviceSpec
+from repro.trace import ops
+
+from conftest import build_matmul_chain
+
+TINY_DEVICE = DeviceSpec("tiny", peak_flops=1e9, hbm_bytes=200_000,
+                         link_bandwidth=1e9)
+MESH = Mesh({"B": 4, "M": 2})
+
+
+class TestFingerprint:
+    def test_stable_across_retraces(self):
+        """Structurally identical functions fingerprint identically, even
+        though every Value uid and object id differs."""
+        first, _ = build_matmul_chain()
+        second, _ = build_matmul_chain()
+        assert function_fingerprint(first, MESH, TINY_DEVICE) == \
+            function_fingerprint(second, MESH, TINY_DEVICE)
+
+    def test_sensitive_to_structure_mesh_device_and_env(self):
+        function, _ = build_matmul_chain()
+        base = function_fingerprint(function, MESH, TINY_DEVICE)
+        # Different shapes -> different program.
+        other, _ = build_matmul_chain(m=512)
+        assert function_fingerprint(other, MESH, TINY_DEVICE) != base
+        # Different mesh.
+        assert function_fingerprint(
+            function, Mesh({"B": 8}), TINY_DEVICE) != base
+        # Different device.
+        fat = DeviceSpec("fat", peak_flops=1e12, hbm_bytes=16e9,
+                         link_bandwidth=1e11)
+        assert function_fingerprint(function, MESH, fat) != base
+        # Different initial shardings (a manual tactic ran first).
+        env = ShardingEnv(MESH)
+        assert function_fingerprint(function, MESH, TINY_DEVICE, env) != base
+        env.set_sharding(function.params[0],
+                         env.sharding(function.params[0]).with_tile(0, "B"))
+        assert function_fingerprint(function, MESH, TINY_DEVICE, env) != \
+            function_fingerprint(function, MESH, TINY_DEVICE, ShardingEnv(MESH))
+
+
+class TestTableRoundTrip:
+    def test_write_reload_warm_counters(self, tmp_path):
+        path = str(tmp_path / "tt.jsonl")
+        table = TranspositionTable(path)
+        table.store(((0, 0, "B"),), 1.5)
+        table.store(((0, 0, "B"), (1, 1, "M")), 2.5)
+        table.store((), 9.0)
+        table.flush()
+
+        reloaded = TranspositionTable(path)
+        assert len(reloaded) == 3
+        assert reloaded.warm_entries == 3
+        assert reloaded.hits == 0 and reloaded.warm_hits == 0
+        assert reloaded.lookup(((0, 0, "B"),)) == 1.5
+        assert reloaded.lookup(()) == 9.0
+        assert reloaded.hits == 2 and reloaded.warm_hits == 2
+        # Fresh entries are hits but not warm hits.
+        reloaded.store(((2, 0, "B"),), 3.0)
+        assert reloaded.lookup(((2, 0, "B"),)) == 3.0
+        assert reloaded.hits == 3 and reloaded.warm_hits == 2
+
+    def test_hits_never_rewrite_the_log(self, tmp_path):
+        """Append-only contract: lookups (and flushes with nothing new)
+        leave the file byte-identical."""
+        path = str(tmp_path / "tt.jsonl")
+        table = TranspositionTable(path)
+        table.store(((0, 0, "B"),), 1.0)
+        table.flush()
+        raw = open(path, "rb").read()
+
+        reloaded = TranspositionTable(path)
+        for _ in range(10):
+            assert reloaded.lookup(((0, 0, "B"),)) == 1.0
+        reloaded.store(((0, 0, "B"),), 123.0)  # duplicate: ignored
+        reloaded.flush()
+        assert open(path, "rb").read() == raw
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "tt.jsonl")
+        table = TranspositionTable(path)
+        table.store(((0, 0, "B"),), 1.0)
+        table.flush()
+        with open(path, "a") as handle:
+            handle.write('{"k": [[1, 0, "M"]], "c": 2.')  # crashed writer
+        reloaded = TranspositionTable(path)
+        assert len(reloaded) == 1
+        assert reloaded.peek(((0, 0, "B"),)) == 1.0
+
+
+class TestWarmStartSearch:
+    def test_second_search_warm_starts(self, tmp_path):
+        function, _ = build_matmul_chain()
+        kwargs = dict(device=TINY_DEVICE, budget=16, seed=1,
+                      cache_dir=str(tmp_path))
+        cold = mcts_search(function, ShardingEnv(MESH), ["B", "M"], **kwargs)
+        assert cold.warm_cache_hits == 0
+        files = os.listdir(tmp_path)
+        assert len(files) == 1 and files[0].startswith("tt_")
+
+        warm = mcts_search(function, ShardingEnv(MESH), ["B", "M"], **kwargs)
+        assert warm.warm_cache_hits > 0
+        assert warm.actions == cold.actions and warm.cost == cold.cost
+        # The identical trajectory is fully covered by warm entries: no
+        # evaluation is recomputed and no new record is appended.
+        assert warm.evaluations == 0
+        assert os.listdir(tmp_path) == files
+
+    def test_cache_dir_does_not_change_results(self, tmp_path):
+        function, _ = build_matmul_chain()
+        plain = mcts_search(function, ShardingEnv(MESH), ["B", "M"],
+                            device=TINY_DEVICE, budget=16, seed=4)
+        cached = mcts_search(function, ShardingEnv(MESH), ["B", "M"],
+                             device=TINY_DEVICE, budget=16, seed=4,
+                             cache_dir=str(tmp_path))
+        assert cached.actions == plain.actions
+        assert cached.cost == plain.cost
+        assert cached.evaluations == plain.evaluations
+
+    def test_different_mesh_gets_a_different_cache_file(self, tmp_path):
+        function, _ = build_matmul_chain()
+        mcts_search(function, ShardingEnv(MESH), ["B"], device=TINY_DEVICE,
+                    budget=4, cache_dir=str(tmp_path))
+        mcts_search(function, ShardingEnv(Mesh({"B": 8})), ["B"],
+                    device=TINY_DEVICE, budget=4, cache_dir=str(tmp_path))
+        assert len(os.listdir(tmp_path)) == 2
+
+
+class TestPartirJitWarmStart:
+    def _traced(self):
+        def f(state, x):
+            h = ops.relu(x @ state["w1"])
+            return ops.reduce_sum(h @ state["w2"])
+
+        return trace(
+            f,
+            {"w1": ShapeDtype((64, 64)), "w2": ShapeDtype((64, 64))},
+            ShapeDtype((32, 64)),
+        )
+
+    def test_repeated_partir_jit_calls_warm_start(self, tmp_path):
+        """The acceptance scenario: a second partir_jit over the same
+        traced function with cache_dir set reports warm transposition
+        hits and reaches the same schedule."""
+        mesh = Mesh({"batch": 4, "model": 2})
+
+        def run():
+            traced = self._traced()
+            tactic = AutomaticPartition(
+                ["batch", "model"],
+                {"budget": 12, "device": TINY_DEVICE},
+                cache_dir=str(tmp_path),
+            )
+            _, metadata = partir_jit(traced, mesh, [tactic],
+                                     device=TINY_DEVICE,
+                                     estimate_per_tactic=False)
+            return tactic.last_search, metadata
+
+        cold, cold_meta = run()
+        warm, warm_meta = run()
+        assert cold.warm_cache_hits == 0
+        assert warm.warm_cache_hits > 0
+        assert warm.actions == cold.actions and warm.cost == cold.cost
+        assert warm_meta.input_shardings == cold_meta.input_shardings
+
+    def test_search_backend_option_is_threaded(self):
+        mesh = Mesh({"batch": 4, "model": 2})
+        traced = self._traced()
+        tactic = AutomaticPartition(
+            ["batch", "model"],
+            {"budget": 6, "device": TINY_DEVICE},
+            search_backend="batched",
+        )
+        _, _ = partir_jit(traced, mesh, [tactic], device=TINY_DEVICE,
+                          estimate_per_tactic=False)
+        assert tactic.last_search is not None
+        assert tactic.last_search.backend == "batched"
