@@ -24,9 +24,23 @@ step: the same fixed-seed search through the ``serial``, ``batched`` and
 ``process`` rollout schedulers.  All backends must report identical best
 actions/cost; on a machine with >= 2 usable cores the ``process`` backend
 (default 2 workers) must also beat ``serial`` wall-clock — evaluation
-purity makes the fan-out exact, so the speedup is free.  Backends and the
-worker count are overridable via ``BENCH_SEARCH_BACKENDS`` (comma list)
-and ``BENCH_SEARCH_WORKERS`` for CI matrix legs.
+purity makes the fan-out exact, so the speedup is free.  The process leg
+must additionally show cross-worker plan-memo traffic
+(``shared_plan_hits > 0``: cold plan computations avoided because a
+sibling already published the entry).  Backends and the worker count are
+overridable via ``BENCH_SEARCH_BACKENDS`` (comma list) and
+``BENCH_SEARCH_WORKERS`` for CI matrix legs.
+
+A third section exercises the **rollout-env axis** (PR 4): the same
+fixed-seed serial search through the classic ``fork`` engine (one overlay
+env per canonical prefix, full streaming walk per evaluation) and the
+``undo`` engine (one mutable env with checkpoint/rollback, propagation-
+delta replay and journal-driven incremental re-estimation).  Both must
+report identical best actions/cost, and the undo engine must cut the
+per-rollout evaluator wall-clock — the (apply+propagate) + estimate time
+per computed evaluation — by >= 1.5x at this budget (measured ~1.6-1.7x;
+the search budget is sized so the one-time plan/segment warmup both
+engines share amortizes out).
 
 Each run also reports the propagate-vs-estimate wall-clock split, keeping
 the "next hottest path" claim measurable, and the whole table is dumped to
@@ -176,9 +190,19 @@ def test_fig11(benchmark):
                 "evaluations": result.evaluations,
                 "cache_hits": result.cache_hits,
                 "reconcile_chain_hits": result.reconcile_chain_hits,
+                "shared_plan_hits": result.shared_plan_hits,
                 "best_cost": result.cost,
                 "best_actions": [list(a) for a in result.actions],
             })
+            if backend == "process":
+                # The cross-worker shared plan memo must be live: workers
+                # adopt plans/chains a sibling (or the main process's
+                # baseline) already computed instead of re-planning cold.
+                from repro.auto import sharedmemo
+                if sharedmemo.available():
+                    assert result.shared_plan_hits > 0, (
+                        "process backend recorded no shared plan-memo hits"
+                    )
         reference = backend_runs[BACKENDS[0]][0]
         for backend, (result, _) in backend_runs.items():
             # Pinned regression property on this config: evaluation purity
@@ -205,6 +229,64 @@ def test_fig11(benchmark):
                     f"process backend {process_s:.2f}s not faster than "
                     f"serial {serial_s:.2f}s on {_usable_cores()} cores"
                 )
+        # -- rollout-env axis: fork vs undo-log prefix-state engines --
+        rollout_runs = {}
+        for rollout_env in ("fork", "undo"):
+            env = ShardingEnv(MESH)
+            t0 = time.perf_counter()
+            # Budget sized so the shared one-time warmup (plan memos,
+            # resolved segments) amortizes: the steady-state per-rollout
+            # gap is what the gate below pins.
+            result = mcts_search(
+                ttraced.function, env, ["batch", "model"], device=TPU_V3,
+                budget=96, rollout_depth=2, max_inputs=12, seed=0,
+                backend="serial", rollout_env=rollout_env,
+            )
+            elapsed = time.perf_counter() - t0
+            per_rollout = (result.propagate_time_s + result.estimate_time_s
+                           ) / max(result.evaluations, 1)
+            rollout_runs[rollout_env] = (result, per_rollout)
+            rows.append((
+                "T8", "batch+model", f"rollout_env:{rollout_env}",
+                f"{elapsed:.2f}s", f"{result.propagate_time_s:.2f}s",
+                f"{result.estimate_time_s:.2f}s", result.evaluations,
+                result.cache_hits, result.lower_calls,
+                result.estimate_ops_reused, result.ops_processed,
+                len(result.actions),
+            ))
+            records.append({
+                "model": "T8", "axes": ["batch", "model"],
+                "mode": "streaming", "backend": "serial",
+                "rollout_env": rollout_env,
+                "wall_clock_s": elapsed,
+                "propagate_time_s": result.propagate_time_s,
+                "estimate_time_s": result.estimate_time_s,
+                "per_rollout_evaluator_s": per_rollout,
+                "evaluations": result.evaluations,
+                "best_cost": result.cost,
+                "best_actions": [list(a) for a in result.actions],
+            })
+        fork_result, fork_per_rollout = rollout_runs["fork"]
+        undo_result, undo_per_rollout = rollout_runs["undo"]
+        # Exactness: the undo engine's rollback/replay/incremental-estimate
+        # machinery is invisible in the results.
+        assert undo_result.actions == fork_result.actions
+        assert undo_result.cost == fork_result.cost
+        assert undo_result.evaluations == fork_result.evaluations
+        # Speed: >= 1.5x lower per-rollout evaluator wall-clock (the env
+        # extension + cost estimate per computed evaluation).
+        ratio = fork_per_rollout / max(undo_per_rollout, 1e-12)
+        records.append({
+            "model": "T8", "comparison": "undo_vs_fork",
+            "fork_per_rollout_s": fork_per_rollout,
+            "undo_per_rollout_s": undo_per_rollout,
+            "speedup": ratio,
+        })
+        assert ratio >= 1.5, (
+            f"undo rollouts {undo_per_rollout * 1e3:.1f}ms/rollout not "
+            f">=1.5x faster than fork {fork_per_rollout * 1e3:.1f}ms"
+        )
+
         # The streaming evaluator cuts per-evaluation cost-model wall-clock
         # by at least 2x vs the materializing pipeline.  Asserted on the
         # aggregate across all cases (identical evaluation counts per case,
@@ -224,9 +306,11 @@ def test_fig11(benchmark):
         "(paper: up to ~1250s at full scale; budget-scaled here); "
         "incremental+memoized search matches scratch results with >=2x "
         "less propagation work, the streaming cost evaluator cuts "
-        "per-evaluation lower/estimate time >=2x more, and the "
+        "per-evaluation lower/estimate time >=2x more, the "
         "serial/batched/process rollout backends agree on the best "
-        "schedule (process beating serial wall-clock given >=2 cores)",
+        "schedule (process beating serial wall-clock given >=2 cores, "
+        "with shared plan-memo hits), and undo-log rollouts match the "
+        "fork engine exactly at >=1.5x lower per-rollout evaluator time",
         ["model", "axes", "mode", "search", "propagate", "estimate",
          "evals", "tt hits", "lowers", "plans reused", "ops processed",
          "actions"],

@@ -178,23 +178,34 @@ class AutomaticPartition(Tactic):
 
     ``search_backend`` picks the rollout scheduler (``"serial"``,
     ``"batched"`` or ``"process"`` — see :mod:`repro.auto.scheduler`);
-    ``cache_dir`` persists the search's transposition table on disk
-    (append-only, keyed by the traced function's fingerprint) so repeated
-    ``partir_jit`` calls warm-start from earlier scores.  After ``apply``,
-    ``last_search`` holds the full :class:`repro.auto.SearchResult`
-    (evaluations, cache/warm-start hit counters, timing split).
+    ``rollout_env`` picks the engine maintaining per-prefix env state
+    inside the search: ``"undo"`` (default) extends/retracts one mutable
+    env through a checkpoint/rollback undo log with journal-driven
+    incremental re-estimation, ``"fork"`` is the classic env-per-prefix
+    overlay fork — results are bit-identical either way.  ``cache_dir``
+    persists the search's transposition table on disk (append-only with
+    load-time compaction, keyed by the traced function's fingerprint) so
+    repeated ``partir_jit`` calls warm-start from earlier scores.  On the
+    ``process`` backend, workers additionally pool their lowering-plan and
+    reconcile-chain memos through a shared-memory store (see
+    :mod:`repro.auto.sharedmemo`).  After ``apply``, ``last_search`` holds
+    the full :class:`repro.auto.SearchResult` (evaluations, cache/warm-
+    start/shared-memo hit counters, timing split).
     """
 
     def __init__(self, axes: Sequence[str],
                  options: Optional[Dict[str, Any]] = None,
                  search_backend: Optional[str] = None,
-                 cache_dir: Optional[str] = None):
+                 cache_dir: Optional[str] = None,
+                 rollout_env: Optional[str] = None):
         self.axes = list(axes)
         self.options = dict(options or {})
         if search_backend is not None:
             self.options["backend"] = search_backend
         if cache_dir is not None:
             self.options["cache_dir"] = cache_dir
+        if rollout_env is not None:
+            self.options["rollout_env"] = rollout_env
         self.name = f"auto<{','.join(self.axes)}>"
         #: The SearchResult of the most recent apply() (None before).
         self.last_search = None

@@ -7,11 +7,13 @@ Package map:
 * :mod:`repro.auto.tree` — UCT tree policy, virtual loss, rollout RNG.
 * :mod:`repro.auto.evaluator` — canonical-action-set scoring pipeline.
 * :mod:`repro.auto.scheduler` — serial / batched / process backends.
-* :mod:`repro.auto.cache` — transposition table + on-disk persistence.
+* :mod:`repro.auto.sharedmemo` — cross-worker shared plan memo.
+* :mod:`repro.auto.cache` — transposition table + on-disk persistence
+  with load-time compaction.
 """
 
 from repro.auto.cache import TranspositionTable, function_fingerprint
-from repro.auto.evaluator import Evaluator
+from repro.auto.evaluator import ROLLOUT_ENVS, Evaluator
 from repro.auto.scheduler import BACKENDS, RolloutScheduler, make_scheduler
 from repro.auto.search import SearchResult, mcts_search, run_automatic_partition
 from repro.auto.tree import TreePolicy, canonical_key
@@ -19,6 +21,7 @@ from repro.auto.tree import TreePolicy, canonical_key
 __all__ = [
     "BACKENDS",
     "Evaluator",
+    "ROLLOUT_ENVS",
     "RolloutScheduler",
     "SearchResult",
     "TranspositionTable",

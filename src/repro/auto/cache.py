@@ -110,19 +110,38 @@ class TranspositionTable:
     ``lookup`` counts hits (and, separately, *warm* hits on entries loaded
     from disk — the cross-call reuse the persistent cache exists for).
     ``store`` registers a fresh cost and queues one record for the log;
-    ``flush`` appends the queued records in one write.  Nothing ever
-    rewrites or rereads existing bytes.
+    ``flush`` appends the queued records in one write.  The steady state
+    never rewrites or rereads existing bytes; the one exception is
+    :meth:`compact` — run explicitly, or automatically at load when the
+    log is both large and mostly waste (duplicate keys from concurrent
+    writers/crash replays, torn lines) — which rewrites the file to the
+    newest record per key with hits and values unchanged.
     """
+
+    #: Auto-compaction thresholds, checked once per load: rewrite the log
+    #: when it exceeds this many bytes AND carries more than this fraction
+    #: of duplicate/torn records (a healthy append-only log — every record
+    #: a distinct first score — is never rewritten, no matter how big).
+    COMPACT_MIN_BYTES = 1 << 20
+    COMPACT_WASTE_RATIO = 0.25
 
     def __init__(self, path: Optional[str] = None):
         self.path = path
         self.hits = 0
         self.warm_hits = 0
+        self.compactions = 0
         self._costs: Dict[ActionKey, float] = {}
         self._warm: Set[ActionKey] = set()
         self._pending: List[Tuple[ActionKey, float]] = []
         if path is not None and os.path.exists(path):
-            self._load(path)
+            records, waste = self._load(path)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                size = 0
+            if (size >= self.COMPACT_MIN_BYTES and records
+                    and waste / records > self.COMPACT_WASTE_RATIO):
+                self.compact()
 
     @property
     def warm_entries(self) -> int:
@@ -164,21 +183,55 @@ class TranspositionTable:
                 handle.write(json.dumps(record) + "\n")
         self._pending = []
 
-    def _load(self, path: str) -> None:
+    def compact(self) -> None:
+        """Rewrite the log keeping exactly one (the newest) record per key.
+
+        The in-memory table — already the last-record-wins replay of the
+        log, with any torn tail skipped — *is* the compacted content, so
+        hits and values are unchanged by construction.  The rewrite goes
+        through a temp file + atomic rename: a crash mid-compaction leaves
+        the old log intact.  No-op for purely in-memory tables.
+        """
+        if self.path is None:
+            return
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        tmp_path = self.path + ".compact.tmp"
+        with open(tmp_path, "w") as handle:
+            for key, cost in self._costs.items():
+                record = {"k": [list(action) for action in key], "c": cost}
+                handle.write(json.dumps(record) + "\n")
+        os.replace(tmp_path, self.path)
+        self.compactions += 1
+
+    def _load(self, path: str) -> Tuple[int, int]:
+        """Replay the log; returns ``(records, wasted records)`` where
+        wasted counts duplicate-key overwrites and torn/garbled lines —
+        the load-time compaction signal."""
+        records = 0
+        waste = 0
         with open(path) as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
+                records += 1
                 try:
                     record = json.loads(line)
-                except json.JSONDecodeError:
+                    key = tuple(
+                        (int(i), int(d), str(axis))
+                        for i, d, axis in record["k"]
+                    )
+                    cost = float(record["c"])
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError):
+                    waste += 1
                     continue  # torn tail line from a crashed writer
-                key = tuple(
-                    (int(i), int(d), str(axis)) for i, d, axis in record["k"]
-                )
-                self._costs[key] = float(record["c"])
+                if key in self._costs:
+                    waste += 1  # superseded by this newer record
+                self._costs[key] = cost
                 self._warm.add(key)
+        return records, waste
 
 
 def table_for(cache_dir: Optional[str], function: Function, mesh,

@@ -50,13 +50,28 @@ def action_legal(env: ShardingEnv, param, dim: int, axis: str) -> bool:
 def candidate_actions(function: Function, env: ShardingEnv,
                       axes: Sequence[str],
                       max_inputs: int = 48) -> List[Tuple[int, int, str]]:
-    """Enumerate legal tile actions on the largest function inputs."""
-    ranked = sorted(
-        enumerate(function.params),
-        key=lambda pair: -pair[1].type.nbytes,
-    )[:max_inputs]
+    """Enumerate legal tile actions on the largest function inputs.
+
+    The enumeration order is a **documented total order** — actions are
+    emitted by ``(param nbytes descending, param index ascending)``, then
+    per param by ``(axis in the caller's given order, dim ascending)`` —
+    with the nbytes tie explicitly broken by parameter index, so the
+    candidate list (and everything seeded from it: node ids, rollout RNG
+    streams, fixed-seed search results) is independent of sort-stability
+    details.  A parameter value bound to several function inputs is
+    enumerated once, at its smallest index (duplicates would be identical
+    actions on the same underlying value).
+    """
+    seen_values = set()
+    ranked = []
+    for index, param in enumerate(function.params):
+        if param in seen_values:
+            continue
+        seen_values.add(param)
+        ranked.append((index, param))
+    ranked.sort(key=lambda pair: (-pair[1].type.nbytes, pair[0]))
     actions = []
-    for index, param in ranked:
+    for index, param in ranked[:max_inputs]:
         for axis in axes:
             for dim in range(len(param.type.shape)):
                 if action_legal(env, param, dim, axis):
@@ -75,6 +90,10 @@ def try_apply_action(function: Function, env: ShardingEnv,
     return True
 
 
+#: Valid rollout env engines (see :class:`Evaluator`).
+ROLLOUT_ENVS = ("undo", "fork")
+
+
 class Evaluator:
     """Scores canonical action sets; owns the memoization layers.
 
@@ -83,18 +102,43 @@ class Evaluator:
     repeated searches pool their scores.  The evaluator itself stays cheap
     to construct in a worker process: everything it needs travels as
     ``(function, mesh, portable env state, device, flags)``.
+
+    ``rollout_env`` picks the engine that maintains per-prefix env state:
+
+    * ``"undo"`` (default) — one mutable env plus an undo log
+      (:meth:`~repro.core.sharding.ShardingEnv.checkpoint` /
+      ``rollback``).  Scoring a set retracts to the longest common prefix
+      with the previous set and extends in place — zero env allocation per
+      rollout.  Re-extending a previously-propagated prefix replays its
+      memoized write delta instead of re-running the propagation fixed
+      point, and the streaming estimator re-prices only ops adjacent to
+      the env's write journal
+      (:meth:`~repro.sim.costmodel.StreamingEstimator.estimate_incremental`).
+    * ``"fork"`` — the classic PR 3 engine: each canonical prefix gets its
+      own propagated env, forked from its parent with the O(delta) overlay
+      ``copy()``, and every evaluation runs a full streaming walk.
+
+    Both engines produce bit-identical costs (property-tested): prefix env
+    state is a pure function of the canonical prefix either way.
     """
 
     def __init__(self, function: Function, env: ShardingEnv,
                  device: DeviceSpec, incremental: bool = True,
                  memoize: bool = True, streaming: bool = True,
                  reconcile_cache: bool = True,
-                 table: Optional[TranspositionTable] = None):
+                 table: Optional[TranspositionTable] = None,
+                 rollout_env: str = "undo"):
+        if rollout_env not in ROLLOUT_ENVS:
+            raise ValueError(
+                f"unknown rollout_env {rollout_env!r}; "
+                f"expected one of {ROLLOUT_ENVS}"
+            )
         self.function = function
         self.device = device
         self.incremental = incremental
         self.memoize = memoize
         self.streaming = streaming
+        self.rollout_env = rollout_env
         self.evaluations = 0
         self.lower_calls = 0
         self.propagate_time_s = 0.0
@@ -106,6 +150,7 @@ class Evaluator:
         self.remote_propagate_calls = 0
         self.remote_ops_reused = 0
         self.remote_reconcile_hits = 0
+        self.remote_shared_plan_hits = 0
         self.table = table if table is not None else TranspositionTable()
         self._env_cache: Dict[ActionKey, ShardingEnv] = {}
         # One streaming estimator for the whole search: its per-op plan and
@@ -120,6 +165,15 @@ class Evaluator:
         # cached prefix env would otherwise re-copy the whole history.
         self.root = env.copy(with_events=False)
         propagate(function, self.root, incremental=incremental)
+        # Undo-engine state: the action stack mirrors the env's applied
+        # prefix (one checkpoint per level), and the propagation-delta memo
+        # replays previously-computed fixed points on re-extension.
+        self._stack: List[Tuple[Tuple[int, int, str], object]] = []
+        self._prop_memo: Dict[ActionKey, Tuple] = {}
+        if rollout_env == "undo" and streaming:
+            # The journal's only consumer is the incremental streaming
+            # estimator; the materializing path must not accumulate one.
+            self.root.enable_journal()
 
     @property
     def cache_hits(self) -> int:
@@ -135,12 +189,21 @@ class Evaluator:
         local = self._estimator.reconcile_hits if self._estimator else 0
         return local + self.remote_reconcile_hits
 
+    @property
+    def shared_plan_hits(self) -> int:
+        """Plans/chains this process served from the cross-worker store."""
+        return self._estimator.shared_plan_hits if self._estimator else 0
+
     def _env_for(self, key: ActionKey) -> ShardingEnv:
         """Propagated env for a canonical action prefix.
 
-        Recursively extends the env of ``key[:-1]`` by one action + one
-        propagation fixed point, reusing cached prefixes when memoizing.
+        Fork engine: recursively extends the env of ``key[:-1]`` by one
+        action + one propagation fixed point, reusing cached prefixes when
+        memoizing.  Undo engine: retracts/extends the single mutable env
+        (:meth:`_env_for_undo`).
         """
+        if self.rollout_env == "undo":
+            return self._env_for_undo(key)
         if not key:
             return self.root
         if self.memoize:
@@ -152,6 +215,45 @@ class Evaluator:
         propagate(self.function, env, incremental=self.incremental)
         if self.memoize:
             self._env_cache[key] = env
+        return env
+
+    def _env_for_undo(self, key: ActionKey) -> ShardingEnv:
+        """Move the single mutable env to the state of canonical prefix
+        ``key``: roll back to the longest common prefix with the current
+        action stack, then extend one action at a time.
+
+        Each extension replays the prefix's memoized propagation delta
+        when available (O(writes), no rule evaluation) and otherwise runs
+        the real apply + propagation fixed point, memoizing the resulting
+        write delta.  With ``memoize=False`` the env retracts all the way
+        to the root first and nothing is replayed — every evaluation pays
+        its full prefix, mirroring the fork engine's uncached behavior.
+        """
+        env = self.root
+        stack = self._stack
+        lcp = 0
+        if self.memoize:
+            limit = min(len(stack), len(key))
+            while lcp < limit and stack[lcp][0] == key[lcp]:
+                lcp += 1
+        if lcp < len(stack):
+            env.rollback(stack[lcp][1])
+            del stack[lcp:]
+        for action in key[lcp:]:
+            prefix = key[:len(stack) + 1]
+            token = env.checkpoint()
+            delta = self._prop_memo.get(prefix) if self.memoize else None
+            if delta is not None:
+                set_sharding = env.set_sharding
+                for value, sharding in delta:
+                    set_sharding(value, sharding)
+                env.drain_dirty()
+            else:
+                try_apply_action(self.function, env, action)
+                propagate(self.function, env, incremental=self.incremental)
+                if self.memoize:
+                    self._prop_memo[prefix] = tuple(env.writes_since(token))
+            stack.append((action, token))
         return env
 
     def evaluate(self, actions: Sequence[Tuple[int, int, str]]) -> float:
@@ -172,7 +274,15 @@ class Evaluator:
         t1 = time.perf_counter()
         self.propagate_time_s += t1 - t0
         if self.streaming:
-            estimate = self._estimator.estimate(env)
+            changed = env.drain_journal() if self.rollout_env == "undo" \
+                else None
+            if self.rollout_env == "undo" and self.memoize:
+                # The env's write journal bounds what moved since the last
+                # evaluation of this same mutable env, so the estimator
+                # refreshes only the adjacent ops' segments.
+                estimate = self._estimator.estimate_incremental(env, changed)
+            else:
+                estimate = self._estimator.estimate(env)
         else:
             lowered = lower(self.function, env)
             lowered.function = fuse_collectives(lowered.function)

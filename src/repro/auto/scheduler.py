@@ -35,6 +35,15 @@ state, device, flags)``; under the default ``fork`` start method that
 transfer is free, and everything in the payload is picklable for ``spawn``
 platforms (see ``ShardingEnv.portable_state`` and
 ``StreamingEstimator.__getstate__``).
+
+The process backend additionally wires every evaluator — the main
+process's and each worker's — into one **cross-worker shared plan memo**
+(:mod:`repro.auto.sharedmemo`): cold per-op lowering plans and
+reconcile-chain costs are published to a shared-memory append log and
+adopted by siblings on their next evaluation, so the pool as a whole
+plans each distinct neighborhood once instead of once per process.
+``SearchResult.shared_plan_hits`` aggregates the cold computations
+avoided.
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.sharding import ShardingEnv
 
+from repro.auto import sharedmemo
 from repro.auto.evaluator import Evaluator
 from repro.auto.tree import ActionKey, TreePolicy, _stable_hash
 
@@ -165,14 +175,19 @@ _WORKER_EVALUATOR: Optional[Evaluator] = None
 
 
 def _worker_init(function, mesh, portable_env, device, incremental,
-                 memoize, streaming, reconcile_cache) -> None:
+                 memoize, streaming, reconcile_cache,
+                 rollout_env="undo", shared_handle=None) -> None:
     global _WORKER_EVALUATOR
     env = ShardingEnv(mesh)
     env.apply_portable_state(function, portable_env)
     _WORKER_EVALUATOR = Evaluator(
         function, env, device, incremental=incremental, memoize=memoize,
         streaming=streaming, reconcile_cache=reconcile_cache,
+        rollout_env=rollout_env,
     )
+    if shared_handle is not None and _WORKER_EVALUATOR._estimator is not None:
+        store = sharedmemo.attach_store(shared_handle)
+        _WORKER_EVALUATOR._estimator.attach_shared_store(store)
     # Prime the worker's per-op plan and reconcile-chain memos with the
     # root env's full evaluation.  Initializers run while the main process
     # computes its own baseline, so each worker's one unavoidable
@@ -194,6 +209,7 @@ def _worker_evaluate(key: ActionKey):
         evaluator.estimate_ops_reused,
         evaluator.reconcile_chain_hits,
         evaluator.lower_calls,
+        evaluator.shared_plan_hits,
     )
     cost = evaluator.evaluate(key)
     return (
@@ -206,6 +222,7 @@ def _worker_evaluate(key: ActionKey):
         evaluator.estimate_ops_reused - before[4],
         evaluator.reconcile_chain_hits - before[5],
         evaluator.lower_calls - before[6],
+        evaluator.shared_plan_hits - before[7],
     )
 
 
@@ -230,6 +247,18 @@ class ProcessScheduler(RolloutScheduler):
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
+        if evaluator.rollout_env == "undo":
+            # The undo engine's single env must be at the root (empty
+            # prefix) state before its shardings are snapshotted for the
+            # workers' baselines.
+            evaluator._env_for(())
+        # Cross-worker shared plan memo: one shared-memory append log for
+        # the whole search; the main evaluator joins too, so its baseline
+        # evaluation seeds the store while the pools fork.
+        self._store = None
+        if evaluator._estimator is not None:
+            self._store = sharedmemo.create_store(context)
+            evaluator._estimator.attach_shared_store(self._store)
         root = evaluator.root
         initargs = (
             evaluator.function,
@@ -241,6 +270,8 @@ class ProcessScheduler(RolloutScheduler):
             evaluator.streaming,
             evaluator._estimator._chains is not None
             if evaluator._estimator else True,
+            evaluator.rollout_env,
+            self._store.handle() if self._store is not None else None,
         )
         pools = []
         try:
@@ -262,6 +293,10 @@ class ProcessScheduler(RolloutScheduler):
         for pool in self._pools:
             pool.join()
         self._pools = []
+        if self._store is not None:
+            self._store.close()
+            self._store.unlink()
+            self._store = None
 
     def _route(self, key: ActionKey) -> int:
         """Stable worker index for a canonical action set.
@@ -289,7 +324,7 @@ class ProcessScheduler(RolloutScheduler):
         ]
         for future in futures:
             for (key, cost, prop_dt, est_dt, ops, prop_calls, ops_reused,
-                 chain_hits, lower_calls) in future.get():
+                 chain_hits, lower_calls, shared_hits) in future.get():
                 costs[key] = cost
                 evaluator.evaluations += 1
                 evaluator.propagate_time_s += prop_dt
@@ -299,6 +334,7 @@ class ProcessScheduler(RolloutScheduler):
                 evaluator.remote_ops_reused += ops_reused
                 evaluator.remote_reconcile_hits += chain_hits
                 evaluator.lower_calls += lower_calls
+                evaluator.remote_shared_plan_hits += shared_hits
                 if evaluator.memoize:
                     evaluator.table.store(key, cost)
         return costs

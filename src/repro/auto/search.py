@@ -85,6 +85,11 @@ class SearchResult:
     warm_cache_hits: int = 0
     #: Whole reconcile-chain costs reused by the streaming evaluator.
     reconcile_chain_hits: int = 0
+    #: Which rollout env engine maintained prefix state ("undo" | "fork").
+    rollout_env: str = "undo"
+    #: Plans/chains served from the cross-worker shared memo (process
+    #: backend; 0 elsewhere or when the shared store is unavailable).
+    shared_plan_hits: int = 0
 
 
 def mcts_search(
@@ -105,6 +110,7 @@ def mcts_search(
     wave_size: Optional[int] = None,
     cache_dir: Optional[str] = None,
     reconcile_cache: bool = True,
+    rollout_env: str = "undo",
 ) -> SearchResult:
     """UCT search; returns the best action sequence found.
 
@@ -116,7 +122,10 @@ def mcts_search(
     (``serial``/``batched``/``process``; see :mod:`repro.auto.scheduler`),
     ``workers``/``wave_size`` tune it, and ``cache_dir`` persists the
     transposition table across calls (append-only, keyed by the traced
-    function's fingerprint).
+    function's fingerprint).  ``rollout_env`` picks the prefix-state
+    engine: ``"undo"`` (default) extends/retracts one mutable env through
+    an undo log with incremental re-estimation; ``"fork"`` is the classic
+    env-per-prefix overlay fork.  Results are bit-identical either way.
     """
     candidates = candidate_actions(function, env, axes, max_inputs)
     # Snapshot before Evaluator.__init__: its root fixed point counts too.
@@ -125,6 +134,7 @@ def mcts_search(
     evaluator = Evaluator(
         function, env, device, incremental=incremental, memoize=memoize,
         streaming=streaming, reconcile_cache=reconcile_cache, table=table,
+        rollout_env=rollout_env,
     )
     scheduler = make_scheduler(backend, wave_size=wave_size, workers=workers)
     # Fork worker pools (a no-op for in-process backends) before the
@@ -174,6 +184,9 @@ def mcts_search(
         backend=backend,
         warm_cache_hits=table.warm_hits,
         reconcile_chain_hits=evaluator.reconcile_chain_hits,
+        rollout_env=rollout_env,
+        shared_plan_hits=(evaluator.shared_plan_hits
+                          + evaluator.remote_shared_plan_hits),
     )
 
 
@@ -194,6 +207,7 @@ def run_automatic_partition(
     wave_size: Optional[int] = None,
     cache_dir: Optional[str] = None,
     reconcile_cache: bool = True,
+    rollout_env: str = "undo",
     result_sink: Optional[list] = None,
     **_ignored,
 ) -> int:
@@ -214,7 +228,8 @@ def run_automatic_partition(
                          memoize=memoize, streaming=streaming,
                          backend=backend, workers=workers,
                          wave_size=wave_size, cache_dir=cache_dir,
-                         reconcile_cache=reconcile_cache)
+                         reconcile_cache=reconcile_cache,
+                         rollout_env=rollout_env)
     if result_sink is not None:
         result_sink.append(result)
     # Replay the winner exactly the way the evaluator scored it: one

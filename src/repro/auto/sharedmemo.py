@@ -1,0 +1,184 @@
+"""Cross-worker shared plan memo for the ``process`` rollout backend.
+
+PR 3 gave every search worker its own evaluator — and therefore its own
+per-op lowering-plan and reconcile-chain memos, re-planned cold in every
+process (ROADMAP: "the workers' plan/prefix caches are private").  This
+module closes that gap with a **shared append-only record log in a
+``multiprocessing.shared_memory`` segment**: whichever process first plans
+an ``(op, adjacent shardings)`` neighborhood or prices a reconcile chain
+publishes the entry, and every other process adopts it on its next poll
+instead of recomputing.
+
+Wire format (all offsets little-endian):
+
+* bytes ``0:8`` — committed length of the record area (written last, under
+  the lock, so readers never observe a half-written record),
+* then records, each ``[u32 length][pickle payload]``.
+
+A payload is one of::
+
+    ("p", op_index, sig_ids, op_plan)      # per-op lowering plan
+    ("c", (value_type, sig_id, target_layout, reduced_axes), chain_entry)
+
+``op_index`` is the op's position in the function's canonical pre-order
+walk — both sides hold structurally-identical traced functions, so the
+index is the op's portable name (exactly like value indices in
+``ShardingEnv.portable_state``).  ``sig_ids`` / ``sig_id`` are
+**interned-signature ids on the wire**: the portable
+:meth:`~repro.core.sharding.Sharding.signature` tuples standing in for the
+process-local intern ids; the reader interns them back to its own ids.
+
+The log is append-only within the segment: when it fills, publishers stop
+writing (readers keep everything already committed) — the same write-lean
+discipline as the transposition table's JSONL log.  A cache hit never
+touches the segment; only cold computations publish.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import List, Optional, Tuple
+
+try:  # pragma: no cover - exercised implicitly by import success
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - ancient pythons only
+    _shm = None
+
+#: Default segment size: generously fits every distinct plan/chain of the
+#: benchmark-scale searches (a plan pickles to ~1-2 KB; searches produce
+#: thousands, not millions, of distinct neighborhoods).
+DEFAULT_SIZE = 16 * 1024 * 1024
+
+_HEADER = struct.Struct("<Q")
+_RECLEN = struct.Struct("<I")
+
+
+def available() -> bool:
+    return _shm is not None
+
+
+class SharedMemoStore:
+    """One shared append-log segment plus the lock serializing writers.
+
+    The parent creates it before forking workers (:meth:`create`); workers
+    attach by name (:meth:`attach`).  ``publish`` appends records;
+    ``poll`` returns every record committed since the caller's last poll.
+    Readers parse record bytes outside the lock — committed bytes are
+    immutable, so only the header read needs serialization.
+    """
+
+    def __init__(self, segment, lock, size: int, owner: bool):
+        self._segment = segment
+        self._lock = lock
+        self._size = size
+        self._owner = owner
+        self._full = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, context, size: int = DEFAULT_SIZE) -> "SharedMemoStore":
+        segment = _shm.SharedMemory(create=True, size=size)
+        _HEADER.pack_into(segment.buf, 0, 0)
+        store = cls(segment, context.Lock(), size, owner=True)
+        store._start_method = context.get_start_method()
+        return store
+
+    @classmethod
+    def attach(cls, name: str, lock, size: int,
+               start_method: str = "fork") -> "SharedMemoStore":
+        segment = _shm.SharedMemory(name=name)
+        if start_method == "spawn":
+            # A spawned worker has its own resource-tracker process, and
+            # attaching registered the segment there — on worker exit that
+            # tracker would unlink the segment out from under the parent
+            # and its siblings.  Unregister: the creator owns cleanup.
+            # (Forked workers share the parent's tracker, whose name cache
+            # dedups the attach registration — unregistering there would
+            # strip the parent's own entry instead.)
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:
+                pass
+        return cls(segment, lock, size, owner=False)
+
+    def handle(self) -> Tuple[str, object, int, str]:
+        """(name, lock, size, start method) — picklable through Pool
+        initargs."""
+        return (self._segment.name, self._lock, self._size,
+                getattr(self, "_start_method", "fork"))
+
+    def close(self) -> None:
+        try:
+            self._segment.close()
+        except Exception:
+            pass
+
+    def unlink(self) -> None:
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except Exception:
+                pass
+
+    # -- records ------------------------------------------------------------
+
+    def publish(self, payloads: List[tuple]) -> int:
+        """Append pickled payloads; returns how many fit."""
+        if self._full or not payloads:
+            return 0
+        blobs = [pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL)
+                 for p in payloads]
+        written = 0
+        buf = self._segment.buf
+        with self._lock:
+            offset = 8 + _HEADER.unpack_from(buf, 0)[0]
+            for blob in blobs:
+                end = offset + 4 + len(blob)
+                if end > self._size:
+                    self._full = True
+                    break
+                _RECLEN.pack_into(buf, offset, len(blob))
+                buf[offset + 4:end] = blob
+                offset = end
+                written += 1
+            _HEADER.pack_into(buf, 0, offset - 8)
+        return written
+
+    def poll(self, offset: int) -> Tuple[int, List[tuple]]:
+        """Records committed since ``offset`` (a value previously returned
+        by this method; start at 0).  Returns ``(new_offset, payloads)``."""
+        buf = self._segment.buf
+        with self._lock:
+            committed = _HEADER.unpack_from(buf, 0)[0]
+        out: List[tuple] = []
+        position = 8 + offset
+        end = 8 + committed
+        while position < end:
+            (length,) = _RECLEN.unpack_from(buf, position)
+            record = bytes(buf[position + 4:position + 4 + length])
+            out.append(pickle.loads(record))
+            position += 4 + length
+        return committed, out
+
+
+def create_store(context) -> Optional[SharedMemoStore]:
+    """A new store, or None when shared memory is unavailable."""
+    if _shm is None:
+        return None
+    try:
+        return SharedMemoStore.create(context)
+    except OSError:  # e.g. /dev/shm mounted noexec/ro or size exhausted
+        return None
+
+
+def attach_store(handle) -> Optional[SharedMemoStore]:
+    if _shm is None or handle is None:
+        return None
+    name, lock, size, start_method = handle
+    try:
+        return SharedMemoStore.attach(name, lock, size, start_method)
+    except OSError:
+        return None

@@ -37,16 +37,17 @@ class _GspmdPropagator(Propagator):
     (cf. the paper's discussion of openxla/xla#13875).
     """
 
-    def _match_axis(self, op: Operation, op_rule, axis: str) -> bool:
+    def _match_axis(self, op: Operation, op_rule, axis: str,
+                    operand_shardings, result_shardings) -> bool:
         evidence: Set[int] = set()
-        for i, operand in enumerate(op.operands):
-            dim = self.env.sharding(operand).tile_dim_of(axis)
+        for i, sharding in enumerate(operand_shardings):
+            dim = sharding.tile_dim_of(axis)
             if dim is not None:
                 fid = op_rule.factor_of("in", i, dim)
                 if fid is not None:
                     evidence.add(fid)
-        for r, result in enumerate(op.results):
-            dim = self.env.sharding(result).tile_dim_of(axis)
+        for r, sharding in enumerate(result_shardings):
+            dim = sharding.tile_dim_of(axis)
             if dim is not None:
                 fid = op_rule.factor_of("out", r, dim)
                 if fid is not None:
@@ -55,7 +56,8 @@ class _GspmdPropagator(Propagator):
             return False
         extendable = [
             fid for fid in evidence
-            if self._factor_status(op, op_rule.factors[fid], axis)
+            if self._factor_status(op, op_rule.factors[fid], axis,
+                                   operand_shardings, result_shardings)
             == "extendable"
         ]
         if not extendable:

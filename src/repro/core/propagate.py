@@ -221,8 +221,10 @@ class Propagator:
     def _value_at(self, op: Operation, side: str, index: int) -> Value:
         return op.operands[index] if side == "in" else op.results[index]
 
-    def _divisible(self, value: Value, dim: int, axis: str) -> bool:
-        sharding = self.env.sharding(value)
+    def _divisible(self, value: Value, dim: int, axis: str,
+                   sharding: Optional[Sharding] = None) -> bool:
+        if sharding is None:
+            sharding = self.env.sharding(value)
         denom = self.mesh.group_size(sharding.dim_axes[dim]) * self.mesh.size(axis)
         return value.type.shape[dim] % denom == 0
 
@@ -237,22 +239,43 @@ class Propagator:
     def _process_op(self, op: Operation) -> bool:
         changed = False
         op_rule = rules_mod.rule_for(op)
+        env = self.env
+        # Adjacent shardings are hoisted out of the per-axis loop (they are
+        # by far the hottest reads); the version check refreshes them only
+        # when a factor application actually wrote something.
+        operand_shardings = [env.sharding(v) for v in op.operands]
+        result_shardings = [env.sharding(v) for v in op.results]
+        version = env.version
         for axis in self.mesh.axis_names:
+            if env.version != version:
+                operand_shardings = [env.sharding(v) for v in op.operands]
+                result_shardings = [env.sharding(v) for v in op.results]
+                version = env.version
             if op_rule is not None:
-                changed |= self._match_axis(op, op_rule, axis)
-            changed |= self._defer_pending(op, axis)
+                changed |= self._match_axis(op, op_rule, axis,
+                                            operand_shardings,
+                                            result_shardings)
+                if env.version != version:
+                    operand_shardings = [
+                        env.sharding(v) for v in op.operands
+                    ]
+                    result_shardings = [env.sharding(v) for v in op.results]
+                    version = env.version
+            changed |= self._defer_pending(op, axis, operand_shardings,
+                                           result_shardings)
         return changed
 
-    def _match_axis(self, op: Operation, op_rule, axis: str) -> bool:
+    def _match_axis(self, op: Operation, op_rule, axis: str,
+                    operand_shardings, result_shardings) -> bool:
         evidence: Set[int] = set()
-        for i, operand in enumerate(op.operands):
-            dim = self.env.sharding(operand).tile_dim_of(axis)
+        for i, sharding in enumerate(operand_shardings):
+            dim = sharding.tile_dim_of(axis)
             if dim is not None:
                 fid = op_rule.factor_of("in", i, dim)
                 if fid is not None:
                     evidence.add(fid)
-        for r, result in enumerate(op.results):
-            dim = self.env.sharding(result).tile_dim_of(axis)
+        for r, sharding in enumerate(result_shardings):
+            dim = sharding.tile_dim_of(axis)
             if dim is not None:
                 fid = op_rule.factor_of("out", r, dim)
                 if fid is not None:
@@ -262,7 +285,9 @@ class Propagator:
 
         extendable: List[int] = []
         for fid in evidence:
-            status = self._factor_status(op, op_rule.factors[fid], axis)
+            status = self._factor_status(op, op_rule.factors[fid], axis,
+                                         operand_shardings,
+                                         result_shardings)
             if status == "extendable":
                 extendable.append(fid)
         if not extendable:
@@ -276,12 +301,17 @@ class Propagator:
             return False
         return self._apply_factor(op, op_rule.factors[extendable[0]], axis)
 
-    def _factor_status(self, op: Operation, factor, axis: str) -> str:
+    def _factor_status(self, op: Operation, factor, axis: str,
+                       operand_shardings, result_shardings) -> str:
         """'applied' | 'extendable' | 'blocked' for this factor on this axis."""
         missing = False
         for side, index, dim in factor.entries:
-            value = self._value_at(op, side, index)
-            sharding = self.env.sharding(value)
+            if side == "in":
+                value = op.operands[index]
+                sharding = operand_shardings[index]
+            else:
+                value = op.results[index]
+                sharding = result_shardings[index]
             if axis in sharding.dim_axes[dim]:
                 continue
             if axis in sharding.sum_axes and side == "in":
@@ -294,7 +324,7 @@ class Propagator:
                     f"{op.opcode}: value already uses axis {axis!r}",
                 )
                 return "blocked"
-            if not self._divisible(value, dim, axis):
+            if not self._divisible(value, dim, axis, sharding):
                 self._report_once(
                     op, axis, "blocked",
                     f"{op.opcode}: dim {dim} not divisible by axis {axis!r}",
@@ -302,8 +332,7 @@ class Propagator:
                 return "blocked"
             missing = True
         if factor.reduce:
-            for result in op.results:
-                sharding = self.env.sharding(result)
+            for sharding in result_shardings:
                 if axis in sharding.sum_axes:
                     continue
                 if sharding.uses(axis) or sharding.is_pinned(axis):
@@ -332,16 +361,17 @@ class Propagator:
 
     # -- pending-sum deferral -------------------------------------------------
 
-    def _defer_pending(self, op: Operation, axis: str) -> bool:
+    def _defer_pending(self, op: Operation, axis: str,
+                       operand_shardings, result_shardings) -> bool:
         if len(op.results) != 1:
             return False
         result = op.results[0]
-        result_sharding = self.env.sharding(result)
+        result_sharding = result_shardings[0]
         if result_sharding.uses(axis) or result_sharding.is_pinned(axis):
             return False
         pending = [
-            i for i, operand in enumerate(op.operands)
-            if axis in self.env.sharding(operand).sum_axes
+            i for i, sharding in enumerate(operand_shardings)
+            if axis in sharding.sum_axes
         ]
         if not pending:
             return False

@@ -69,14 +69,25 @@ def rule(opcode: str):
 
 
 def rule_for(op: Operation) -> Optional[OpShardingRule]:
-    """The sharding rule for an op, or None if the op is fully blocked."""
+    """The sharding rule for an op, or None if the op is fully blocked.
+
+    Cached on the op (ops are structurally frozen after construction, so
+    the rule — a pure function of opcode/attrs/operand types — never
+    changes): propagation revisits each op many times per fixed point and
+    the streaming evaluator re-plans across thousands of envs.
+    """
+    try:
+        return op._sharding_rule
+    except AttributeError:
+        pass
     builder = _BUILDERS.get(op.opcode)
     if builder is not None:
-        return builder(op)
-    opdef = opdefs.get(op.opcode)
-    if opdef.elementwise:
-        return _elementwise_rule(op)
-    return None
+        rule = builder(op)
+    else:
+        opdef = opdefs.get(op.opcode)
+        rule = _elementwise_rule(op) if opdef.elementwise else None
+    op._sharding_rule = rule
+    return rule
 
 
 def _elementwise_rule(op: Operation) -> OpShardingRule:

@@ -15,11 +15,25 @@ one and accumulates propagation events (applied rewrites, blocked conflicts).
 The invariant from Section 5.2.3 — a loop over an axis can never nest inside
 another loop over the same axis — becomes "an axis appears at most once in a
 Sharding"; all mutation helpers enforce it.
+
+Two memory-model properties carry the automatic-partitioning search:
+
+* **Interning** (:func:`intern_sharding`): one canonical immutable
+  :class:`Sharding` per signature, process-wide.  Env writes compare by
+  pointer, memo keys hash small ints (:attr:`Sharding.iid`), and derived
+  data (``used_axes``, ``tile_dim_of``, ``with_tile``) is computed once
+  per *distinct* sharding rather than once per call.
+* **Undo-log checkpoints** (:meth:`ShardingEnv.checkpoint` /
+  ``rollback`` / ``release``): O(writes) snapshot/rollback of the
+  mutable env — the zero-copy dual of :meth:`ShardingEnv.copy`'s overlay
+  fork — plus a write journal (:meth:`ShardingEnv.enable_journal`) that
+  tells incremental consumers exactly which values moved.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import ShardingError
@@ -28,6 +42,45 @@ from repro.mesh import Mesh
 
 
 _REPLICATED: Dict[int, "Sharding"] = {}
+
+#: The global intern table: one canonical immutable :class:`Sharding` per
+#: signature.  Writes happen under the lock; readers rely on the GIL's
+#: atomic dict reads (an entry, once published, never changes), so lookups
+#: on the hot path stay lock-free — the concurrency tests hammer this.
+_INTERN: Dict[Tuple, "Sharding"] = {}
+_INTERN_BY_IID: List["Sharding"] = []
+_INTERN_LOCK = threading.Lock()
+
+
+def sharding_from_iid(iid: int) -> "Sharding":
+    """The canonical instance for a process-local intern id (inverse of
+    :attr:`Sharding.iid`; used to translate local memo keys to portable
+    signatures for the cross-worker plan store)."""
+    return _INTERN_BY_IID[iid]
+
+
+def intern_sharding(sharding: "Sharding") -> "Sharding":
+    """The canonical shared instance for ``sharding``'s signature.
+
+    The interning invariant — **one live canonical object per signature** —
+    turns env writes into pointer comparisons, per-instance derived caches
+    (``used_axes``, ``tile_dim_of``) into globally amortized ones, and the
+    streaming evaluator's plan-memo keys into tuples of small ints
+    (:attr:`Sharding.iid`).  Idempotent; safe under concurrent readers.
+    """
+    if getattr(sharding, "_iid", None) is not None:
+        return sharding  # already the canonical instance (never pickled)
+    signature = sharding.signature()
+    cached = _INTERN.get(signature)
+    if cached is not None:
+        return cached
+    with _INTERN_LOCK:
+        cached = _INTERN.get(signature)
+        if cached is None:
+            object.__setattr__(sharding, "_iid", len(_INTERN))
+            _INTERN_BY_IID.append(sharding)
+            _INTERN[signature] = cached = sharding
+    return cached
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,10 +98,40 @@ class Sharding:
         # keeps overlay envs allocation-free on the default path.
         cached = _REPLICATED.get(rank)
         if cached is None:
-            cached = _REPLICATED[rank] = Sharding(
-                tuple(() for _ in range(rank))
+            cached = _REPLICATED[rank] = intern_sharding(
+                Sharding(tuple(() for _ in range(rank)))
             )
         return cached
+
+    def interned(self) -> "Sharding":
+        """Canonical shared instance (see :func:`intern_sharding`)."""
+        return intern_sharding(self)
+
+    @property
+    def iid(self) -> int:
+        """Small-int identity of the canonical instance for this signature.
+
+        Stable for the lifetime of the process (but *process-local*: cross-
+        process keys use :meth:`signature`/:meth:`to_portable`, which are
+        equal exactly when iids are).  The streaming evaluator keys its
+        per-op plan memos on tuples of iids instead of nested signature
+        tuples — hashing a few ints instead of re-hashing axis strings.
+        """
+        own = getattr(self, "_iid", None)
+        if own is not None:
+            return own
+        return intern_sharding(self)._iid
+
+    def __getstate__(self):
+        # Derived caches (_iid, _signature, _used, _tile_dims) are process-
+        # local; shipping them would let a stale _iid masquerade as interned
+        # in the receiving process.  Pickle only the defining fields.
+        return (self.dim_axes, self.sum_axes, self.pinned)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "dim_axes", state[0])
+        object.__setattr__(self, "sum_axes", state[1])
+        object.__setattr__(self, "pinned", state[2])
 
     def signature(self) -> Tuple:
         """Cached hashable signature.
@@ -73,17 +156,34 @@ class Sharding:
         return len(self.dim_axes)
 
     def tiled_axes(self) -> FrozenSet[str]:
-        return frozenset(a for axes in self.dim_axes for a in axes)
+        cached = getattr(self, "_tiled", None)
+        if cached is None:
+            cached = frozenset(a for axes in self.dim_axes for a in axes)
+            object.__setattr__(self, "_tiled", cached)
+        return cached
 
     def used_axes(self) -> FrozenSet[str]:
-        """Axes this value's loop nest already involves (tile or sum)."""
-        return self.tiled_axes() | self.sum_axes
+        """Axes this value's loop nest already involves (tile or sum).
+
+        Cached per instance: interning means one instance per signature, so
+        the cache is computed once per *distinct* sharding process-wide,
+        then amortized over the propagation engine's millions of reads.
+        """
+        cached = getattr(self, "_used", None)
+        if cached is None:
+            cached = self.tiled_axes() | self.sum_axes
+            object.__setattr__(self, "_used", cached)
+        return cached
 
     def tile_dim_of(self, axis: str) -> Optional[int]:
-        for dim, axes in enumerate(self.dim_axes):
-            if axis in axes:
-                return dim
-        return None
+        cached = getattr(self, "_tile_dims", None)
+        if cached is None:
+            cached = {
+                a: dim for dim, axes in enumerate(self.dim_axes)
+                for a in axes
+            }
+            object.__setattr__(self, "_tile_dims", cached)
+        return cached.get(axis)
 
     def uses(self, axis: str) -> bool:
         return axis in self.used_axes()
@@ -91,21 +191,50 @@ class Sharding:
     def is_pinned(self, axis: str) -> bool:
         return axis in self.pinned
 
+    def _derived(self, key: Tuple) -> Optional["Sharding"]:
+        cached = getattr(self, "_derive_memo", None)
+        return cached.get(key) if cached is not None else None
+
+    def _remember(self, key: Tuple, result: "Sharding") -> "Sharding":
+        # Derivation memo (only ever populated on canonical interned
+        # instances, so it is computed once per distinct transition
+        # process-wide).  Values are interned, keeping the "one object per
+        # signature" invariant for everything the memo hands out.
+        result = intern_sharding(result)
+        cached = getattr(self, "_derive_memo", None)
+        if cached is None:
+            cached = {}
+            object.__setattr__(self, "_derive_memo", cached)
+        cached[key] = result
+        return result
+
     def with_tile(self, dim: int, axis: str) -> "Sharding":
         if self.uses(axis):
             raise ShardingError(
                 f"axis {axis!r} already used by this value's loop nest"
             )
+        cached = self._derived(("tile", dim, axis))
+        if cached is not None:
+            return cached
         new_dims = list(self.dim_axes)
         new_dims[dim] = new_dims[dim] + (axis,)
-        return dataclasses.replace(self, dim_axes=tuple(new_dims))
+        return self._remember(
+            ("tile", dim, axis),
+            dataclasses.replace(self, dim_axes=tuple(new_dims)),
+        )
 
     def with_sum(self, axis: str) -> "Sharding":
         if self.uses(axis):
             raise ShardingError(
                 f"axis {axis!r} already used by this value's loop nest"
             )
-        return dataclasses.replace(self, sum_axes=self.sum_axes | {axis})
+        cached = self._derived(("sum", axis))
+        if cached is not None:
+            return cached
+        return self._remember(
+            ("sum", axis),
+            dataclasses.replace(self, sum_axes=self.sum_axes | {axis}),
+        )
 
     def without_sum(self, axes: FrozenSet[str]) -> "Sharding":
         return dataclasses.replace(self, sum_axes=self.sum_axes - axes)
@@ -128,11 +257,11 @@ class Sharding:
     @staticmethod
     def from_portable(portable: Tuple) -> "Sharding":
         dim_axes, sum_axes, pinned = portable
-        return Sharding(
+        return intern_sharding(Sharding(
             tuple(tuple(axes) for axes in dim_axes),
             frozenset(sum_axes),
             frozenset(pinned),
-        )
+        ))
 
     def local_shape(self, shape: Tuple[int, ...], mesh: Mesh) -> Tuple[int, ...]:
         """Device-local shape of a value with this sharding."""
@@ -213,6 +342,20 @@ class PropagationStats:
                 self.ops_processed, self.rounds)
 
 
+@dataclasses.dataclass
+class EnvCheckpoint:
+    """A point-in-time mark on one env's undo log (see
+    :meth:`ShardingEnv.checkpoint`).  Tokens are LIFO: consuming one (by
+    rollback or release) invalidates every token taken after it."""
+
+    env: "ShardingEnv"
+    stack_index: int
+    undo_length: int
+    version: int
+    events_length: int
+    dirty: FrozenSet[Value]
+
+
 class ShardingEnv:
     """Sharding assignment for every value of a function (and its regions).
 
@@ -247,6 +390,14 @@ class ShardingEnv:
         self.version: int = 0
         self._dirty: Set[Value] = set()
         self.stats = PropagationStats()
+        #: Undo log: ``(value, previous sharding)`` per effective write,
+        #: recorded only while at least one checkpoint is outstanding.
+        self._undo: List[Tuple[Value, Sharding]] = []
+        self._checkpoints: List[EnvCheckpoint] = []
+        #: Write journal (see :meth:`enable_journal`): every value whose
+        #: sharding changed — by forward mutation *or* rollback — since the
+        #: last :meth:`drain_journal`.  ``None`` when disabled.
+        self._journal: Optional[List[Value]] = None
 
     def sharding(self, value: Value) -> Sharding:
         existing = self._delta.get(value)
@@ -268,11 +419,142 @@ class ShardingEnv:
                 f"sharding rank {sharding.rank} != value rank "
                 f"{len(value.type.shape)}"
             )
-        if self.sharding(value) == sharding:
+        # Every stored sharding is the canonical interned instance, so the
+        # no-change test is a pointer comparison (writes of an equal-but-
+        # distinct object intern to the same instance first).
+        sharding = intern_sharding(sharding)
+        previous = self.sharding(value)
+        if previous is sharding:
             return
+        if self._checkpoints:
+            self._undo.append((value, previous))
+        if self._journal is not None:
+            self._journal.append(value)
         self._delta[value] = sharding
         self.version += 1
         self._dirty.add(value)
+
+    # -- undo log -----------------------------------------------------------
+
+    def checkpoint(self) -> "EnvCheckpoint":
+        """Mark the current state; returns a token for :meth:`rollback`.
+
+        Checkpoints nest (LIFO): rolling back to an outer token unwinds
+        everything after it, including un-rolled-back inner checkpoints.
+        Recording costs O(1) per checkpoint plus one ``(value, previous)``
+        log entry per effective write while any checkpoint is outstanding —
+        the zero-copy dual of :meth:`copy`'s overlay fork.  All mutation
+        paths (``Tactic.apply``, ``propagate(..., incremental=True)``, the
+        raw actions) funnel through :meth:`set_sharding`, so they append to
+        the active log transparently.
+        """
+        token = EnvCheckpoint(
+            env=self,
+            stack_index=len(self._checkpoints),
+            undo_length=len(self._undo),
+            version=self.version,
+            events_length=len(self.events),
+            dirty=frozenset(self._dirty),
+        )
+        self._checkpoints.append(token)
+        return token
+
+    def rollback(self, token: "EnvCheckpoint") -> None:
+        """Restore the exact state :meth:`checkpoint` captured in ``token``.
+
+        Bit-identical restoration in O(writes since the checkpoint):
+        shardings (via the undo log, newest first), the dirty set, the
+        ``version`` counter and the event-log length all return to their
+        recorded values.  The token (and any checkpoint taken after it) is
+        consumed.
+        """
+        self._pop_checkpoint(token)
+        undo = self._undo
+        journal = self._journal
+        for index in range(len(undo) - 1, token.undo_length - 1, -1):
+            value, previous = undo[index]
+            # Restore by shadowing: writing the previous sharding into the
+            # live delta is exact whether the overwritten entry lived in
+            # the delta or in a frozen base (copy() may have run since).
+            self._delta[value] = previous
+            if journal is not None:
+                journal.append(value)
+        del undo[token.undo_length:]
+        if not self._checkpoints:
+            self._undo = []
+        del self.events[token.events_length:]
+        self.version = token.version
+        self._dirty = set(token.dirty)
+
+    def release(self, token: "EnvCheckpoint") -> None:
+        """Forget ``token`` (and checkpoints nested inside it), keeping all
+        writes — the commit dual of :meth:`rollback`.
+
+        Undo entries recorded under the released scope are kept whenever an
+        enclosing checkpoint is still outstanding: the outer token's
+        rollback must restore through them.  Only releasing the outermost
+        checkpoint discards the log."""
+        self._pop_checkpoint(token)
+        if not self._checkpoints:
+            self._undo = []
+
+    def _pop_checkpoint(self, token: "EnvCheckpoint") -> None:
+        if token.env is not self:
+            raise ShardingError("checkpoint token belongs to another env")
+        stack = self._checkpoints
+        if (token.stack_index >= len(stack)
+                or stack[token.stack_index] is not token):
+            raise ShardingError(
+                "stale checkpoint token: already rolled back or released"
+            )
+        del stack[token.stack_index:]
+
+    @property
+    def checkpoint_depth(self) -> int:
+        return len(self._checkpoints)
+
+    def writes_since(self, token: "EnvCheckpoint") -> List[
+            Tuple[Value, Sharding]]:
+        """``(value, current sharding)`` for every value written since
+        ``token`` (deduped, first-write order; the token stays live).
+
+        This is the replayable *forward* delta of everything between the
+        checkpoint and now: re-applying the pairs to an env in the token's
+        state reproduces the current shardings exactly — the undo-log
+        rollout evaluator memoizes one such delta per search prefix so
+        re-extending a previously-propagated prefix skips the propagation
+        fixed point entirely.
+        """
+        if token.env is not self:
+            raise ShardingError("checkpoint token belongs to another env")
+        seen: Set[Value] = set()
+        out: List[Tuple[Value, Sharding]] = []
+        for value, _ in self._undo[token.undo_length:]:
+            if value not in seen:
+                seen.add(value)
+                out.append((value, self.sharding(value)))
+        return out
+
+    # -- write journal ------------------------------------------------------
+
+    def enable_journal(self) -> None:
+        """Start journaling every sharding change (including rollbacks).
+
+        The journal is how the undo-log rollout evaluator knows which
+        values moved between two cost evaluations of the *same* mutable
+        env: :meth:`drain_journal` returns the distinct changed values, so
+        the streaming estimator refreshes only the ops adjacent to them.
+        """
+        if self._journal is None:
+            self._journal = []
+
+    def drain_journal(self) -> List[Value]:
+        """Distinct values mutated since the last drain (order preserved)."""
+        journal = self._journal
+        if not journal:
+            return []
+        self._journal = []
+        return list(dict.fromkeys(journal))
 
     def dirty_values(self) -> Set[Value]:
         """Values whose sharding changed since the last :meth:`clear_dirty`."""
@@ -294,7 +576,13 @@ class ShardingEnv:
         both sides continue with fresh empty deltas.  ``with_events=False``
         starts the clone with an empty event log — for throwaway evaluation
         envs (e.g. the search's prefix cache) that never read the caller's
-        history, so hundreds of cached copies don't each duplicate it."""
+        history, so hundreds of cached copies don't each duplicate it.
+
+        Clones never inherit undo state: outstanding checkpoints, the undo
+        log and the write journal stay with ``self`` (a clone starts with
+        none of the three).  Forking while checkpoints are outstanding is
+        allowed — rollback restores by shadowing the frozen bases, so a
+        fork between checkpoint and rollback changes nothing."""
         if self._delta:
             self._bases = self._bases + (self._delta,)
             self._delta = {}

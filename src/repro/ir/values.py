@@ -76,7 +76,11 @@ class Operation:
         regions: nested function bodies (``scan`` has one).
     """
 
-    __slots__ = ("opcode", "operands", "attrs", "results", "regions")
+    # _sharding_rule caches repro.core.rules.rule_for(op): the rule is a
+    # pure function of the op's opcode/attrs/types, all frozen after
+    # construction, and propagation + lowering ask for it millions of times.
+    __slots__ = ("opcode", "operands", "attrs", "results", "regions",
+                 "_sharding_rule")
 
     def __init__(
         self,
@@ -93,6 +97,16 @@ class Operation:
         self.results = [
             Value(t, producer=self, index=i) for i, t in enumerate(result_types)
         ]
+
+    def __getstate__(self):
+        # The cached sharding rule is derived state: recomputed on demand,
+        # and not worth shipping to search workers.
+        return (self.opcode, self.operands, self.attrs, self.results,
+                self.regions)
+
+    def __setstate__(self, state):
+        (self.opcode, self.operands, self.attrs, self.results,
+         self.regions) = state
 
     @property
     def result(self) -> Value:

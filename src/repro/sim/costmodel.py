@@ -35,6 +35,7 @@ import itertools
 import math
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.sharding import Sharding, intern_sharding, sharding_from_iid
 from repro.ir import opdefs
 from repro.ir.function import Function
 from repro.ir.types import TensorType
@@ -508,13 +509,17 @@ class _MemoLowerer(Lowerer):
             cached = self._reduce_cache.get(reduce_key)
             if cached is not None:
                 return cached
-        chain_key = (value.type, actual.signature(), required_t, ar_axes)
+        # actual.iid stands in for the full signature tuple: interning
+        # guarantees one id per distinct layout, so the key hashes a few
+        # ints instead of nested axis-string tuples.
+        chain_key = (value.type, actual.iid, required_t, ar_axes)
         entry = chains.get(chain_key)
         if entry is None:
-            entry = chains[chain_key] = self._record_chain(
-                value.type, actual, required, allowed_pending
+            entry = estimator._miss_chain(
+                chain_key,
+                lambda: self._record_chain(value.type, actual, required,
+                                           allowed_pending),
             )
-            estimator.reconcile_misses += 1
         else:
             estimator.reconcile_hits += 1
         handle = sink.replay_chain(value, entry)
@@ -555,8 +560,10 @@ class _MemoLowerer(Lowerer):
             return
         estimator = self._estimator
         env = self.env
+        # Interned-id key: pointer-sized ints, one per adjacent value (see
+        # Sharding.iid) — equal iid tuples iff equal signature tuples.
         signature = tuple(
-            env.sharding(v).signature()
+            env.sharding(v).iid
             for v in itertools.chain(op.operands, op.results)
         )
         plans = estimator._plans.get(id(op))
@@ -564,8 +571,9 @@ class _MemoLowerer(Lowerer):
             plans = estimator._plans[id(op)] = {}
         plan = plans.get(signature)
         if plan is None:
-            plan = plans[signature] = self._plan_op(op)
-            estimator.ops_planned += 1
+            plan = plans[signature] = estimator._miss_plan(
+                op, signature, lambda: self._plan_op(op)
+            )
         else:
             estimator.ops_reused += 1
         self._execute_plan(op, plan, sink, value_map)
@@ -591,32 +599,200 @@ class StreamingEstimator:
         self.ops_reused = 0
         self.reconcile_hits = 0
         self.reconcile_misses = 0
-        # id(op) -> {adjacent-sharding signature -> _OpPlan}.  Keying on
+        #: Plan/chain entries served from the cross-worker shared store
+        #: (attached by the process scheduler; see repro.auto.sharedmemo).
+        self.shared_plan_hits = 0
+        # id(op) -> {adjacent-sharding iid tuple -> _OpPlan}.  Keying on
         # id() is safe: self.function keeps every op (and region op) alive.
         self._plans: Dict[int, Dict[tuple, object]] = {}
-        # (value type, source layout, target layout, reduced axes) ->
+        # (value type, source layout iid, target layout, reduced axes) ->
         # _ChainEntry.  None disables whole-chain reconcile caching (the
         # equivalence tests exercise both paths).
         self._chains: Optional[Dict[tuple, _ChainEntry]] = (
             {} if reconcile_cache else None
         )
+        #: Incremental re-estimation state bound to one mutable env (the
+        #: undo-log rollout evaluator's); see :meth:`estimate_incremental`.
+        self._inc: Optional["_IncrementalEstimate"] = None
+        # Cross-worker shared plan memo (see repro.auto.sharedmemo): None
+        # until the process scheduler attaches a store.
+        self._shared = None
+        self._shared_offset = 0
+        self._shared_pending: List[tuple] = []
+        self._staged_plans: Dict[tuple, object] = {}
+        self._staged_chains: Dict[tuple, _ChainEntry] = {}
+        self._ops_walk: Optional[List] = None
+        self._op_pos: Optional[Dict[int, int]] = None
 
     def __getstate__(self):
         """Pickle support for shipping the estimator to search workers.
 
-        The memo tables are process-local (plans key on ``id(op)``; both
-        rebuild lazily and cheaply), so they are dropped rather than
-        serialized — the worker starts with warm code, cold caches."""
+        The memo tables are process-local (plans key on ``id(op)`` and
+        intern ids; both rebuild lazily and cheaply), so they are dropped
+        rather than serialized — the worker starts with warm code, cold
+        caches."""
         state = self.__dict__.copy()
         state["_plans"] = {}
+        state["_inc"] = None
+        state["_shared"] = None
+        state["_shared_offset"] = 0
+        state["_shared_pending"] = []
+        state["_staged_plans"] = {}
+        state["_staged_chains"] = {}
+        state["_ops_walk"] = None
+        state["_op_pos"] = None
         if state["_chains"] is not None:
             state["_chains"] = {}
         return state
 
+    # -- cross-worker shared memo -------------------------------------------
+
+    def attach_shared_store(self, store) -> None:
+        """Join a :class:`repro.auto.sharedmemo.SharedMemoStore`.
+
+        From now on, every cold plan/chain computation is queued for
+        publication (flushed once per estimate call), and every estimate
+        call first polls the store, *staging* records other processes
+        published.  Staged entries are adopted only when a local lookup
+        actually misses — ``shared_plan_hits`` therefore counts real cold
+        computations avoided, not records received.
+        """
+        if store is None:
+            return
+        self._shared = store
+        self._ops_walk = list(self.function.walk())
+        self._op_pos = {id(op): i for i, op in enumerate(self._ops_walk)}
+
+    def _shared_sync(self) -> None:
+        self._shared_offset, records = self._shared.poll(self._shared_offset)
+        if not records:
+            return
+        ops_walk = self._ops_walk
+        plans_all = self._plans
+        for record in records:
+            if record[0] == "p":
+                _, op_index, sig_signatures, plan = record
+                op = ops_walk[op_index]
+                sig = tuple(
+                    intern_sharding(
+                        Sharding(ds, frozenset(ss), frozenset(ps))
+                    )._iid
+                    for ds, ss, ps in sig_signatures
+                )
+                plans = plans_all.get(id(op))
+                if plans is not None and sig in plans:
+                    continue  # already computed locally (incl. own records)
+                self._staged_plans[(id(op), sig)] = plan
+            else:
+                _, (value_type, actual_sig, required_t, ar_axes), entry = \
+                    record
+                ds, ss, ps = actual_sig
+                iid = intern_sharding(
+                    Sharding(ds, frozenset(ss), frozenset(ps))
+                )._iid
+                key = (value_type, iid, required_t, ar_axes)
+                if self._chains is not None and key not in self._chains:
+                    self._staged_chains[key] = entry
+
+    def _shared_flush(self) -> None:
+        if self._shared is not None and self._shared_pending:
+            self._shared.publish(self._shared_pending)
+            self._shared_pending = []
+
+    def _take_staged_plan(self, op, sig):
+        plan = self._staged_plans.pop((id(op), sig), None)
+        if plan is not None:
+            self.shared_plan_hits += 1
+        return plan
+
+    def _take_staged_chain(self, key):
+        entry = self._staged_chains.pop(key, None)
+        if entry is not None:
+            self.shared_plan_hits += 1
+        return entry
+
+    def _miss_plan(self, op, sig, plan_fn):
+        """Resolve a local plan-memo miss: adopt a staged shared-store
+        entry if one exists, else compute via ``plan_fn`` (counting the
+        cold plan) and queue it for publication.  The one place the
+        adoption/counting semantics live — both the classic walk and the
+        incremental resolver call through here."""
+        plan = self._take_staged_plan(op, sig) \
+            if self._shared is not None else None
+        if plan is None:
+            plan = plan_fn()
+            self.ops_planned += 1
+            self._note_plan(op, sig, plan)
+        return plan
+
+    def _miss_chain(self, chain_key, record_fn):
+        """Resolve a local chain-memo miss (mirror of :meth:`_miss_plan`);
+        stores the entry and counts the miss."""
+        entry = self._take_staged_chain(chain_key) \
+            if self._shared is not None else None
+        if entry is None:
+            entry = record_fn()
+            self._note_chain(chain_key, entry)
+        self._chains[chain_key] = entry
+        self.reconcile_misses += 1
+        return entry
+
+    def _note_plan(self, op, sig, plan) -> None:
+        if self._shared is not None:
+            self._shared_pending.append((
+                "p", self._op_pos[id(op)],
+                tuple(sharding_from_iid(iid).signature() for iid in sig),
+                plan,
+            ))
+
+    def _note_chain(self, key, entry) -> None:
+        if self._shared is not None:
+            value_type, iid, required_t, ar_axes = key
+            self._shared_pending.append((
+                "c",
+                (value_type, sharding_from_iid(iid).signature(), required_t,
+                 ar_axes),
+                entry,
+            ))
+
+    def estimate_incremental(self, env, changed_values=None,
+                             overlap: bool = True) -> CostEstimate:
+        """Exact re-estimation of one *mutable* env in O(changed ops).
+
+        Built for the undo-log rollout evaluator: the caller owns a single
+        env it extends and retracts in place (``checkpoint``/``rollback``)
+        and passes the env's drained write journal as ``changed_values``.
+        Only ops adjacent to a changed value refresh their cached
+        *resolved segment* (plan + reconcile-chain entries + live-range
+        records, keyed by the interned ids of the adjacent shardings);
+        every op then *replays* its current segment into fresh
+        accumulators, which is bit-identical to the full streaming walk —
+        same floating-point additions in the same order, same live-range
+        log — at a fraction of the per-op cost.
+
+        ``changed_values=None`` forces a full rebuild (always the case on
+        the first call for an env).  Requires the reconcile-chain cache;
+        falls back to :meth:`estimate` when it is disabled.
+        """
+        if self._chains is None:
+            return self.estimate(env, overlap=overlap)
+        inc = self._inc
+        if inc is None or inc.env is not env:
+            inc = self._inc = _IncrementalEstimate(self, env)
+            changed_values = None
+        if self._shared is not None:
+            self._shared_sync()
+        result = inc.run(changed_values, overlap)
+        self._shared_flush()
+        return result
+
     def estimate(self, env, overlap: bool = True) -> CostEstimate:
+        if self._shared is not None:
+            self._shared_sync()
         lowerer = _MemoLowerer(env, self)
         sink = CostSink(self.mesh, self.device)
         stream = lowerer.lower_function(self.function, sink)
+        self._shared_flush()
         result = stream.estimate
         if overlap:
             result.runtime_s = max(result.compute_s, result.comm_s)
@@ -624,6 +800,502 @@ class StreamingEstimator:
             result.runtime_s = result.compute_s + result.comm_s
         result.peak_memory_bytes = stream.peak_bytes
         return result
+
+
+class _UnitState:
+    """Per-top-level-op incremental state: the values whose shardings key
+    the unit's behavior, the memo of resolved segments, and the segment
+    currently in force."""
+
+    __slots__ = ("op", "is_scan", "sig_values", "segments", "segment")
+
+    def __init__(self, op, is_scan: bool, sig_values: tuple):
+        self.op = op
+        self.is_scan = is_scan
+        self.sig_values = sig_values
+        self.segments: Dict[tuple, tuple] = {}
+        self.segment: Optional[tuple] = None
+
+
+class _IncrementalEstimate:
+    """Segment-cached replay of the streaming estimate for one mutable env.
+
+    The full streaming walk (:meth:`StreamingEstimator.estimate`) spends
+    its time *resolving*: rebuilding per-op signature keys, fetching plans,
+    recomputing reconcile targets and re-pricing chains.  For a single env
+    mutated in place between evaluations, almost none of that changes —
+    so this class splits evaluation into:
+
+    * **refresh** (dirty ops only): recompute the op's interned-signature
+      key and look up / build its *resolved segment* — the operand
+      reconcile-chain entries (with their pending-reduction dedup keys),
+      the op plan, and the trailing-slice sizes.  Segments are memoized
+      per signature, so toggling between explored search branches re-hits
+      old segments instead of re-resolving.
+    * **replay** (every op, in program order): apply the segment's exact
+      cost increments and live-range records to fresh accumulators.  The
+      increment sequence is identical to the full walk's — floating-point
+      addition order included — so results are bit-identical.
+
+    Cross-op couplings are re-established per replay, exactly as the full
+    walk does per evaluation: pending reductions deduplicate through a
+    fresh per-evaluation seen-map (first materializing site pays), and
+    peak memory comes from a freshly spliced
+    :class:`~repro.sim.memory.LiveRangeLog`.
+    """
+
+    def __init__(self, estimator: StreamingEstimator, env):
+        self.estimator = estimator
+        self.env = env
+        self.function = estimator.function
+        self.mesh = estimator.mesh
+        self.device = estimator.device
+        self._lowerer = _MemoLowerer(env, estimator)
+        self._units: List[_UnitState] = []
+        #: Segment currently in force per unit, in program order — the
+        #: list the replay loop iterates (refresh rewrites entries).
+        self._current: List[Optional[tuple]] = []
+        #: value -> tuple of unit indices to refresh when it changes
+        #: (PARAMS/RESULTS are pseudo-units for the boundary segments).
+        self._adjacent: Dict[object, tuple] = {}
+        self._params_segments: Dict[tuple, tuple] = {}
+        self._params_segment: Optional[tuple] = None
+        self._results_segments: Dict[tuple, tuple] = {}
+        self._results_segment: Optional[tuple] = None
+        self._build_units()
+
+    _PARAMS = -1
+    _RESULTS = -2
+
+    def _link(self, value, unit_index: int) -> None:
+        existing = self._adjacent.get(value, ())
+        if not existing or existing[-1] != unit_index:
+            self._adjacent[value] = existing + (unit_index,)
+
+    def _build_units(self) -> None:
+        function = self.function
+        for param in function.params:
+            self._link(param, self._PARAMS)
+        for op in function.ops:
+            index = len(self._units)
+            is_scan = op.opcode == "scan"
+            if is_scan:
+                # A scan's lowering reads the whole body, so its segment
+                # keys on (and is invalidated by) every subtree value.
+                sig_values: Dict[object, None] = {}
+
+                def visit(fn):
+                    for value in fn.params:
+                        sig_values.setdefault(value)
+                    for inner in fn.ops:
+                        for value in inner.operands:
+                            sig_values.setdefault(value)
+                        for value in inner.results:
+                            sig_values.setdefault(value)
+                        for region in inner.regions:
+                            visit(region)
+
+                for value in op.operands:
+                    sig_values.setdefault(value)
+                for value in op.results:
+                    sig_values.setdefault(value)
+                for region in op.regions:
+                    visit(region)
+                values = tuple(sig_values)
+            else:
+                values = tuple(op.operands) + tuple(op.results)
+            for value in values:
+                self._link(value, index)
+            self._units.append(_UnitState(op, is_scan, values))
+        self._current = [None] * len(self._units)
+        for result in function.results:
+            self._link(result, self._RESULTS)
+
+    # -- refresh ------------------------------------------------------------
+
+    def run(self, changed_values, overlap: bool) -> CostEstimate:
+        units = self._units
+        if changed_values is None:
+            dirty = set(range(len(units)))
+            dirty.add(self._PARAMS)
+            dirty.add(self._RESULTS)
+        else:
+            dirty = set()
+            adjacent = self._adjacent
+            for value in changed_values:
+                for index in adjacent.get(value, ()):
+                    dirty.add(index)
+        # Refresh inline: this loop runs for every dirty op on every
+        # evaluation, so the common hit path (sig rebuild -> memo get) is
+        # kept free of method-call overhead.
+        sharding = self.env.sharding
+        current = self._current
+        for index in dirty:
+            if index < 0:
+                if index == self._PARAMS:
+                    self._refresh_params()
+                else:
+                    self._refresh_results()
+                continue
+            unit = units[index]
+            sig = tuple([sharding(v)._iid for v in unit.sig_values])
+            segments = unit.segments
+            segment = segments.get(sig)
+            if segment is None:
+                if unit.is_scan:
+                    segment = self._resolve_scan(unit.op)
+                else:
+                    segment = self._resolve_plain(unit.op, sig)
+                segments[sig] = segment
+            unit.segment = segment
+            current[index] = segment
+        return self._replay(overlap)
+
+    def _sig(self, values) -> tuple:
+        sharding = self.env.sharding
+        # Direct _iid access: every env-stored sharding is the canonical
+        # interned instance (set_sharding interns; the replicated default
+        # is interned at construction).
+        return tuple([sharding(v)._iid for v in values])
+
+    def _refresh_params(self) -> None:
+        function = self.function
+        sig = self._sig(function.params)
+        segment = self._params_segments.get(sig)
+        if segment is None:
+            env = self.env
+            segment = self._params_segments[sig] = tuple(
+                (param, self._local_type(param, env.sharding(param)).nbytes)
+                for param in function.params
+            )
+        self._params_segment = segment
+
+    def _refresh_results(self) -> None:
+        function = self.function
+        sig = self._sig(function.results)
+        segment = self._results_segments.get(sig)
+        if segment is None:
+            env = self.env
+            sites = []
+            for result in function.results:
+                actual = env.sharding(result)
+                target = actual.without_sum(actual.sum_axes)
+                required = {
+                    d: list(axes) for d, axes in enumerate(target.dim_axes)
+                }
+                sites.append(self._resolve_site(result, actual, required,
+                                                set()))
+            segment = self._results_segments[sig] = tuple(sites)
+        self._results_segment = segment
+
+    # -- resolution ---------------------------------------------------------
+
+    def _local_type(self, value, sharding):
+        return value.type.with_shape(
+            sharding.local_shape(value.type.shape, self.mesh)
+        )
+
+    def _resolve_site(self, value, actual, required, allowed_pending):
+        """One operand-reconciliation site: ``(value, chain entry,
+        pending-reduction dedup key or None)`` — the exact mirror of
+        :meth:`_MemoLowerer._reconcile`'s key computation."""
+        estimator = self.estimator
+        rank = actual.rank
+        required_t = tuple(tuple(required.get(d, ())) for d in range(rank))
+        ar_axes = tuple(
+            a for a in sorted(actual.sum_axes) if a not in allowed_pending
+        )
+        local = self._local_type(value, actual)
+        chain_key = (local, actual.iid, required_t, ar_axes)
+        entry = estimator._chains.get(chain_key)
+        if entry is None:
+            entry = estimator._miss_chain(
+                chain_key,
+                lambda: self._lowerer._record_chain(local, actual, required,
+                                                    allowed_pending),
+            )
+        reduce_key = (value, ar_axes, required_t) if ar_axes else None
+        return (value, entry, reduce_key)
+
+    def _resolve_plain(self, op, sig: tuple) -> tuple:
+        estimator = self.estimator
+        plans = estimator._plans.get(id(op))
+        if plans is None:
+            plans = estimator._plans[id(op)] = {}
+        plan = plans.get(sig)
+        if plan is None:
+            plan = plans[sig] = estimator._miss_plan(
+                op, sig, lambda: self._lowerer._plan_op(op)
+            )
+        else:
+            estimator.ops_reused += 1
+        sites = tuple(
+            self._resolve_site(operand, plan.operand_shardings[i],
+                               plan.required[i], plan.allowed_pending[i])
+            for i, operand in enumerate(op.operands)
+        )
+        trailing = []
+        for r, spec in enumerate(plan.trailing):
+            if spec is None:
+                trailing.append(None)
+            else:
+                sliced = opdefs.get("all_slice").infer(
+                    [plan.result_types[r]], spec, []
+                )[0]
+                trailing.append(sliced.nbytes)
+        alias = op.opcode in memory_mod.ALIASING_OPS
+        results = tuple(op.results)
+        if (all(site[1].steps == () and site[2] is None for site in sites)
+                and not any(trailing)):
+            # Fast-replay form for the overwhelmingly common op: every
+            # operand already in the required layout (identity reconciles),
+            # no trailing slices — the replay needs only uid bookkeeping.
+            return ("op0", tuple(site[0] for site in sites), plan.flops,
+                    plan.result_nbytes, results, alias)
+        return ("op", sites, plan.flops, plan.result_nbytes, results,
+                alias, tuple(trailing))
+
+    def _resolve_scan(self, op) -> tuple:
+        env = self.env
+        body = op.regions[0]
+        num_carries = op.attrs.get("num_carries", len(op.operands))
+        operand_shardings = [
+            env.sharding(body.params[i + 1]) for i in range(len(op.operands))
+        ]
+        carry_shardings = operand_shardings[:num_carries]
+        sites = []
+        for i, operand in enumerate(op.operands):
+            required = {
+                d: list(axes)
+                for d, axes in enumerate(operand_shardings[i].dim_axes)
+            }
+            sites.append(self._resolve_site(operand, env.sharding(operand),
+                                            required, set()))
+        param_shardings = [Sharding.replicated(0)] + operand_shardings
+        body_sink = CostSink(self.mesh, self.device)
+        # Fresh dedup scope for the body lowering, exactly like the classic
+        # walk's per-evaluation lowerer (stale id()-keyed entries from an
+        # earlier resolve must never alias a new sink).
+        self._lowerer._reduce_cache = {}
+        body_result: _StreamResult = self._lowerer.lower_function(
+            body, body_sink,
+            fixed_param_shardings=param_shardings,
+            result_targets=carry_shardings,
+        )
+        carry_nbytes = tuple(
+            self._local_type(op.operands[i], operand_shardings[i]).nbytes
+            for i in range(num_carries)
+        )
+        tail_sites = []
+        for i, result in enumerate(op.results):
+            env_sharding = env.sharding(result)
+            if env_sharding.dim_axes != carry_shardings[i].dim_axes:
+                required = {
+                    d: list(axes)
+                    for d, axes in enumerate(env_sharding.dim_axes)
+                }
+                actual = dataclasses.replace(
+                    carry_shardings[i], sum_axes=frozenset()
+                )
+                local = self._local_type(op.operands[i], actual)
+                tail_sites.append(
+                    (i,) + self._resolve_tail_site(local, actual, required)
+                )
+        extra = memory_mod.scan_body_extra_bytes(
+            body_result.peak_bytes, body_result.params_bytes
+        )
+        return ("scan", tuple(sites), body_result,
+                op.attrs["trip_count"], carry_nbytes, tuple(op.results),
+                tuple(tail_sites), extra, num_carries)
+
+    def _resolve_tail_site(self, local_type, actual, required):
+        """Like :meth:`_resolve_site` but for a scan result handle, whose
+        local type is the carry's (not derivable from the result value)."""
+        estimator = self.estimator
+        rank = actual.rank
+        required_t = tuple(tuple(required.get(d, ())) for d in range(rank))
+        ar_axes = tuple(a for a in sorted(actual.sum_axes))
+        chain_key = (local_type, actual.iid, required_t, ar_axes)
+        entry = estimator._chains.get(chain_key)
+        if entry is None:
+            entry = estimator._miss_chain(
+                chain_key,
+                lambda: self._lowerer._record_chain(local_type, actual,
+                                                    required, set()),
+            )
+        return (entry, None)
+
+    # -- replay -------------------------------------------------------------
+
+    def _replay(self, overlap: bool) -> CostEstimate:
+        # The replay loop is the undo-engine's per-evaluation floor, so it
+        # runs on locals: float accumulators are written back to the
+        # CostEstimate once (same additions in the same order — the
+        # bit-identity property tests pin this), uids are plain ints, and
+        # live-range records are appended raw in LiveRangeLog's format.
+        estimator = self.estimator
+        est = CostEstimate(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, {})
+        collective_s = est.collective_time_s
+        log = LiveRangeLog()
+        params_log = log._params
+        ops_log = log._ops
+        ops_append = ops_log.append
+        compute_denom = self.device.peak_flops * _COMPUTE_EFFICIENCY
+        next_uid = 0
+        value_uids: Dict[object, int] = {}
+        reduce_seen: Dict[tuple, int] = {}
+        params_bytes = 0
+        local_flops = compute_s = comm_bytes = comm_s = 0.0
+        site_hits = 0
+        unit_replays = 0
+
+        for param, nbytes in self._params_segment:
+            value_uids[param] = next_uid
+            params_bytes += nbytes
+            params_log.append((next_uid, nbytes))
+            next_uid += 1
+
+        def replay_site(site) -> int:
+            nonlocal next_uid, local_flops, compute_s, comm_bytes, comm_s
+            value, entry, reduce_key = site
+            handle = value_uids[value]
+            if reduce_key is not None:
+                cached = reduce_seen.get(reduce_key)
+                if cached is not None:
+                    return cached
+            for step in entry.steps:
+                uid = next_uid
+                next_uid = uid + 1
+                if step.is_collective:
+                    comm_bytes += step.bytes_moved
+                    comm_s += step.seconds
+                    collective_s[step.opcode] = (
+                        collective_s.get(step.opcode, 0.0) + step.seconds
+                    )
+                else:
+                    local_flops += step.flops
+                    compute_s += step.flops / compute_denom
+                ops_append(((handle,), ((uid, step.nbytes),), step.alias, 0))
+                handle = uid
+            if reduce_key is not None:
+                reduce_seen[reduce_key] = handle
+            return handle
+
+        for segment in self._current:
+            unit_replays += 1
+            tag = segment[0]
+            if tag == "op0":
+                # All operands already in layout, no trailing slices.
+                _, values, flops, result_nbytes, results, alias = segment
+                site_hits += len(values)
+                operand_uids = tuple(map(value_uids.__getitem__, values))
+                if flops:
+                    local_flops += flops
+                    compute_s += flops / compute_denom
+                uid = next_uid
+                if len(results) == 1:
+                    pair = (uid, result_nbytes[0])
+                    next_uid = uid + 1
+                    ops_append((operand_uids, (pair,), alias, 0))
+                    value_uids[results[0]] = uid
+                else:
+                    result_pairs = tuple(
+                        (uid + r, nbytes)
+                        for r, nbytes in enumerate(result_nbytes)
+                    )
+                    next_uid = uid + len(result_pairs)
+                    ops_append((operand_uids, result_pairs, alias, 0))
+                    for r, result in enumerate(results):
+                        value_uids[result] = result_pairs[r][0]
+            elif tag == "op":
+                (_, sites, flops, result_nbytes, results, alias,
+                 trailing) = segment
+                site_hits += len(sites)
+                operand_uids = tuple(replay_site(site) for site in sites)
+                if flops:
+                    local_flops += flops
+                    compute_s += flops / compute_denom
+                uid = next_uid
+                result_pairs = tuple(
+                    (uid + r, nbytes)
+                    for r, nbytes in enumerate(result_nbytes)
+                )
+                next_uid = uid + len(result_pairs)
+                ops_append((operand_uids, result_pairs, alias, 0))
+                for r, result in enumerate(results):
+                    handle = result_pairs[r][0]
+                    sliced_nbytes = trailing[r]
+                    if sliced_nbytes is not None:
+                        new_uid = next_uid
+                        next_uid = new_uid + 1
+                        comm_bytes += 0.0
+                        comm_s += 0.0
+                        collective_s["all_slice"] = (
+                            collective_s.get("all_slice", 0.0) + 0.0
+                        )
+                        ops_append(((handle,), ((new_uid, sliced_nbytes),),
+                                    False, 0))
+                        handle = new_uid
+                    value_uids[result] = handle
+            else:
+                (_, sites, body_result, trips, carry_nbytes, results,
+                 tail_sites, extra, num_carries) = segment
+                site_hits += len(sites)
+                operand_uids = tuple(replay_site(site) for site in sites)
+                # merge_scaled mutates the estimate directly: flush the
+                # local accumulators first, reload after.
+                est.local_flops += local_flops
+                est.compute_s += compute_s
+                est.comm_bytes += comm_bytes
+                est.comm_s += comm_s
+                est.merge_scaled(body_result.estimate, trips)
+                local_flops = est.local_flops
+                compute_s = est.compute_s
+                comm_bytes = est.comm_bytes
+                comm_s = est.comm_s
+                est.local_flops = est.compute_s = 0.0
+                est.comm_bytes = est.comm_s = 0.0
+                uid = next_uid
+                carry_pairs = tuple(
+                    (uid + i, nbytes)
+                    for i, nbytes in enumerate(carry_nbytes)
+                )
+                next_uid = uid + len(carry_pairs)
+                ops_append((operand_uids, carry_pairs, False, extra))
+                for i, result in enumerate(results):
+                    value_uids[result] = carry_pairs[i][0]
+                for index, entry, _ in tail_sites:
+                    handle = value_uids[results[index]]
+                    for step in entry.steps:
+                        uid = next_uid
+                        next_uid = uid + 1
+                        if step.is_collective:
+                            comm_bytes += step.bytes_moved
+                            comm_s += step.seconds
+                            collective_s[step.opcode] = (
+                                collective_s.get(step.opcode, 0.0)
+                                + step.seconds
+                            )
+                        else:
+                            local_flops += step.flops
+                            compute_s += step.flops / compute_denom
+                        ops_append(((handle,), ((uid, step.nbytes),),
+                                    step.alias, 0))
+                        handle = uid
+                    value_uids[results[index]] = handle
+
+        result_uids = [replay_site(site) for site in self._results_segment]
+        site_hits += len(self._results_segment)
+        est.local_flops += local_flops
+        est.compute_s += compute_s
+        est.comm_bytes += comm_bytes
+        est.comm_s += comm_s
+        estimator.reconcile_hits += site_hits
+        estimator.ops_reused += unit_replays
+        est.runtime_s = (max(est.compute_s, est.comm_s) if overlap
+                         else est.compute_s + est.comm_s)
+        est.peak_memory_bytes = log.peak_bytes(result_uids)
+        return est
 
 
 def estimate_streaming(function: Function, env, device: DeviceSpec,

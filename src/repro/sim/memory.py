@@ -54,14 +54,43 @@ class LiveRangeLog:
                           alias, extra))
 
     def peak_bytes(self, result_uids: Sequence[int]) -> int:
-        """Peak sum of live tensor bytes across the logged execution."""
+        """Peak sum of live tensor bytes across the logged execution.
+
+        Two passes: the first resolves alias classes and folds every uid's
+        last operand use onto its class root, producing one free event per
+        root; the second walks the records accumulating allocations and
+        applying the precomputed frees.  Equivalent to checking every
+        touched uid per record (a root's folded last use is exactly the
+        index at which the old per-record scan would have freed it), with
+        O(1) work per record plus O(1) per free.
+        """
+        ops = self._ops
+        alias_of: Dict[int, int] = {}
         last_use: Dict[int, int] = {}
-        for index, (operands, _, _, _) in enumerate(self._ops):
+        for index, (operands, results, alias, _) in enumerate(ops):
+            if alias:
+                alias_of[results[0][0]] = operands[0]
             for uid in operands:
                 last_use[uid] = index
-        out_set = set(result_uids)
-        for uid in out_set:
-            last_use[uid] = len(self._ops)
+
+        def root(uid: int) -> int:
+            while uid in alias_of:
+                uid = alias_of[uid]
+            return uid
+
+        out_roots: Set[int] = {root(uid) for uid in result_uids}
+        # One free event per alias-class root: the class's maximum operand
+        # use (aliases extend the root's lifetime).
+        root_lu: Dict[int, int] = {}
+        for uid, index in last_use.items():
+            root_uid = root(uid)
+            if root_uid not in out_roots:
+                existing = root_lu.get(root_uid, -1)
+                if index > existing:
+                    root_lu[root_uid] = index
+        freed_at: Dict[int, List[int]] = {}
+        for root_uid, index in root_lu.items():
+            freed_at.setdefault(index, []).append(root_uid)
 
         nbytes = dict(self._params)
         live = 0
@@ -69,45 +98,33 @@ class LiveRangeLog:
         for _, size in self._params:
             live += size
         peak = live
-
-        alias_of: Dict[int, int] = {}
-
-        def root(uid: int) -> int:
-            while uid in alias_of:
-                uid = alias_of[uid]
-            return uid
-
-        freed: Set[int] = set()
-        for index, (operands, results, alias, extra) in enumerate(self._ops):
-            for uid, size in results:
-                nbytes[uid] = size
+        freed_at_get = freed_at.get
+        for index, (operands, results, alias, extra) in enumerate(ops):
             if alias:
-                alias_of[results[0][0]] = operands[0]
-                # Aliases extend the root's lifetime.
-                root_uid = root(operands[0])
-                last_use[root_uid] = max(
-                    last_use.get(root_uid, index),
-                    last_use.get(results[0][0], index),
-                )
+                nbytes[results[0][0]] = results[0][1]
             else:
-                for _, size in results:
+                for uid, size in results:
+                    nbytes[uid] = size
                     live += size
                 if extra:
                     # A scan body's transient peak rides on top of the
                     # carries for the duration of the op.
-                    live += extra
-                    peak = max(peak, live)
-                    live -= extra
-            peak = max(peak, live)
-            # Free values whose last use has passed.
-            for uid in set(operands) | {u for u, _ in results}:
-                root_uid = root(uid)
-                if root_uid in freed:
-                    continue
-                if last_use.get(root_uid, -1) <= index \
-                        and root_uid not in out_set:
-                    freed.add(root_uid)
+                    transient = live + extra
+                    if transient > peak:
+                        peak = transient
+            if live > peak:
+                peak = live
+            frees = freed_at_get(index)
+            if frees is not None:
+                for root_uid in frees:
                     live -= nbytes[root_uid]
+            # A result never consumed downstream (and not an output) dies
+            # with its defining record, exactly like the old per-record
+            # scan's last_use default of -1.
+            if not alias:
+                for uid, size in results:
+                    if uid not in last_use and uid not in out_roots:
+                        live -= size
         return peak
 
 

@@ -1,0 +1,214 @@
+"""Undo-log rollouts vs the classic fork engine (PR 4's tentpole contract).
+
+The two rollout env engines — ``"undo"`` (one mutable env + checkpoint/
+rollback + propagation-delta replay + journal-driven incremental
+re-estimation) and ``"fork"`` (env-per-prefix overlay copies + full
+streaming walks) — must be observationally identical: same best actions,
+same best cost, same evaluation/cache/propagation counters, on every
+backend and model, scan loops included.  The incremental estimator is
+additionally pinned field-exact (every ``CostEstimate`` component,
+floating point bit-for-bit) against the classic walk over randomized
+checkpoint/rollback chains.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.auto.evaluator import Evaluator, candidate_actions, \
+    try_apply_action
+from repro.auto.search import mcts_search
+from repro.core.propagate import propagate
+from repro.core.sharding import ShardingEnv
+from repro.mesh import Mesh
+from repro.models import gns as gns_mod
+from repro.models import transformer
+from repro.models import unet as unet_mod
+from repro.sim import TPU_V3, costmodel
+
+MESH = Mesh({"batch": 4, "model": 2})
+
+
+def _cases():
+    tcfg = transformer.t32(num_layers=2, d_model=128, num_heads=4, d_head=32,
+                           ffw_dim=256, vocab=512, seq_len=32, batch=8)
+    icfg = transformer.it32(num_layers=2, d_model=128, num_heads=4,
+                            d_head=32, ffw_dim=256, vocab=512, batch=4,
+                            decode_steps=3)
+    gcfg = gns_mod.gns(num_nodes=64, num_edges=256, feature_dim=8,
+                       latent_dim=32, mlp_layers=2, message_steps=2,
+                       out_dim=8)
+    ucfg = unet_mod.unet(num_down=2, num_up=2, channels=8, in_channels=4,
+                         image_size=16, batch=4, attention_heads=2,
+                         temb_dim=8)
+    return [
+        ("transformer", transformer.trace_training_step(tcfg)),
+        ("it32_scan", transformer.trace_inference(icfg)),
+        ("gns", gns_mod.trace_training_step(gcfg)),
+        ("unet", unet_mod.trace_training_step(ucfg)),
+    ]
+
+
+CASES = _cases()
+
+
+@pytest.mark.parametrize("case", range(len(CASES)),
+                         ids=[name for name, _ in CASES])
+@pytest.mark.parametrize("seed", [0, 7])
+def test_undo_and_fork_search_results_identical(case, seed):
+    name, traced = CASES[case]
+    results = {}
+    for rollout_env in ("fork", "undo"):
+        env = ShardingEnv(MESH)
+        results[rollout_env] = mcts_search(
+            traced.function, env, ["batch", "model"], device=TPU_V3,
+            budget=10, rollout_depth=2, max_inputs=6, seed=seed,
+            rollout_env=rollout_env,
+        )
+    fork, undo = results["fork"], results["undo"]
+    for field in ("actions", "cost", "evaluations", "cache_hits",
+                  "propagate_calls", "ops_processed"):
+        assert getattr(fork, field) == getattr(undo, field), (name, field)
+    assert fork.rollout_env == "fork"
+    assert undo.rollout_env == "undo"
+
+
+@pytest.mark.parametrize("backend", ["serial", "batched", "process"])
+def test_undo_identical_across_backends(backend):
+    _, traced = CASES[0]
+    reference = None
+    env = ShardingEnv(MESH)
+    result = mcts_search(
+        traced.function, env, ["batch", "model"], device=TPU_V3,
+        budget=10, rollout_depth=2, max_inputs=6, seed=0,
+        backend=backend, workers=2, rollout_env="undo",
+    )
+    env = ShardingEnv(MESH)
+    reference = mcts_search(
+        traced.function, env, ["batch", "model"], device=TPU_V3,
+        budget=10, rollout_depth=2, max_inputs=6, seed=0,
+        backend="serial", rollout_env="fork",
+    )
+    assert result.actions == reference.actions
+    assert result.cost == reference.cost
+
+
+@pytest.mark.parametrize("flags", [
+    {"memoize": False},
+    {"incremental": False},
+    {"streaming": False},
+    {"reconcile_cache": False},
+    {"memoize": False, "incremental": False, "streaming": False},
+])
+def test_undo_matches_fork_with_speed_layers_disabled(flags):
+    """The undo engine composes with every existing kill switch: disabling
+    memoization (no prop-delta replay, retract-to-root per rollout),
+    incremental propagation, streaming, or the chain cache (no incremental
+    estimation) never changes the fixed-seed outcome."""
+    _, traced = CASES[0]
+    results = {}
+    for rollout_env in ("fork", "undo"):
+        env = ShardingEnv(MESH)
+        results[rollout_env] = mcts_search(
+            traced.function, env, ["batch", "model"], device=TPU_V3,
+            budget=8, rollout_depth=2, max_inputs=6, seed=1,
+            rollout_env=rollout_env, **flags,
+        )
+    assert results["fork"].actions == results["undo"].actions
+    assert results["fork"].cost == results["undo"].cost
+
+
+@pytest.mark.parametrize("case", range(len(CASES)),
+                         ids=[name for name, _ in CASES])
+def test_incremental_estimate_field_exact(case):
+    """estimate_incremental == estimate on every CostEstimate field (bit-
+    identical floats) over a randomized checkpoint/rollback chain."""
+    _, traced = CASES[case]
+    function = traced.function
+    env = ShardingEnv(MESH)
+    propagate(function, env)
+    env.enable_journal()
+    incremental = costmodel.StreamingEstimator(function, MESH, TPU_V3)
+    reference = costmodel.StreamingEstimator(function, MESH, TPU_V3)
+    candidates = candidate_actions(function, env, ["batch", "model"], 6)
+    if not candidates:
+        pytest.skip("no candidates")
+    rng = random.Random(case)
+    tokens = []
+    for step in range(30):
+        if rng.random() < 0.55 and len(tokens) < 4:
+            token = env.checkpoint()
+            try_apply_action(function, env, rng.choice(candidates))
+            propagate(function, env, incremental=True)
+            tokens.append(token)
+        elif tokens:
+            index = rng.randrange(len(tokens))
+            env.rollback(tokens[index])
+            del tokens[index:]
+        fast = incremental.estimate_incremental(env, env.drain_journal())
+        slow = reference.estimate(env)
+        assert dataclasses.asdict(fast) == dataclasses.asdict(slow), step
+
+
+def test_undo_evaluator_reuses_propagation_deltas():
+    """Re-extending a rolled-back prefix must replay the memoized write
+    delta instead of re-running propagation."""
+    _, traced = CASES[0]
+    function = traced.function
+    env = ShardingEnv(MESH)
+    evaluator = Evaluator(function, env, TPU_V3, rollout_env="undo")
+    candidates = candidate_actions(function, evaluator.root,
+                                   ["batch", "model"], 6)
+    key_a = (candidates[0],)
+    key_b = (candidates[1],)
+    evaluator.compute(key_a)
+    evaluator.compute(key_b)  # rolls back key_a
+    stats = evaluator.root.stats
+    calls_before = stats.propagate_calls
+    evaluator.compute(key_a)  # re-extends: replay, no propagate
+    assert stats.propagate_calls == calls_before
+
+
+def test_process_backend_shared_memo_hits():
+    """Workers must serve plans/chains from the cross-worker store: the
+    shared-memo hit counter is positive and the result matches serial."""
+    pytest.importorskip("multiprocessing.shared_memory")
+    _, traced = CASES[0]
+    env = ShardingEnv(MESH)
+    process = mcts_search(
+        traced.function, env, ["batch", "model"], device=TPU_V3,
+        budget=10, rollout_depth=2, max_inputs=6, seed=0,
+        backend="process", workers=2,
+    )
+    env = ShardingEnv(MESH)
+    serial = mcts_search(
+        traced.function, env, ["batch", "model"], device=TPU_V3,
+        budget=10, rollout_depth=2, max_inputs=6, seed=0,
+        backend="serial",
+    )
+    assert process.actions == serial.actions
+    assert process.cost == serial.cost
+    assert process.shared_plan_hits > 0
+    assert serial.shared_plan_hits == 0
+
+
+def test_candidate_actions_total_order_and_dedupe():
+    from repro.ir.function import FunctionBuilder
+
+    builder = FunctionBuilder("cands")
+    small = builder.param((4, 8), name="small")
+    big = builder.param((8, 8), name="big")
+    tied = builder.param((8, 8), name="tied")  # same nbytes as big
+    env = ShardingEnv(MESH)
+    actions = candidate_actions(builder.function, env, ["batch"], 48)
+    params = [index for index, _, _ in actions]
+    # nbytes descending, index-ascending tie-break, smaller param last.
+    assert params == [1, 1, 2, 2, 0, 0]
+    # Duplicate param objects are enumerated once, at the smallest index.
+    builder2 = FunctionBuilder("dup")
+    shared = builder2.param((8, 8), name="w")
+    builder2.function.params.append(shared)
+    builder2.function.input_names.append("w_again")
+    dup_actions = candidate_actions(builder2.function, env, ["batch"], 48)
+    assert {index for index, _, _ in dup_actions} == {0}

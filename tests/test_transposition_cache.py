@@ -191,3 +191,92 @@ class TestPartirJitWarmStart:
                           estimate_per_tactic=False)
         assert tactic.last_search is not None
         assert tactic.last_search.backend == "batched"
+
+
+class TestCompaction:
+    def _fill(self, path, keys, duplicates=1, torn_tail=False):
+        with open(path, "w") as handle:
+            for _ in range(duplicates):
+                for index, key in enumerate(keys):
+                    record = {"k": [list(a) for a in key],
+                              "c": float(index) + duplicates * 0.001}
+                    import json
+                    handle.write(json.dumps(record) + "\n")
+            if torn_tail:
+                handle.write('{"k": [[0, 0, "B"')  # crashed writer
+
+    def test_compact_preserves_hits_and_values(self, tmp_path):
+        path = str(tmp_path / "tt.jsonl")
+        keys = [((i, 0, "B"),) for i in range(8)]
+        # 5 generations of duplicate records + a torn tail.
+        self._fill(path, keys, duplicates=5, torn_tail=True)
+        before = TranspositionTable(path)
+        snapshot = {key: before.peek(key) for key in keys}
+        before.compact()
+        after = TranspositionTable(path)
+        assert len(after) == len(keys)
+        for key in keys:
+            assert after.lookup(key) == snapshot[key]
+        assert after.hits == len(keys)
+        # The compacted log holds exactly one line per key, all parseable.
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == len(keys)
+
+    def test_compact_handles_torn_tail_only_file(self, tmp_path):
+        path = str(tmp_path / "tt.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"k": [[0, 0, "B"')
+        table = TranspositionTable(path)
+        assert len(table) == 0
+        table.compact()
+        assert os.path.getsize(path) == 0
+        assert TranspositionTable(path).lookup(((0, 0, "B"),)) is None
+
+    def test_auto_compaction_threshold(self, tmp_path):
+        path = str(tmp_path / "tt.jsonl")
+        keys = [((i, 0, "B"),) for i in range(4)]
+        self._fill(path, keys, duplicates=4)
+        # Small file: high duplicate ratio alone must NOT rewrite (the
+        # append-only steady state stays write-lean).
+        size_before = os.path.getsize(path)
+        table = TranspositionTable(path)
+        assert table.compactions == 0
+        assert os.path.getsize(path) == size_before
+
+        # Force the size threshold down: now load compacts automatically.
+        class Eager(TranspositionTable):
+            COMPACT_MIN_BYTES = 1
+
+        eager = Eager(path)
+        assert eager.compactions == 1
+        assert os.path.getsize(path) < size_before
+        reloaded = TranspositionTable(path)
+        for key in keys:
+            assert reloaded.peek(key) == table.peek(key)
+
+    def test_healthy_log_never_rewritten(self, tmp_path):
+        path = str(tmp_path / "tt.jsonl")
+        keys = [((i, 0, "B"),) for i in range(16)]
+        self._fill(path, keys, duplicates=1)
+        size_before = os.path.getsize(path)
+
+        class Eager(TranspositionTable):
+            COMPACT_MIN_BYTES = 1
+
+        table = Eager(path)
+        assert table.compactions == 0
+        assert os.path.getsize(path) == size_before
+
+    def test_store_after_compaction_appends(self, tmp_path):
+        path = str(tmp_path / "tt.jsonl")
+        keys = [((i, 0, "B"),) for i in range(3)]
+        self._fill(path, keys, duplicates=3)
+        table = TranspositionTable(path)
+        table.compact()
+        table.store(((99, 1, "M"),), 1.25)
+        table.flush()
+        reloaded = TranspositionTable(path)
+        assert reloaded.peek(((99, 1, "M"),)) == 1.25
+        for key in keys:
+            assert reloaded.peek(key) == table.peek(key)
