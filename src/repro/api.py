@@ -84,6 +84,26 @@ class Tactic:
     ``incremental=True`` asks the tactic's trailing propagation to run the
     worklist engine seeded from the actions just issued (byte-identical
     fixed point, less work) instead of a whole-function sweep.
+
+    A tactic is just "issue actions, then propagate" — a custom one is a
+    few lines:
+
+    >>> from repro import Mesh, ShapeDtype, trace
+    >>> from repro.core import ShardingEnv, tile
+    >>> from repro.core.propagate import propagate
+    >>> class ShardFirstInput(Tactic):
+    ...     name = "shard-first-input"
+    ...     def apply(self, function, env, incremental=False):
+    ...         tile(env, function.params[0], 0, "d")
+    ...         propagate(function, env, incremental=incremental)
+    ...         return 1
+    >>> traced = trace(lambda x, w: x @ w,
+    ...                ShapeDtype((8, 4)), ShapeDtype((4, 4)))
+    >>> env = ShardingEnv(Mesh({"d": 2}))
+    >>> ShardFirstInput().apply(traced.function, env)
+    1
+    >>> env.sharding(traced.function.params[0]).spec()
+    '[{d}, {}]'
     """
 
     name = "tactic"
@@ -176,6 +196,12 @@ class AutomaticPartition(Tactic):
     bit-identical either way.  ``partir_jit`` itself always materializes
     the final lowering, since the executor needs real IR.
 
+    ``action_space`` selects what the search may decide: ``"tagged"``
+    (default) widens the classic input tilings with mid-function
+    ``TileTagged``/``SumTagged`` actions at the traced function's tag
+    points (auto-emitted at matmul/scan/reduce outputs; see
+    :mod:`repro.ir.tagpoints`), ``"inputs"`` restricts to input tilings.
+
     ``search_backend`` picks the rollout scheduler (``"serial"``,
     ``"batched"`` or ``"process"`` — see :mod:`repro.auto.scheduler`);
     ``rollout_env`` picks the engine maintaining per-prefix env state
@@ -183,21 +209,38 @@ class AutomaticPartition(Tactic):
     env through a checkpoint/rollback undo log with journal-driven
     incremental re-estimation, ``"fork"`` is the classic env-per-prefix
     overlay fork — results are bit-identical either way.  ``cache_dir``
-    persists the search's transposition table on disk (append-only with
-    load-time compaction, keyed by the traced function's fingerprint) so
-    repeated ``partir_jit`` calls warm-start from earlier scores.  On the
+    persists the search's transposition table **and per-action-group tree
+    statistics** on disk (append-only with load-time compaction, keyed by
+    the traced function's fingerprint) so repeated ``partir_jit`` calls
+    warm-start from earlier scores and steer their tree with the
+    accumulated statistics (``last_search.tree_prior_hits``).  On the
     ``process`` backend, workers additionally pool their lowering-plan and
     reconcile-chain memos through a shared-memory store (see
-    :mod:`repro.auto.sharedmemo`).  After ``apply``, ``last_search`` holds
-    the full :class:`repro.auto.SearchResult` (evaluations, cache/warm-
-    start/shared-memo hit counters, timing split).
+    :mod:`repro.auto.sharedmemo`; ``last_search.shared_memo_full`` reports
+    a filled-up segment).  After ``apply``, ``last_search`` holds the full
+    :class:`repro.auto.SearchResult` (evaluations, cache/warm-start/
+    shared-memo/prior hit counters, timing split).
+
+    >>> from repro import Mesh, ShapeDtype, partir_jit, trace
+    >>> from repro.trace import ops
+    >>> traced = trace(lambda w, x: ops.reduce_sum(x @ w),
+    ...                ShapeDtype((16, 16)), ShapeDtype((8, 16)))
+    >>> tactic = AutomaticPartition(["d"], {"budget": 4, "seed": 0})
+    >>> _, meta = partir_jit(traced, Mesh({"d": 2}), [tactic],
+    ...                      estimate_per_tactic=False)
+    >>> result = tactic.last_search
+    >>> result.action_space, result.backend, result.rollout_env
+    ('tagged', 'serial', 'undo')
+    >>> result.evaluations + result.cache_hits >= 4  # one per rollout
+    True
     """
 
     def __init__(self, axes: Sequence[str],
                  options: Optional[Dict[str, Any]] = None,
                  search_backend: Optional[str] = None,
                  cache_dir: Optional[str] = None,
-                 rollout_env: Optional[str] = None):
+                 rollout_env: Optional[str] = None,
+                 action_space: Optional[str] = None):
         self.axes = list(axes)
         self.options = dict(options or {})
         if search_backend is not None:
@@ -206,6 +249,8 @@ class AutomaticPartition(Tactic):
             self.options["cache_dir"] = cache_dir
         if rollout_env is not None:
             self.options["rollout_env"] = rollout_env
+        if action_space is not None:
+            self.options["action_space"] = action_space
         self.name = f"auto<{','.join(self.axes)}>"
         #: The SearchResult of the most recent apply() (None before).
         self.last_search = None
@@ -273,6 +318,18 @@ def partir_jit(
     Returns ``(PartitionedFunction, Metadata)``: the callable runs on the
     simulated mesh; the metadata carries per-tactic collective counts, cost
     estimates and conflicts — PartIR's incremental feedback loop.
+
+    >>> import numpy as np
+    >>> from repro import ManualPartition, Mesh, ShapeDtype, trace
+    >>> traced = trace(lambda x, w: x @ w,
+    ...                ShapeDtype((8, 4)), ShapeDtype((4, 4)))
+    >>> fn, meta = partir_jit(traced, Mesh({"d": 2}),
+    ...                       [ManualPartition({"0": 0}, axis="d")])
+    >>> meta.input_shardings["0"]  # batch dim tiled over the d axis
+    '[{d}, {}]'
+    >>> out = fn(np.ones((8, 4), np.float32), np.eye(4, dtype=np.float32))
+    >>> out.shape
+    (8, 4)
 
     ``incremental=True`` (default) re-propagates each tactic with the
     worklist engine seeded from that tactic's actions instead of sweeping

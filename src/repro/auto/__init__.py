@@ -13,12 +13,21 @@ Package map:
 """
 
 from repro.auto.cache import TranspositionTable, function_fingerprint
-from repro.auto.evaluator import ROLLOUT_ENVS, Evaluator
+from repro.auto.evaluator import (
+    ACTION_SPACES,
+    ROLLOUT_ENVS,
+    Evaluator,
+    action_group_key,
+    candidate_actions,
+)
 from repro.auto.scheduler import BACKENDS, RolloutScheduler, make_scheduler
 from repro.auto.search import SearchResult, mcts_search, run_automatic_partition
 from repro.auto.tree import TreePolicy, canonical_key
 
 __all__ = [
+    "ACTION_SPACES",
+    "action_group_key",
+    "candidate_actions",
     "BACKENDS",
     "Evaluator",
     "ROLLOUT_ENVS",

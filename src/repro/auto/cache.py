@@ -6,12 +6,24 @@ can be reused not just within one search but across *searches*: repeated
 ``partir_jit``/``AutomaticPartition`` calls over the same traced function
 warm-start from everything earlier calls learned.
 
+The log carries two record types:
+
+* **cost records** ``{"k": [[kind, index, dim, axis], ...], "c": cost}`` —
+  one per first-scored canonical action set (exact-cost reuse), and
+* **prior records** ``{"g": <group key>, "n": visits, "t": total}`` — one
+  per search per action group touched (see
+  :func:`repro.auto.evaluator.action_group_key`): the *tree* statistics a
+  later search seeds its UCT expansion with.  Records for the same group
+  accumulate across searches (visits and totals sum on load), so the
+  append-only discipline extends to tree reuse: each search appends only
+  its own delta.
+
 The on-disk format is deliberately **write-lean** (in the spirit of
 append-optimized structures for asymmetric memories): one JSON record per
-line, appended once when an action set is first scored, never rewritten.
-A cache *hit* touches no bytes on disk; re-running a fully-warm search
-leaves the file byte-identical.  Reloading replays the log (last record
-wins, so a crashed half-written tail line is simply skipped).
+line, appended once, never rewritten.  A cache *hit* touches no bytes on
+disk; re-running a fully-warm search appends at most its prior deltas.
+Reloading replays the log (last cost record wins and prior records sum, so
+a crashed half-written tail line is simply skipped).
 
 Files are keyed by :func:`function_fingerprint` — a stable hash of the
 traced function's structure (op sequence, operand wiring, attrs, shapes,
@@ -28,6 +40,7 @@ import json
 import os
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.core.actions import TILE_INPUT
 from repro.core.sharding import ShardingEnv, enumerate_function_values
 from repro.ir.function import Function
 
@@ -101,6 +114,43 @@ def function_fingerprint(function: Function, mesh,
     return hasher.hexdigest()
 
 
+# -- JSON round-tripping of keys ---------------------------------------------------
+
+
+def _to_jsonable(obj):
+    """Nested tuples -> nested lists (ints/floats/strings pass through)."""
+    if isinstance(obj, (tuple, list)):
+        return [_to_jsonable(v) for v in obj]
+    return obj
+
+
+def _from_jsonable(obj):
+    """Inverse of :func:`_to_jsonable`: nested lists -> nested tuples."""
+    if isinstance(obj, list):
+        return tuple(_from_jsonable(v) for v in obj)
+    return obj
+
+
+def _parse_key(raw) -> Tuple:
+    """An action key from its JSON form: a tuple of ``(kind, index, dim,
+    axis)`` wire tuples.  Pre-widening 3-tuple records ``(index, dim,
+    axis)`` — input tilings by definition — are upgraded to the uniform
+    form on load: uniform widths keep the incumbent tie-break and the
+    4-way action unpack total.  (This only ever fires for logs whose
+    fingerprint still matches — traces with ``tag_points=False`` or
+    tag-free functions; a default re-trace inserts tag ops, changes the
+    fingerprint, and starts a fresh log file.)"""
+    key = []
+    for action in raw:
+        action = tuple(v if isinstance(v, str) else int(v) for v in action)
+        if len(action) == 3:
+            action = (TILE_INPUT,) + action
+        if len(action) != 4:
+            raise ValueError(f"malformed action record {action!r}")
+        key.append(action)
+    return tuple(key)
+
+
 # -- the table ---------------------------------------------------------------------
 
 
@@ -133,6 +183,10 @@ class TranspositionTable:
         self._costs: Dict[ActionKey, float] = {}
         self._warm: Set[ActionKey] = set()
         self._pending: List[Tuple[ActionKey, float]] = []
+        #: group key -> (visits, total reward), summed across the log's
+        #: prior records (the persisted tree statistics).
+        self._priors: Dict[Tuple, Tuple[int, float]] = {}
+        self._prior_pending: List[Tuple[Tuple, int, float]] = []
         if path is not None and os.path.exists(path):
             records, waste = self._load(path)
             try:
@@ -146,6 +200,25 @@ class TranspositionTable:
     @property
     def warm_entries(self) -> int:
         return len(self._warm)
+
+    # -- tree statistics (action-group priors) -------------------------------
+
+    def warm_priors(self) -> Dict[Tuple, Tuple[int, float]]:
+        """Accumulated per-group ``(visits, total reward)`` statistics —
+        the warm-start input of :class:`repro.auto.tree.TreePolicy`."""
+        return dict(self._priors)
+
+    def store_priors(self, stats) -> None:
+        """Fold one search's live per-group statistics in and queue their
+        *delta* records for the log (appended by :meth:`flush`)."""
+        for group, entry in stats.items():
+            visits, total = int(entry[0]), float(entry[1])
+            if visits <= 0:
+                continue
+            old = self._priors.get(group, (0, 0.0))
+            self._priors[group] = (old[0] + visits, old[1] + total)
+            if self.path is not None:
+                self._prior_pending.append((group, visits, total))
 
     def __len__(self) -> int:
         return len(self._costs)
@@ -165,6 +238,27 @@ class TranspositionTable:
         """Like :meth:`lookup` but without counting a hit."""
         return self._costs.get(key)
 
+    def best_entry(self, key_filter=None) -> Optional[Tuple[ActionKey,
+                                                            float]]:
+        """The best ``(key, cost)`` the table knows, under the search's
+        incumbent rule (lowest cost; exact ties go to the lexicographically
+        smaller key), or None for an empty table.  A warm-started search
+        seeds its incumbent from this, so a second call can never report a
+        worse schedule than what earlier calls already scored.
+
+        ``key_filter`` restricts the scan (e.g. to input-tiling-only keys
+        when the caller searches ``action_space="inputs"`` — logs are
+        shared per fingerprint across action spaces, and a narrower search
+        must never adopt an incumbent it is not allowed to propose)."""
+        best = None
+        for key, cost in self._costs.items():
+            if key_filter is not None and not key_filter(key):
+                continue
+            if (best is None or cost < best[1]
+                    or (cost == best[1] and key < best[0])):
+                best = (key, cost)
+        return best
+
     def store(self, key: ActionKey, cost: float) -> None:
         if key in self._costs:
             return
@@ -174,14 +268,18 @@ class TranspositionTable:
 
     def flush(self) -> None:
         """Append queued records to the log (no-op when nothing is new)."""
-        if self.path is None or not self._pending:
+        if self.path is None or not (self._pending or self._prior_pending):
             return
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
         with open(self.path, "a") as handle:
             for key, cost in self._pending:
                 record = {"k": [list(action) for action in key], "c": cost}
                 handle.write(json.dumps(record) + "\n")
+            for group, visits, total in self._prior_pending:
+                record = {"g": _to_jsonable(group), "n": visits, "t": total}
+                handle.write(json.dumps(record) + "\n")
         self._pending = []
+        self._prior_pending = []
 
     def compact(self) -> None:
         """Rewrite the log keeping exactly one (the newest) record per key.
@@ -201,13 +299,22 @@ class TranspositionTable:
             for key, cost in self._costs.items():
                 record = {"k": [list(action) for action in key], "c": cost}
                 handle.write(json.dumps(record) + "\n")
+            for group, (visits, total) in self._priors.items():
+                record = {"g": _to_jsonable(group), "n": visits, "t": total}
+                handle.write(json.dumps(record) + "\n")
         os.replace(tmp_path, self.path)
+        # Everything queued is already part of _costs/_priors and was just
+        # written; flushing it again would duplicate cost records and —
+        # since prior records SUM on load — double-count statistics.
+        self._pending = []
+        self._prior_pending = []
         self.compactions += 1
 
     def _load(self, path: str) -> Tuple[int, int]:
         """Replay the log; returns ``(records, wasted records)`` where
-        wasted counts duplicate-key overwrites and torn/garbled lines —
-        the load-time compaction signal."""
+        wasted counts duplicate-key overwrites (for priors: repeat records
+        for an already-seen group, which compaction merges into one) and
+        torn/garbled lines — the load-time compaction signal."""
         records = 0
         waste = 0
         with open(path) as handle:
@@ -218,10 +325,19 @@ class TranspositionTable:
                 records += 1
                 try:
                     record = json.loads(line)
-                    key = tuple(
-                        (int(i), int(d), str(axis))
-                        for i, d, axis in record["k"]
-                    )
+                    if "g" in record:
+                        group = _from_jsonable(record["g"])
+                        visits = int(record["n"])
+                        total = float(record["t"])
+                        old = self._priors.get(group)
+                        if old is not None:
+                            waste += 1  # delta records merge on compaction
+                            self._priors[group] = (old[0] + visits,
+                                                   old[1] + total)
+                        else:
+                            self._priors[group] = (visits, total)
+                        continue
+                    key = _parse_key(record["k"])
                     cost = float(record["c"])
                 except (json.JSONDecodeError, KeyError, TypeError,
                         ValueError):

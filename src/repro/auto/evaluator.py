@@ -26,9 +26,17 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core import actions as actions_mod
+from repro.core.actions import (
+    SUM_TAGGED,
+    TILE_INPUT,
+    TILE_TAGGED,
+    tile_legal,
+)
 from repro.core.propagate import propagate
 from repro.core.sharding import ShardingEnv
 from repro.ir.function import Function
+from repro.ir.tagpoints import tag_points
 from repro.sim import costmodel
 from repro.sim.devices import DeviceSpec
 from repro.spmd.fusion import fuse_collectives
@@ -37,31 +45,60 @@ from repro.spmd.lower import lower
 from repro.auto.cache import TranspositionTable
 from repro.auto.tree import ActionKey, canonical_key
 
+#: Valid action spaces: ``"inputs"`` is the classic input-tilings-only
+#: space; ``"tagged"`` (default) additionally enumerates mid-function
+#: ``TileTagged``/``SumTagged`` actions at the function's tag points.
+ACTION_SPACES = ("inputs", "tagged")
 
-def action_legal(env: ShardingEnv, param, dim: int, axis: str) -> bool:
-    """May ``param``'s ``dim`` still be tiled along ``axis`` under ``env``?"""
-    sharding = env.sharding(param)
-    if sharding.uses(axis) or sharding.is_pinned(axis):
-        return False
-    denom = env.mesh.group_size(sharding.dim_axes[dim])
-    return param.type.shape[dim] % (denom * env.mesh.size(axis)) == 0
+
+def action_legal(env: ShardingEnv, value, dim: int, axis: str) -> bool:
+    """May ``value``'s ``dim`` still be tiled along ``axis`` under ``env``?
+    (Alias of :func:`repro.core.actions.tile_legal`.)"""
+    return tile_legal(env, value, dim, axis)
 
 
 def candidate_actions(function: Function, env: ShardingEnv,
                       axes: Sequence[str],
-                      max_inputs: int = 48) -> List[Tuple[int, int, str]]:
-    """Enumerate legal tile actions on the largest function inputs.
+                      max_inputs: int = 48,
+                      action_space: str = "tagged",
+                      max_tag_points: int = 16
+                      ) -> List[Tuple[int, int, int, str]]:
+    """Enumerate the legal actions of the (possibly widened) action space.
 
-    The enumeration order is a **documented total order** — actions are
-    emitted by ``(param nbytes descending, param index ascending)``, then
-    per param by ``(axis in the caller's given order, dim ascending)`` —
-    with the nbytes tie explicitly broken by parameter index, so the
-    candidate list (and everything seeded from it: node ids, rollout RNG
-    streams, fixed-seed search results) is independent of sort-stability
-    details.  A parameter value bound to several function inputs is
-    enumerated once, at its smallest index (duplicates would be identical
-    actions on the same underlying value).
+    Actions are uniform wire tuples ``(kind, index, dim, axis)`` — see the
+    kind table in :mod:`repro.core.actions`.  The enumeration order is a
+    **documented total order** over the widened space:
+
+    1. **Input tilings** (``TILE_INPUT``): parameters by ``(nbytes
+       descending, param index ascending)``, capped at ``max_inputs``;
+       per parameter by ``(axis in the caller's given order, dim
+       ascending)``.  A parameter value bound to several function inputs
+       is enumerated once, at its smallest index.
+    2. **Tag-point actions** (``action_space="tagged"`` only): tag points
+       by ``(tagged-value nbytes descending, tag-point index ascending)``,
+       capped at ``max_tag_points``; per point by ``(axis in the caller's
+       given order)``, within an axis first ``TileTagged`` with dim
+       ascending, then ``SumTagged`` with reduce-factor index ascending.
+       Tag points sharing one underlying value (e.g. a manual
+       ``ops.tag`` stacked over the tracer's auto tag — same ``root``)
+       are enumerated once, at the smallest tag-point index: the
+       duplicates' actions would be propagation-identical, wasting budget
+       and splitting the prior statistics across equivalent groups.
+       Distinct results of one multi-result op (scan carries) have
+       distinct roots and are all enumerated.
+
+    Both nbytes ties are explicitly broken by index, so the candidate list
+    (and everything seeded from it: node ids, rollout RNG streams,
+    fixed-seed search results) is independent of sort-stability details.
+    Only actions legal at the *root* env are enumerated; legality is
+    re-checked at application time, since earlier actions in a set may
+    consume an axis.
     """
+    if action_space not in ACTION_SPACES:
+        raise ValueError(
+            f"unknown action_space {action_space!r}; "
+            f"expected one of {ACTION_SPACES}"
+        )
     seen_values = set()
     ranked = []
     for index, param in enumerate(function.params):
@@ -74,19 +111,87 @@ def candidate_actions(function: Function, env: ShardingEnv,
     for index, param in ranked[:max_inputs]:
         for axis in axes:
             for dim in range(len(param.type.shape)):
-                if action_legal(env, param, dim, axis):
-                    actions.append((index, dim, axis))
+                if tile_legal(env, param, dim, axis):
+                    actions.append((TILE_INPUT, index, dim, axis))
+    if action_space != "tagged":
+        return actions
+    seen_roots = set()
+    points = []
+    for point in tag_points(function):
+        # One point per underlying value: stacked markers share a root
+        # (propagation-identical actions), while distinct results of one
+        # multi-result op (scan carries) have distinct roots and all stay
+        # enumerable.
+        if point.root in seen_roots:
+            continue
+        seen_roots.add(point.root)
+        points.append(point)
+    points.sort(key=lambda p: (-p.value.type.nbytes, p.index))
+    for point in points[:max_tag_points]:
+        for axis in axes:
+            for dim in range(len(point.value.type.shape)):
+                if tile_legal(env, point.value, dim, axis):
+                    actions.append((TILE_TAGGED, point.index, dim, axis))
+            if point.source is not None:
+                factors = actions_mod.reduce_factors(point.source)
+                for f, factor in enumerate(factors):
+                    if actions_mod.sum_tagged_legal(env, point.source,
+                                                    factor, axis):
+                        actions.append((SUM_TAGGED, point.index, f, axis))
     return actions
 
 
+def action_group_key(function: Function, env: ShardingEnv,
+                     action: Tuple[int, int, int, str]) -> tuple:
+    """The action's *group key* ``(kind, dim, axis, sharding signature)``.
+
+    Action-group priors aggregate visit/value statistics per group: two
+    actions share a group when they are the same kind of decision (same
+    kind/dim-or-factor/axis) applied to a value in the same initial
+    sharding state.  The signature is the target value's portable sharding
+    under the search's initial env, so keys are process-independent and
+    JSON-serializable — the persistence format of
+    :meth:`repro.auto.cache.TranspositionTable.store_priors`.
+    """
+    kind, index, dim, axis = action
+    if kind == TILE_INPUT:
+        target = function.params[index]
+    else:
+        target = tag_points(function)[index].value
+    return (kind, dim, axis, env.sharding(target).to_portable())
+
+
 def try_apply_action(function: Function, env: ShardingEnv,
-                     action: Tuple[int, int, str]) -> bool:
-    """Apply one tile action if it is still legal under ``env``."""
-    index, dim, axis = action
-    param = function.params[index]
-    if not action_legal(env, param, dim, axis):
+                     action: Tuple[int, int, int, str]) -> bool:
+    """Apply one action if it is still legal under ``env``.
+
+    Dispatches on the action kind (see :mod:`repro.core.actions`);
+    returns False — leaving the env untouched — when the action is no
+    longer legal (an earlier action in the canonical set already consumed
+    the axis, or propagation already tiled the target).
+    """
+    kind, index, dim, axis = action
+    if kind == TILE_INPUT:
+        value = function.params[index]
+    elif kind == TILE_TAGGED:
+        points = tag_points(function)
+        if index >= len(points):
+            return False
+        value = points[index].value
+    elif kind == SUM_TAGGED:
+        target = actions_mod.sum_target(function, index, dim)
+        if target is None:
+            return False
+        op, factor = target
+        if not actions_mod.sum_tagged_legal(env, op, factor, axis):
+            return False
+        actions_mod.apply_sum_tagged(env, op, factor, axis)
+        return True
+    else:
         return False
-    env.set_sharding(param, env.sharding(param).with_tile(dim, axis))
+    if not tile_legal(env, value, dim, axis):
+        return False
+    env.set_sharding(value, env.sharding(value).with_tile(dim, axis))
     return True
 
 
@@ -151,6 +256,7 @@ class Evaluator:
         self.remote_ops_reused = 0
         self.remote_reconcile_hits = 0
         self.remote_shared_plan_hits = 0
+        self.remote_shared_full = False
         self.table = table if table is not None else TranspositionTable()
         self._env_cache: Dict[ActionKey, ShardingEnv] = {}
         # One streaming estimator for the whole search: its per-op plan and
@@ -168,7 +274,7 @@ class Evaluator:
         # Undo-engine state: the action stack mirrors the env's applied
         # prefix (one checkpoint per level), and the propagation-delta memo
         # replays previously-computed fixed points on re-extension.
-        self._stack: List[Tuple[Tuple[int, int, str], object]] = []
+        self._stack: List[Tuple[Tuple[int, int, int, str], object]] = []
         self._prop_memo: Dict[ActionKey, Tuple] = {}
         if rollout_env == "undo" and streaming:
             # The journal's only consumer is the incremental streaming
@@ -193,6 +299,18 @@ class Evaluator:
     def shared_plan_hits(self) -> int:
         """Plans/chains this process served from the cross-worker store."""
         return self._estimator.shared_plan_hits if self._estimator else 0
+
+    @property
+    def shared_memo_full(self) -> bool:
+        """Did the cross-worker shared memo's fixed-size segment fill —
+        here or (``remote_shared_full``) in any worker?  Once full, cold
+        plans computed after the fill are no longer pooled across
+        processes; correctness is unaffected."""
+        estimator = self._estimator
+        if (estimator is not None and estimator._shared is not None
+                and estimator._shared.full):
+            return True
+        return self.remote_shared_full
 
     def _env_for(self, key: ActionKey) -> ShardingEnv:
         """Propagated env for a canonical action prefix.
@@ -256,7 +374,7 @@ class Evaluator:
             stack.append((action, token))
         return env
 
-    def evaluate(self, actions: Sequence[Tuple[int, int, str]]) -> float:
+    def evaluate(self, actions: Sequence[Tuple[int, int, int, str]]) -> float:
         key = canonical_key(actions)
         if self.memoize:
             cached = self.table.lookup(key)

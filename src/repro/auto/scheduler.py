@@ -121,7 +121,15 @@ class RolloutScheduler:
                     cost = costs[key]
                     on_result(key, cost)
                     # Reward = relative improvement over the empty set.
-                    node.backup((baseline - cost) / max(baseline, 1e-12))
+                    reward = (baseline - cost) / max(baseline, 1e-12)
+                    # Fold the rollout into the per-action-group prior
+                    # statistics before backing up, in wave order — the
+                    # same deterministic order on_result fires in, so
+                    # every backend's prior trajectory is reproducible
+                    # (and batched wave_size=1 stays bit-identical to
+                    # serial, priors included).
+                    policy.note_result(key, reward)
+                    node.backup(reward)
                 done += count
         finally:
             self.shutdown()
@@ -223,6 +231,7 @@ def _worker_evaluate(key: ActionKey):
         evaluator.reconcile_chain_hits - before[5],
         evaluator.lower_calls - before[6],
         evaluator.shared_plan_hits - before[7],
+        evaluator.shared_memo_full,
     )
 
 
@@ -324,7 +333,8 @@ class ProcessScheduler(RolloutScheduler):
         ]
         for future in futures:
             for (key, cost, prop_dt, est_dt, ops, prop_calls, ops_reused,
-                 chain_hits, lower_calls, shared_hits) in future.get():
+                 chain_hits, lower_calls, shared_hits,
+                 shared_full) in future.get():
                 costs[key] = cost
                 evaluator.evaluations += 1
                 evaluator.propagate_time_s += prop_dt
@@ -335,6 +345,7 @@ class ProcessScheduler(RolloutScheduler):
                 evaluator.remote_reconcile_hits += chain_hits
                 evaluator.lower_calls += lower_calls
                 evaluator.remote_shared_plan_hits += shared_hits
+                evaluator.remote_shared_full |= shared_full
                 if evaluator.memoize:
                     evaluator.table.store(key, cost)
         return costs

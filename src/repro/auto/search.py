@@ -39,6 +39,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core import actions as core_actions
 from repro.core.propagate import propagate
 from repro.core.sharding import ShardingEnv
 from repro.ir.function import Function
@@ -47,6 +48,7 @@ from repro.sim.devices import TPU_V3, DeviceSpec
 from repro.auto.cache import table_for
 from repro.auto.evaluator import (
     Evaluator,
+    action_group_key,
     action_legal,
     candidate_actions,
     try_apply_action,
@@ -64,7 +66,21 @@ _Evaluator = Evaluator
 
 @dataclasses.dataclass
 class SearchResult:
-    actions: List[Tuple[int, int, str]]
+    """What one :func:`mcts_search` run found and how it found it.
+
+    ``actions`` is the best canonical action set, as wire tuples
+    ``(kind, index, dim, axis)`` — decode with
+    :func:`repro.core.actions.decode_action`.  The counters after ``cost``
+    are pure observability: none of them feeds back into the search.
+
+    >>> from repro.core.actions import decode_action
+    >>> decode_action((0, 2, 0, "batch"))  # tile input 2's dim 0
+    TileInput(index=2, dim=0, axis='batch')
+    >>> decode_action((1, 0, 1, "model"))  # tile tag point 0's dim 1
+    TileTagged(tag=0, dim=1, axis='model')
+    """
+
+    actions: List[Tuple[int, int, int, str]]
     cost: float
     evaluations: int  # cost-model evaluations actually computed
     cache_hits: int = 0  # transposition-table hits
@@ -90,6 +106,17 @@ class SearchResult:
     #: Plans/chains served from the cross-worker shared memo (process
     #: backend; 0 elsewhere or when the shared store is unavailable).
     shared_plan_hits: int = 0
+    #: Did the cross-worker shared memo's fixed-size segment fill (in any
+    #: process)?  Pooling stops for later cold plans; results unaffected.
+    shared_memo_full: bool = False
+    #: Which action space was searched ("inputs" | "tagged").
+    action_space: str = "tagged"
+    #: Expansions steered by *warm-started* action-group statistics (tree
+    #: reuse across calls; 0 on a cold run or without ``cache_dir``).
+    tree_prior_hits: int = 0
+    #: Distinct candidate action groups covered by warm-started statistics
+    #: at search start.
+    prior_groups: int = 0
 
 
 def mcts_search(
@@ -111,6 +138,8 @@ def mcts_search(
     cache_dir: Optional[str] = None,
     reconcile_cache: bool = True,
     rollout_env: str = "undo",
+    action_space: str = "tagged",
+    max_tag_points: int = 16,
 ) -> SearchResult:
     """UCT search; returns the best action sequence found.
 
@@ -121,13 +150,40 @@ def mcts_search(
     materializing pipeline).  ``backend`` selects the rollout scheduler
     (``serial``/``batched``/``process``; see :mod:`repro.auto.scheduler`),
     ``workers``/``wave_size`` tune it, and ``cache_dir`` persists the
-    transposition table across calls (append-only, keyed by the traced
-    function's fingerprint).  ``rollout_env`` picks the prefix-state
-    engine: ``"undo"`` (default) extends/retracts one mutable env through
-    an undo log with incremental re-estimation; ``"fork"`` is the classic
-    env-per-prefix overlay fork.  Results are bit-identical either way.
+    transposition table **and the per-action-group tree statistics**
+    across calls (append-only, keyed by the traced function's
+    fingerprint): a warm search replays known costs, seeds its UCT
+    expansion from the persisted statistics (``tree_prior_hits``), and
+    seeds its incumbent from the best entry the table already knows.
+    ``rollout_env`` picks the prefix-state engine: ``"undo"`` (default)
+    extends/retracts one mutable env through an undo log with incremental
+    re-estimation; ``"fork"`` is the classic env-per-prefix overlay fork.
+    Results are bit-identical either way.  ``action_space`` selects
+    ``"tagged"`` (default: input tilings plus mid-function
+    ``TileTagged``/``SumTagged`` actions at up to ``max_tag_points`` tag
+    points) or ``"inputs"`` (the classic input-tilings-only space).
+
+    >>> from repro import Mesh, ShapeDtype, trace
+    >>> from repro.core.sharding import ShardingEnv
+    >>> from repro.trace import ops
+    >>> traced = trace(lambda w, x: ops.reduce_sum(x @ w),
+    ...                ShapeDtype((16, 16)), ShapeDtype((8, 16)))
+    >>> result = mcts_search(traced.function, ShardingEnv(Mesh({"d": 2})),
+    ...                      ["d"], budget=4, seed=0)
+    >>> result.actions == sorted(set(result.actions))  # canonical form
+    True
+    >>> (result.backend, result.rollout_env, result.action_space)
+    ('serial', 'undo', 'tagged')
+    >>> result.tree_prior_hits  # no cache_dir: nothing warm to reuse
+    0
     """
-    candidates = candidate_actions(function, env, axes, max_inputs)
+    candidates = candidate_actions(function, env, axes, max_inputs,
+                                   action_space=action_space,
+                                   max_tag_points=max_tag_points)
+    groups = {
+        action: action_group_key(function, env, action)
+        for action in candidates
+    }
     # Snapshot before Evaluator.__init__: its root fixed point counts too.
     stats_before = env.stats.snapshot()
     table = table_for(cache_dir, function, env.mesh, device, env)
@@ -147,6 +203,33 @@ def mcts_search(
         raise
     best_key: ActionKey = ()
     best_cost = baseline
+    if memoize:
+        # Cross-call incumbent reuse: a warm table already knows the best
+        # schedule earlier searches scored, so a repeated call can never
+        # report worse than what is already on disk — even if this run's
+        # (prior-steered) rollouts explore elsewhere.  The log is shared
+        # per fingerprint across action spaces and axis subsets, so the
+        # incumbent is restricted to what THIS call may propose: no
+        # tagged actions for an inputs-only search, no actions on axes
+        # outside the caller's list.  (Enumeration caps — max_inputs /
+        # max_tag_points — are efficiency knobs, not semantic
+        # restrictions, so entries beyond them stay adoptable.)
+        axes_set = set(axes)
+
+        def proposable(key: ActionKey) -> bool:
+            return all(
+                action[3] in axes_set
+                and (action_space != "inputs"
+                     or action[0] == core_actions.TILE_INPUT)
+                for action in key
+            )
+
+        warm_best = table.best_entry(key_filter=proposable)
+        if warm_best is not None and (
+            warm_best[1] < best_cost
+            or (warm_best[1] == best_cost and warm_best[0] < best_key)
+        ):
+            best_key, best_cost = warm_best
 
     def on_result(key: ActionKey, cost: float) -> None:
         nonlocal best_key, best_cost
@@ -158,13 +241,18 @@ def mcts_search(
             best_cost = cost
             best_key = key
 
-    policy = TreePolicy(candidates, seed, exploration, rollout_depth)
+    policy = TreePolicy(candidates, seed, exploration, rollout_depth,
+                        group_keys=groups,
+                        warm_priors=table.warm_priors() if memoize else None)
     try:
         scheduler.run(policy, evaluator, budget, baseline, on_result)
     finally:
         # Persist everything scored so far even when a wave dies (e.g. a
         # worker OOM-kill): the append-only log makes partial progress
-        # durable, so the next run warm-starts past it.
+        # durable, so the next run warm-starts past it.  The tree
+        # statistics ride along: each search appends its own delta.
+        if memoize:
+            table.store_priors(policy.live_stats)
         table.flush()
 
     stats_after = evaluator.root.stats.snapshot()
@@ -187,6 +275,10 @@ def mcts_search(
         rollout_env=rollout_env,
         shared_plan_hits=(evaluator.shared_plan_hits
                           + evaluator.remote_shared_plan_hits),
+        shared_memo_full=evaluator.shared_memo_full,
+        action_space=action_space,
+        tree_prior_hits=policy.tree_prior_hits,
+        prior_groups=policy.prior_groups,
     )
 
 
@@ -208,6 +300,8 @@ def run_automatic_partition(
     cache_dir: Optional[str] = None,
     reconcile_cache: bool = True,
     rollout_env: str = "undo",
+    action_space: str = "tagged",
+    max_tag_points: int = 16,
     result_sink: Optional[list] = None,
     **_ignored,
 ) -> int:
@@ -229,7 +323,9 @@ def run_automatic_partition(
                          backend=backend, workers=workers,
                          wave_size=wave_size, cache_dir=cache_dir,
                          reconcile_cache=reconcile_cache,
-                         rollout_env=rollout_env)
+                         rollout_env=rollout_env,
+                         action_space=action_space,
+                         max_tag_points=max_tag_points)
     if result_sink is not None:
         result_sink.append(result)
     # Replay the winner exactly the way the evaluator scored it: one
@@ -242,7 +338,8 @@ def run_automatic_partition(
     applied = 0
     for action in canonical_key(result.actions):
         if try_apply_action(function, env, action):
-            env.record("tile", None, action[2], f"auto tile dim {action[1]}")
+            env.record("tile", None, action[3],
+                       f"auto {core_actions.decode_action(action)}")
             applied += 1
             # A skipped action needs no re-propagation: the env is already
             # at a fixed point and the evaluator's sweep after a skipped

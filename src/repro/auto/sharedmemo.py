@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import pickle
 import struct
+import warnings
 from typing import List, Optional, Tuple
 
 try:  # pragma: no cover - exercised implicitly by import success
@@ -74,6 +75,15 @@ class SharedMemoStore:
         self._size = size
         self._owner = owner
         self._full = False
+        self._warned_full = False
+
+    @property
+    def full(self) -> bool:
+        """Has this process observed the segment full?  Once true, this
+        process publishes nothing further (committed records stay
+        readable); the search surfaces the condition as
+        ``SearchResult.shared_memo_full``."""
+        return self._full
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -126,7 +136,14 @@ class SharedMemoStore:
     # -- records ------------------------------------------------------------
 
     def publish(self, payloads: List[tuple]) -> int:
-        """Append pickled payloads; returns how many fit."""
+        """Append pickled payloads; returns how many fit.
+
+        On the first append that does not fit, the store goes *full* for
+        this process: a one-shot :class:`RuntimeWarning` is emitted and
+        every later ``publish`` is a silent no-op (the log is append-only
+        within its fixed-size segment — no wraparound or eviction), so
+        later cold computations stay process-local instead of pooled.
+        """
         if self._full or not payloads:
             return 0
         blobs = [pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL)
@@ -145,6 +162,16 @@ class SharedMemoStore:
                 offset = end
                 written += 1
             _HEADER.pack_into(buf, 0, offset - 8)
+        if self._full and not self._warned_full:
+            self._warned_full = True
+            warnings.warn(
+                f"cross-worker shared plan memo is full "
+                f"({self._size} bytes): later cold plans/chains will not "
+                f"be pooled across processes (results are unaffected; "
+                f"raise the store size to restore pooling)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return written
 
     def poll(self, offset: int) -> Tuple[int, List[tuple]]:
@@ -164,12 +191,13 @@ class SharedMemoStore:
         return committed, out
 
 
-def create_store(context) -> Optional[SharedMemoStore]:
+def create_store(context,
+                 size: int = DEFAULT_SIZE) -> Optional[SharedMemoStore]:
     """A new store, or None when shared memory is unavailable."""
     if _shm is None:
         return None
     try:
-        return SharedMemoStore.create(context)
+        return SharedMemoStore.create(context, size=size)
     except OSError:  # e.g. /dev/shm mounted noexec/ro or size exhausted
         return None
 

@@ -1,7 +1,8 @@
-"""The MCTS tree: UCT nodes, virtual loss, and per-rollout RNG streams.
+"""The MCTS tree: UCT nodes, virtual loss, RNG streams, action-group priors.
 
-The search state is a *set* of tile actions; a tree node's path from the
-root spells one ordering of such a set.  Two policies live here:
+The search state is a *set* of actions (wire tuples ``(kind, index, dim,
+axis)``; see :mod:`repro.core.actions`); a tree node's path from the root
+spells one ordering of such a set.  Three policies live here:
 
 * **UCT selection** (:meth:`Node.uct_child`) with an optional **virtual
   loss**: while a leaf's evaluation is in flight (the batched and process
@@ -19,6 +20,27 @@ root spells one ordering of such a set.  Two policies live here:
   rollout consumes is independent of which backend — or which worker
   wave — happened to run it; interleaving evaluations can never perturb
   another rollout's randomness.
+* **Action-group priors** (:meth:`TreePolicy.note_result` /
+  :meth:`TreePolicy._select_untried`): visit/value statistics aggregated
+  per action *group* — ``(action kind, dim, axis, sharding signature)``,
+  see :func:`repro.auto.evaluator.action_group_key` — seed UCT for
+  unvisited children.  Every search accumulates live statistics (persisted
+  afterwards via :meth:`repro.auto.cache.TranspositionTable.store_priors`),
+  but expansion is steered only by groups with **warm-started** statistics
+  loaded from a persistent store: a cold search expands uniformly at
+  random, draw-for-draw identical to the prior-free policy (preserving the
+  cross-backend best-agreement regression property — warm priors are a
+  fixed input every scheduler shares, while live in-run priors would
+  couple expansion to wave timing).  On a warm run, untried actions whose
+  group is unknown are expanded first (optimistic first-play urgency,
+  uniformly among themselves); once every untried action's group is
+  known, expansion picks the group with the best warm mean reward, with
+  exact ties broken through the node's RNG stream (live statistics are
+  recorded for persistence but never read during selection — see
+  :meth:`TreePolicy._prior_mean`).  This is how repeated ``partir_jit``
+  calls reuse the
+  *tree* — not just exact costs — across calls; ``tree_prior_hits``
+  counts expansions steered by warm-started statistics.
 """
 
 from __future__ import annotations
@@ -26,14 +48,15 @@ from __future__ import annotations
 import hashlib
 import math
 import random
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-# An action: (input_index, dim, axis). None is STOP.
-Action = Optional[Tuple[int, int, str]]
-ActionKey = Tuple[Tuple[int, int, str], ...]
+# An action wire tuple: (kind, index, dim, axis) — see repro.core.actions.
+# None is STOP.
+Action = Optional[Tuple[int, int, int, str]]
+ActionKey = Tuple[Tuple[int, int, int, str], ...]
 
 
-def canonical_key(actions: Sequence[Tuple[int, int, str]]) -> ActionKey:
+def canonical_key(actions: Sequence[Tuple[int, int, int, str]]) -> ActionKey:
     """Canonical form of an action sequence: sorted, deduped tuple."""
     return tuple(sorted(set(actions)))
 
@@ -70,7 +93,7 @@ class Node:
             (self.depth, action, tuple(sorted(self.action_set)))
         )
 
-    def path(self) -> List[Tuple[int, int, str]]:
+    def path(self) -> List[Tuple[int, int, int, str]]:
         node, actions = self, []
         while node.parent is not None:
             if node.action is not None:
@@ -117,18 +140,113 @@ class TreePolicy:
 
     Owns no evaluation: :meth:`next_rollout` returns the leaf it stopped at
     and the canonical action set to score, and the scheduler later calls
-    ``leaf.backup(reward)``.  Between the two, a scheduler keeping several
-    rollouts in flight brackets each leaf with
+    ``leaf.backup(reward)`` and :meth:`note_result`.  Between the two, a
+    scheduler keeping several rollouts in flight brackets each leaf with
     ``apply_virtual_loss``/``revert_virtual_loss``.
+
+    ``group_keys`` maps each candidate action to its prior group (see the
+    module docstring); ``warm_priors`` maps groups to ``(visits, total
+    reward)`` pairs loaded from a persistent store.  Without either, the
+    policy is the classic uniform-expansion UCT, draw for draw.
     """
 
-    def __init__(self, candidates: Sequence[Tuple[int, int, str]],
-                 seed: int, exploration: float, rollout_depth: int):
+    def __init__(self, candidates: Sequence[Tuple[int, int, int, str]],
+                 seed: int, exploration: float, rollout_depth: int,
+                 group_keys: Optional[Dict] = None,
+                 warm_priors: Optional[Dict] = None):
         self.candidates = list(candidates)
         self.seed = seed
         self.exploration = exploration
         self.rollout_depth = rollout_depth
         self.root = Node(None, None, [None] + self.candidates)
+        self.group_keys: Dict = dict(group_keys or {})
+        self.warm_priors: Dict = dict(warm_priors or {})
+        #: group -> [visits, total reward], accumulated by note_result
+        #: during this search (the delta persisted after the run).
+        self.live_stats: Dict[object, list] = {}
+        #: Expansions whose prior-guided choice used warm-started stats.
+        self.tree_prior_hits = 0
+        #: Distinct candidate groups covered by warm-started statistics.
+        self.prior_groups = len({
+            self.group_keys[a] for a in self.candidates
+            if self.group_keys.get(a) in self.warm_priors
+        })
+
+    # -- action-group priors -------------------------------------------------
+
+    def note_result(self, key: ActionKey, reward: float) -> None:
+        """Fold one scored rollout into the per-group statistics: every
+        action of the canonical set shares the set's reward (the group's
+        mean then estimates 'how good are sets containing this kind of
+        decision' — the prior that seeds expansion)."""
+        group_keys = self.group_keys
+        stats = self.live_stats
+        for action in key:
+            group = group_keys.get(action)
+            if group is None:
+                continue
+            entry = stats.get(group)
+            if entry is None:
+                stats[group] = [1, reward]
+            else:
+                entry[0] += 1
+                entry[1] += reward
+
+    def _prior_mean(self, group) -> Optional[float]:
+        """Mean reward of a group over its *warm* (persisted) statistics,
+        or None when it has none.
+
+        Expansion is steered exclusively by warm statistics — a fixed
+        input every scheduler shares for the whole run.  Live statistics
+        are accumulated for persistence (:meth:`note_result`) but never
+        read during selection: folding them in would couple expansion
+        order to each scheduler's wave timing (serial updates after every
+        rollout, batched/process after whole waves), making even warm runs
+        backend-dependent.  A cold search has no warm statistics at all
+        and expands uniformly at random — draw-for-draw identical to the
+        prior-free policy, which is what keeps the cross-backend
+        best-agreement property of the regression suite intact.
+        """
+        warm = self.warm_priors.get(group)
+        if warm is None or warm[0] == 0:
+            return None
+        return warm[1] / warm[0]
+
+    def _select_untried(self, untried: List[Action],
+                        rng: random.Random) -> int:
+        """Index of the untried action to expand next (see module doc).
+
+        Actions without warm-known groups (including STOP, which never
+        appears inside a scored set) are optimistically expanded first,
+        uniformly at random — on a cold run that is every action, so the
+        draw is bit-identical to the classic uniform policy.  Otherwise
+        the best known group mean wins, with exact ties (e.g. several
+        actions of one group) broken through the same RNG stream.
+        """
+        unknown: List[int] = []
+        best_mean: Optional[float] = None
+        ties: List[int] = []
+        for i, action in enumerate(untried):
+            group = self.group_keys.get(action) if action is not None \
+                else None
+            mean = self._prior_mean(group) if group is not None else None
+            if mean is None:
+                unknown.append(i)
+            elif not unknown:
+                if best_mean is None or mean > best_mean:
+                    best_mean = mean
+                    ties = [i]
+                elif mean == best_mean:
+                    ties.append(i)
+        if unknown:
+            return unknown[rng.randrange(len(unknown))]
+        chosen = ties[rng.randrange(len(ties))]
+        # Reaching here means every untried action's group had warm
+        # statistics and they decided the choice: a tree-reuse hit.
+        self.tree_prior_hits += 1
+        return chosen
+
+    # -- rollout generation --------------------------------------------------
 
     def next_rollout(self) -> Tuple[Node, ActionKey]:
         node = self.root
@@ -136,9 +254,9 @@ class TreePolicy:
         while not node.untried and node.children:
             node = node.uct_child(self.exploration)
         rng = node.draw_rng(self.seed)
-        # Expansion.
+        # Expansion (prior-seeded; see _select_untried).
         if node.untried:
-            action = node.untried.pop(rng.randrange(len(node.untried)))
+            action = node.untried.pop(self._select_untried(node.untried, rng))
             child = Node(action, node, [])
             if action is not None:
                 child.untried = [None] + [

@@ -3,15 +3,27 @@
 Manual and automatic tactics both reduce to sequences of these actions plus
 ``propagate``; composability in the paper comes precisely from this shared
 action vocabulary.
+
+This module also defines the automatic search's **widened action space**:
+the uniform wire-form action tuples ``(kind, index, dim, axis)`` with
+kinds ``TILE_INPUT`` (the classic input tiling), ``TILE_TAGGED``
+(mid-function tiling of a tag point's value) and ``SUM_TAGGED``
+(contracting-factor tiling at a tag point's source op), their dataclass
+views (:class:`TileInput`, :class:`TileTagged`, :class:`SumTagged`,
+:func:`decode_action`), and the legality/application helpers the
+evaluator dispatches through.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import dataclasses
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ShardingError
 from repro.ir.function import Function
-from repro.ir.values import Value
+from repro.ir.tagpoints import TagPoint, tag_points
+from repro.ir.values import Operation, Value
+from repro.core import rules as rules_mod
 from repro.core.sharding import ShardingEnv
 
 
@@ -64,6 +76,178 @@ def first_divisible_dim(value: Value, axis_size: int,
         if size >= denom and size % denom == 0:
             return dim
     return None
+
+
+# ---------------------------------------------------------------------------
+# search action kinds (the widened automatic action space)
+# ---------------------------------------------------------------------------
+#
+# The automatic search manipulates actions as flat, sortable, picklable
+# 4-tuples ``(kind, index, dim, axis)`` — the wire form stored in the
+# transposition log, shipped to search workers and hashed for routing.  The
+# kinds:
+#
+# * ``TILE_INPUT``  — tile function input ``index``'s ``dim`` along ``axis``
+#   (the classic input-tiling action; PR <= 4's whole action space).
+# * ``TILE_TAGGED`` — tile the ``index``-th *tag point*'s value (see
+#   :mod:`repro.ir.tagpoints`) on ``dim`` along ``axis``: a mid-function
+#   tiling decision propagation then extends both ways.
+# * ``SUM_TAGGED``  — tile the ``index``-th tag point's *source op* on its
+#   ``dim``-th contracting (reduce) factor along ``axis``: the operand
+#   positions of that factor are tiled and every result becomes a pending
+#   ``#sum`` over the axis — the mid-function form of contracting-dimension
+#   parallelism (one ``all_reduce``/``reduce_scatter`` at the first
+#   non-deferring use).
+#
+# Tuples of mixed kinds sort lexicographically (kind first), which is the
+# canonical-set order the evaluator scores and the replay applies.
+
+TILE_INPUT = 0
+TILE_TAGGED = 1
+SUM_TAGGED = 2
+
+#: The action wire form: ``(kind, index, dim, axis)``.
+ActionTuple = Tuple[int, int, int, str]
+
+
+@dataclasses.dataclass(frozen=True)
+class TileTagged:
+    """Mid-function tiling action on a tag point's value."""
+
+    tag: int  # tag-point index (canonical walk order)
+    dim: int
+    axis: str
+
+    def encode(self) -> ActionTuple:
+        return (TILE_TAGGED, self.tag, self.dim, self.axis)
+
+
+@dataclasses.dataclass(frozen=True)
+class SumTagged:
+    """Mid-function contracting-factor tiling at a tag point's source op."""
+
+    tag: int  # tag-point index (canonical walk order)
+    factor: int  # index into the source op rule's reduce factors
+    axis: str
+
+    def encode(self) -> ActionTuple:
+        return (SUM_TAGGED, self.tag, self.factor, self.axis)
+
+
+@dataclasses.dataclass(frozen=True)
+class TileInput:
+    """The classic input-tiling action, in the uniform wire form."""
+
+    index: int  # function input index
+    dim: int
+    axis: str
+
+    def encode(self) -> ActionTuple:
+        return (TILE_INPUT, self.index, self.dim, self.axis)
+
+
+def decode_action(action: ActionTuple):
+    """The dataclass view of a wire-form action tuple.
+
+    >>> decode_action((0, 1, 0, "batch"))
+    TileInput(index=1, dim=0, axis='batch')
+    >>> decode_action((2, 3, 0, "model"))
+    SumTagged(tag=3, factor=0, axis='model')
+    >>> decode_action((2, 3, 0, "model")).encode()
+    (2, 3, 0, 'model')
+    """
+    kind, index, dim, axis = action
+    if kind == TILE_INPUT:
+        return TileInput(index, dim, axis)
+    if kind == TILE_TAGGED:
+        return TileTagged(index, dim, axis)
+    if kind == SUM_TAGGED:
+        return SumTagged(index, dim, axis)
+    raise ValueError(f"unknown action kind {kind!r}")
+
+
+def tile_legal(env: ShardingEnv, value: Value, dim: int, axis: str) -> bool:
+    """May ``value``'s ``dim`` still be tiled along ``axis`` under ``env``?"""
+    sharding = env.sharding(value)
+    if sharding.uses(axis) or sharding.is_pinned(axis):
+        return False
+    denom = env.mesh.group_size(sharding.dim_axes[dim])
+    return value.type.shape[dim] % (denom * env.mesh.size(axis)) == 0
+
+
+def reduce_factors(op: Operation) -> List[rules_mod.Factor]:
+    """The contracting (reduce) factors of ``op``'s sharding rule, in rule
+    order — the targets of ``SumTagged`` actions (empty for ops without a
+    rule or without contracting dimensions)."""
+    rule = rules_mod.rule_for(op)
+    if rule is None:
+        return []
+    return [factor for factor in rule.factors if factor.reduce]
+
+
+def sum_target(function: Function, tag: int, factor: int):
+    """Resolve a ``SumTagged`` action's ``(source op, reduce factor)``, or
+    ``None`` when the tag point has no source / no such factor."""
+    points = tag_points(function)
+    if tag >= len(points):
+        return None
+    source = points[tag].source
+    if source is None:
+        return None
+    factors = reduce_factors(source)
+    if factor >= len(factors):
+        return None
+    return source, factors[factor]
+
+
+def sum_tagged_legal(env: ShardingEnv, op: Operation, factor,
+                     axis: str) -> bool:
+    """May ``factor`` (a reduce factor of ``op``) be tiled along ``axis``?
+
+    Every operand position of the factor must accept the tile (axis unused,
+    not pinned, dim divisible) and every result must accept the pending
+    ``#sum`` (axis unused, not pinned) — the same conditions propagation's
+    factor matching enforces before applying a contracting factor.  One
+    value appearing at two factor positions with *different* dims (a
+    self-contraction like ``x @ x``) is illegal: the single value cannot
+    carry the axis on both dims.
+    """
+    required_dims: Dict[Value, int] = {}
+    for _, i, dim in factor.entries:
+        value = op.operands[i]
+        seen = required_dims.get(value)
+        if seen is not None:
+            if seen != dim:
+                return False  # self-contraction: one value, two dims
+            continue
+        required_dims[value] = dim
+        if not tile_legal(env, value, dim, axis):
+            return False
+    for result in op.results:
+        sharding = env.sharding(result)
+        if sharding.uses(axis) or sharding.is_pinned(axis):
+            return False
+    return True
+
+
+def apply_sum_tagged(env: ShardingEnv, op: Operation, factor,
+                     axis: str) -> None:
+    """Apply a legal ``SumTagged`` action: tile the factor's operand
+    positions and mark every result pending — exactly the write set of
+    propagation's ``_apply_factor`` on a contracting factor (including its
+    per-write re-read guard, so duplicate positions over one value are
+    idempotent), so the subsequent propagation fixed point is the one the
+    factor rules imply."""
+    for _, i, dim in factor.entries:
+        value = op.operands[i]
+        sharding = env.sharding(value)
+        if axis in sharding.dim_axes[dim] or axis in sharding.sum_axes:
+            continue
+        env.set_sharding(value, sharding.with_tile(dim, axis))
+    for result in op.results:
+        sharding = env.sharding(result)
+        if axis not in sharding.sum_axes:
+            env.set_sharding(result, sharding.with_sum(axis))
 
 
 def find_tagged(function: Function, name: str) -> Value:

@@ -129,6 +129,22 @@ def _dot_general_rule(op):
     return OpShardingRule(factors)
 
 
+@rule("tag")
+def _tag_rule(op):
+    """Tag markers are sharding-transparent: every dimension of the tagged
+    value ties 1:1 to the same dimension of the result, so a mid-function
+    ``TileTagged`` action on the tag's value propagates backward to the
+    producing op and forward to every consumer exactly as if the tiling had
+    been written on the computation itself.  (Identical to the generic
+    elementwise rule; registered explicitly because tag points are the
+    anchors of the widened action space, and their transparency is a
+    documented contract rather than an elementwise coincidence.)"""
+    rank = len(op.result.type.shape)
+    return OpShardingRule([
+        Factor((("in", 0, d), ("out", 0, d))) for d in range(rank)
+    ])
+
+
 @rule("transpose")
 def _transpose_rule(op):
     perm = tuple(op.attrs["permutation"])

@@ -16,9 +16,14 @@ from repro.ir import ops_nn  # noqa: F401
 
 from repro.ir.interpreter import evaluate_function, evaluate_module
 from repro.ir.printer import print_function, print_module
+from repro.ir.tagpoints import AUTO_TAG_PREFIX, TagPoint, is_auto_tag, tag_points
 from repro.ir.verifier import verify_function, verify_module
 
 __all__ = [
+    "AUTO_TAG_PREFIX",
+    "TagPoint",
+    "is_auto_tag",
+    "tag_points",
     "dtypes",
     "TensorType",
     "scalar",

@@ -1,5 +1,6 @@
-"""The paper's benchmark models (Section 7.1) and their schedules."""
+"""The paper's benchmark models (Section 7.1) and their schedules, plus the
+interior-bottleneck ensemble exercising the widened search action space."""
 
-from repro.models import gns, schedules, transformer, unet
+from repro.models import bottleneck, gns, schedules, transformer, unet
 
-__all__ = ["gns", "schedules", "transformer", "unet"]
+__all__ = ["bottleneck", "gns", "schedules", "transformer", "unet"]

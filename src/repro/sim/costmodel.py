@@ -558,6 +558,11 @@ class _MemoLowerer(Lowerer):
             # shardings; its *body ops* are memoized individually instead.
             super()._lower_op(op, sink, value_map)
             return
+        if op.opcode == "tag" and self._tag_transparent(op):
+            # Same skip as the materializing path: a transparent tag marker
+            # contributes no cost, no live-range record, no plan.
+            value_map[op.results[0]] = value_map[op.operands[0]]
+            return
         estimator = self._estimator
         env = self.env
         # Interned-id key: pointer-sized ints, one per adjacent value (see
@@ -807,11 +812,13 @@ class _UnitState:
     the unit's behavior, the memo of resolved segments, and the segment
     currently in force."""
 
-    __slots__ = ("op", "is_scan", "sig_values", "segments", "segment")
+    __slots__ = ("op", "is_scan", "is_tag", "sig_values", "segments",
+                 "segment")
 
     def __init__(self, op, is_scan: bool, sig_values: tuple):
         self.op = op
         self.is_scan = is_scan
+        self.is_tag = op.opcode == "tag"
         self.sig_values = sig_values
         self.segments: Dict[tuple, tuple] = {}
         self.segment: Optional[tuple] = None
@@ -944,6 +951,11 @@ class _IncrementalEstimate:
             if segment is None:
                 if unit.is_scan:
                     segment = self._resolve_scan(unit.op)
+                elif unit.is_tag and sig[0] == sig[1]:
+                    # Transparent tag marker: the same skip the walking
+                    # paths apply — the result aliases the operand.
+                    segment = ("alias", unit.op.operands[0],
+                               unit.op.results[0])
                 else:
                     segment = self._resolve_plain(unit.op, sig)
                 segments[sig] = segment
@@ -1184,7 +1196,10 @@ class _IncrementalEstimate:
         for segment in self._current:
             unit_replays += 1
             tag = segment[0]
-            if tag == "op0":
+            if tag == "alias":
+                # Transparent tag marker: no cost, no live-range record.
+                value_uids[segment[2]] = value_uids[segment[1]]
+            elif tag == "op0":
                 # All operands already in layout, no trailing slices.
                 _, values, flops, result_nbytes, results, alias = segment
                 site_hits += len(values)

@@ -208,12 +208,29 @@ class Lowerer:
             results.append(value)
         return sink.finish(results, function.output_names)
 
+    def _tag_transparent(self, op: Operation) -> bool:
+        """Is this ``tag`` marker droppable here — operand and result agree
+        on a sharding (always true at a propagation fixed point, since the
+        tag rule ties every dimension 1:1 and pending sums defer through
+        it)?  Interned shardings make the check a pointer comparison."""
+        return (self.env.sharding(op.operands[0])
+                is self.env.sharding(op.results[0]))
+
     def _lower_op(self, op: Operation, sink, value_map) -> None:
         """Lower one op into the sink.  Overridden by the streaming
         evaluator to memoize plans; scan is always re-planned (its lowering
-        reads the whole body, not just adjacent shardings)."""
+        reads the whole body, not just adjacent shardings).
+
+        ``tag`` markers are pure annotations: whenever operand and result
+        agree on a sharding (any propagation fixed point) the op is dropped
+        from device-local code — the result simply aliases the operand's
+        lowered handle.  The streaming cost paths apply the identical skip,
+        keeping the materialized and streamed estimates bit-identical.
+        """
         if op.opcode == "scan":
             self._emit_scan(op, sink, value_map)
+        elif op.opcode == "tag" and self._tag_transparent(op):
+            value_map[op.results[0]] = value_map[op.operands[0]]
         else:
             self._execute_plan(op, self._plan_op(op), sink, value_map)
 

@@ -297,7 +297,7 @@ def scan(body_fn, init_carries: Sequence[TracedArray], trip_count: int):
     threaded through as loop-*invariant* operands / body parameters.
     """
     outer = current_tracer()
-    inner = Tracer("body")
+    inner = Tracer("body", tag_points=outer.tag_points)
     index = TracedArray(
         inner.builder.param((), dtypes.i32, name="step"), inner
     )
@@ -340,7 +340,13 @@ def scan(body_fn, init_carries: Sequence[TracedArray], trip_count: int):
         {"trip_count": trip_count, "num_carries": len(init_carries)},
         regions=[body],
     )
-    outs = [TracedArray(r, outer) for r in op.results]
+    results_out = list(op.results)
+    if outer.tag_points:
+        # Scan results are candidate tag points too (the serving loop's KV
+        # caches and accumulators); multi-result, so tagged here rather
+        # than in Tracer.emit.
+        results_out = [outer.auto_tag(r, "scan") for r in results_out]
+    outs = [TracedArray(r, outer) for r in results_out]
     return outs[0] if len(outs) == 1 else outs
 
 

@@ -45,11 +45,40 @@ def current_tracer() -> "Tracer":
     return tracer
 
 
-class Tracer:
-    """Holds the builder that traced primitives append to."""
+#: Opcodes whose outputs are *candidate tag points*: after emitting one of
+#: these, the tracer (unless ``tag_points=False``) appends an auto-named
+#: ``tag`` marker so the automatic-partitioning search can treat the
+#: interior value as a first-class decision variable.  ``scan`` results are
+#: tagged separately in :func:`repro.trace.ops.scan` (multi-result).
+AUTO_TAG_OPCODES = frozenset({
+    "dot_general", "conv2d", "reduce_sum", "reduce_max", "scatter_add",
+})
 
-    def __init__(self, name: str = "main"):
+
+class Tracer:
+    """Holds the builder that traced primitives append to.
+
+    ``tag_points=True`` (the default) auto-emits a ``tag`` marker op after
+    every matmul-like / reduce primitive (:data:`AUTO_TAG_OPCODES`) and
+    after every ``scan`` result: numerically the identity, zero cost in the
+    simulator, dropped from device-local code at lowering — but an
+    addressable interior program point (see :mod:`repro.ir.tagpoints`) the
+    search's ``TileTagged``/``SumTagged`` actions can target.  Because VJP
+    rules emit through the same tracer, backward-pass matmuls and reduces
+    become tag points too.
+    """
+
+    def __init__(self, name: str = "main", tag_points: bool = True):
         self.builder = FunctionBuilder(name)
+        self.tag_points = tag_points
+        self._auto_tags = 0
+
+    def auto_tag(self, value: Value, opcode: str) -> Value:
+        """Wrap ``value`` in an auto-named tag marker (see class doc)."""
+        name = f"auto/{opcode}/{self._auto_tags}"
+        self._auto_tags += 1
+        return self.builder.emit1("tag", [value],
+                                  {"name": name, "auto": True})
 
     @contextlib.contextmanager
     def active(self):
@@ -64,6 +93,8 @@ class Tracer:
              regions=None) -> "TracedArray":
         values = [o.value for o in operands]
         result = self.builder.emit1(opcode, values, attrs, regions)
+        if self.tag_points and opcode in AUTO_TAG_OPCODES:
+            result = self.auto_tag(result, opcode)
         return TracedArray(result, self)
 
     def wrap(self, value: Value) -> "TracedArray":
@@ -309,11 +340,18 @@ def _spec_of(leaf) -> ShapeDtype:
     )
 
 
-def trace(f, *arg_specs, name: str = "main") -> TracedFunction:
-    """Trace ``f`` applied to pytrees of :class:`ShapeDtype` specs."""
+def trace(f, *arg_specs, name: str = "main",
+          tag_points: bool = True) -> TracedFunction:
+    """Trace ``f`` applied to pytrees of :class:`ShapeDtype` specs.
+
+    ``tag_points=True`` (default) auto-emits candidate tag points at
+    matmul/scan/reduce outputs — numerically-transparent identity markers
+    the automatic search's mid-function actions target; pass ``False`` to
+    trace the bare program.
+    """
     paths = pytree.flatten_with_paths(list(arg_specs))
     _, in_treedef = pytree.flatten(list(arg_specs))
-    tracer = Tracer(name)
+    tracer = Tracer(name, tag_points=tag_points)
     traced_leaves = []
     input_names = []
     for path, leaf in paths:

@@ -36,7 +36,7 @@ class TestAutomaticPartition:
         actions = _candidate_actions(tf.function, env, ["batch"])
         assert all(
             tf.function.params[i].type.shape[d] % 4 == 0
-            for i, d, _ in actions
+            for kind, i, d, _ in actions if kind == 0
         )
 
     def test_search_beats_or_matches_replication_under_memory_pressure(self):

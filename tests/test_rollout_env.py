@@ -202,7 +202,8 @@ def test_candidate_actions_total_order_and_dedupe():
     tied = builder.param((8, 8), name="tied")  # same nbytes as big
     env = ShardingEnv(MESH)
     actions = candidate_actions(builder.function, env, ["batch"], 48)
-    params = [index for index, _, _ in actions]
+    assert all(kind == 0 for kind, _, _, _ in actions)  # no tag points here
+    params = [index for _, index, _, _ in actions]
     # nbytes descending, index-ascending tie-break, smaller param last.
     assert params == [1, 1, 2, 2, 0, 0]
     # Duplicate param objects are enumerated once, at the smallest index.
@@ -211,4 +212,4 @@ def test_candidate_actions_total_order_and_dedupe():
     builder2.function.params.append(shared)
     builder2.function.input_names.append("w_again")
     dup_actions = candidate_actions(builder2.function, env, ["batch"], 48)
-    assert {index for index, _, _ in dup_actions} == {0}
+    assert {index for _, index, _, _ in dup_actions} == {0}

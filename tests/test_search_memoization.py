@@ -120,9 +120,12 @@ class TestCanonicalization:
         env = ShardingEnv(MESH)
         pinned = tf.function.params[1]
         atomic(env, pinned, "M")
-        assert all(i != 1 for i, _, a in
-                   _candidate_actions(tf.function, env, ["M"]) if a == "M")
-        assert not _try_apply_action(tf.function, env, (1, 0, "M"))
+        assert all(
+            not (kind == 0 and index == 1)
+            for kind, index, _, a in
+            _candidate_actions(tf.function, env, ["M"]) if a == "M"
+        )
+        assert not _try_apply_action(tf.function, env, (0, 1, 0, "M"))
         assert env.sharding(pinned).spec() == "[{}, {}] pin{M}"
 
     def test_composes_with_manual_tactics(self):

@@ -59,8 +59,8 @@ class TestTableRoundTrip:
     def test_write_reload_warm_counters(self, tmp_path):
         path = str(tmp_path / "tt.jsonl")
         table = TranspositionTable(path)
-        table.store(((0, 0, "B"),), 1.5)
-        table.store(((0, 0, "B"), (1, 1, "M")), 2.5)
+        table.store(((0, 0, 0, "B"),), 1.5)
+        table.store(((0, 0, 0, "B"), (0, 1, 1, "M")), 2.5)
         table.store((), 9.0)
         table.flush()
 
@@ -68,12 +68,12 @@ class TestTableRoundTrip:
         assert len(reloaded) == 3
         assert reloaded.warm_entries == 3
         assert reloaded.hits == 0 and reloaded.warm_hits == 0
-        assert reloaded.lookup(((0, 0, "B"),)) == 1.5
+        assert reloaded.lookup(((0, 0, 0, "B"),)) == 1.5
         assert reloaded.lookup(()) == 9.0
         assert reloaded.hits == 2 and reloaded.warm_hits == 2
         # Fresh entries are hits but not warm hits.
-        reloaded.store(((2, 0, "B"),), 3.0)
-        assert reloaded.lookup(((2, 0, "B"),)) == 3.0
+        reloaded.store(((0, 2, 0, "B"),), 3.0)
+        assert reloaded.lookup(((0, 2, 0, "B"),)) == 3.0
         assert reloaded.hits == 3 and reloaded.warm_hits == 2
 
     def test_hits_never_rewrite_the_log(self, tmp_path):
@@ -81,46 +81,82 @@ class TestTableRoundTrip:
         leave the file byte-identical."""
         path = str(tmp_path / "tt.jsonl")
         table = TranspositionTable(path)
-        table.store(((0, 0, "B"),), 1.0)
+        table.store(((0, 0, 0, "B"),), 1.0)
         table.flush()
         raw = open(path, "rb").read()
 
         reloaded = TranspositionTable(path)
         for _ in range(10):
-            assert reloaded.lookup(((0, 0, "B"),)) == 1.0
-        reloaded.store(((0, 0, "B"),), 123.0)  # duplicate: ignored
+            assert reloaded.lookup(((0, 0, 0, "B"),)) == 1.0
+        reloaded.store(((0, 0, 0, "B"),), 123.0)  # duplicate: ignored
         reloaded.flush()
         assert open(path, "rb").read() == raw
 
     def test_torn_tail_line_is_skipped(self, tmp_path):
         path = str(tmp_path / "tt.jsonl")
         table = TranspositionTable(path)
-        table.store(((0, 0, "B"),), 1.0)
+        table.store(((0, 0, 0, "B"),), 1.0)
         table.flush()
         with open(path, "a") as handle:
             handle.write('{"k": [[1, 0, "M"]], "c": 2.')  # crashed writer
         reloaded = TranspositionTable(path)
         assert len(reloaded) == 1
-        assert reloaded.peek(((0, 0, "B"),)) == 1.0
+        assert reloaded.peek(((0, 0, 0, "B"),)) == 1.0
 
 
 class TestWarmStartSearch:
     def test_second_search_warm_starts(self, tmp_path):
+        """A warm second call reuses *both* halves of the persistent store:
+        exact costs (warm transposition hits) and the tree (expansion
+        steered by persisted action-group statistics, counted by
+        ``tree_prior_hits``).  The prior-steered trajectory may explore
+        new sets, but the incumbent is seeded from the table's best entry,
+        so the warm result can never be worse than the cold one."""
         function, _ = build_matmul_chain()
         kwargs = dict(device=TINY_DEVICE, budget=16, seed=1,
                       cache_dir=str(tmp_path))
         cold = mcts_search(function, ShardingEnv(MESH), ["B", "M"], **kwargs)
         assert cold.warm_cache_hits == 0
+        assert cold.tree_prior_hits == 0 and cold.prior_groups == 0
         files = os.listdir(tmp_path)
         assert len(files) == 1 and files[0].startswith("tt_")
 
         warm = mcts_search(function, ShardingEnv(MESH), ["B", "M"], **kwargs)
         assert warm.warm_cache_hits > 0
+        assert warm.prior_groups > 0
+        assert warm.tree_prior_hits > 0
+        assert warm.cost <= cold.cost
+        # A fully-warm-covered rollout is replayed from the table; only
+        # prior-steered exploration beyond the cold trajectory computes.
+        assert warm.evaluations + warm.cache_hits >= cold.evaluations
+
+    def test_same_trajectory_without_priors_appends_nothing(self, tmp_path):
+        """With the tree statistics neutralized (a fresh cache dir per
+        call would reload them — so strip the prior records), a warm rerun
+        replays the identical trajectory: zero evaluations, and cost
+        records stay byte-identical (the write-lean contract)."""
+        import json
+        function, _ = build_matmul_chain()
+        kwargs = dict(device=TINY_DEVICE, budget=16, seed=1,
+                      cache_dir=str(tmp_path))
+        cold = mcts_search(function, ShardingEnv(MESH), ["B", "M"], **kwargs)
+        (path,) = [os.path.join(tmp_path, f) for f in os.listdir(tmp_path)]
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        cost_lines = [line for line in lines if "\"k\"" in line]
+        assert any("\"g\"" in line for line in lines)  # priors persisted
+        with open(path, "w") as handle:
+            handle.writelines(cost_lines)
+
+        warm = mcts_search(function, ShardingEnv(MESH), ["B", "M"], **kwargs)
         assert warm.actions == cold.actions and warm.cost == cold.cost
-        # The identical trajectory is fully covered by warm entries: no
-        # evaluation is recomputed and no new record is appended.
         assert warm.evaluations == 0
-        assert os.listdir(tmp_path) == files
+        assert warm.warm_cache_hits > 0
+        # The cost records were not rewritten; only this run's prior
+        # deltas were appended.
+        with open(path) as handle:
+            after = [line for line in handle if line.strip()]
+        assert [l for l in after if "\"k\"" in l] == cost_lines
 
     def test_cache_dir_does_not_change_results(self, tmp_path):
         function, _ = build_matmul_chain()
@@ -176,8 +212,12 @@ class TestPartirJitWarmStart:
         warm, warm_meta = run()
         assert cold.warm_cache_hits == 0
         assert warm.warm_cache_hits > 0
-        assert warm.actions == cold.actions and warm.cost == cold.cost
-        assert warm_meta.input_shardings == cold_meta.input_shardings
+        # Tree reuse: the second call's expansion is steered by the
+        # persisted action-group statistics...
+        assert warm.tree_prior_hits > 0
+        # ...and its incumbent is seeded from the table, so the warm
+        # schedule is never worse than the cold one.
+        assert warm.cost <= cold.cost
 
     def test_search_backend_option_is_threaded(self):
         mesh = Mesh({"batch": 4, "model": 2})
@@ -207,7 +247,7 @@ class TestCompaction:
 
     def test_compact_preserves_hits_and_values(self, tmp_path):
         path = str(tmp_path / "tt.jsonl")
-        keys = [((i, 0, "B"),) for i in range(8)]
+        keys = [((0, i, 0, "B"),) for i in range(8)]
         # 5 generations of duplicate records + a torn tail.
         self._fill(path, keys, duplicates=5, torn_tail=True)
         before = TranspositionTable(path)
@@ -235,7 +275,7 @@ class TestCompaction:
 
     def test_auto_compaction_threshold(self, tmp_path):
         path = str(tmp_path / "tt.jsonl")
-        keys = [((i, 0, "B"),) for i in range(4)]
+        keys = [((0, i, 0, "B"),) for i in range(4)]
         self._fill(path, keys, duplicates=4)
         # Small file: high duplicate ratio alone must NOT rewrite (the
         # append-only steady state stays write-lean).
@@ -257,7 +297,7 @@ class TestCompaction:
 
     def test_healthy_log_never_rewritten(self, tmp_path):
         path = str(tmp_path / "tt.jsonl")
-        keys = [((i, 0, "B"),) for i in range(16)]
+        keys = [((0, i, 0, "B"),) for i in range(16)]
         self._fill(path, keys, duplicates=1)
         size_before = os.path.getsize(path)
 
@@ -270,13 +310,13 @@ class TestCompaction:
 
     def test_store_after_compaction_appends(self, tmp_path):
         path = str(tmp_path / "tt.jsonl")
-        keys = [((i, 0, "B"),) for i in range(3)]
+        keys = [((0, i, 0, "B"),) for i in range(3)]
         self._fill(path, keys, duplicates=3)
         table = TranspositionTable(path)
         table.compact()
-        table.store(((99, 1, "M"),), 1.25)
+        table.store(((0, 99, 1, "M"),), 1.25)
         table.flush()
         reloaded = TranspositionTable(path)
-        assert reloaded.peek(((99, 1, "M"),)) == 1.25
+        assert reloaded.peek(((0, 99, 1, "M"),)) == 1.25
         for key in keys:
             assert reloaded.peek(key) == table.peek(key)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Offline link check for the repo's markdown docs.
+
+Verifies that every relative markdown link/image target
+(``[text](path)``) and every backtick-quoted repo path that looks like a
+file reference actually exists on disk.  External (``http(s)://``,
+``mailto:``) links are skipped — CI must not depend on the network.
+
+Usage: ``python tools/check_links.py README.md docs/ARCHITECTURE.md``
+Exits nonzero listing the broken references.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+#: [text](target) — markdown links and images.
+_MD_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+#: `path/like.this` — backtick references that name a file with an
+#: extension or a directory ending in '/'.
+_TICK_PATH = re.compile(r"`([A-Za-z0-9_.\-]+(?:/[A-Za-z0-9_.\-]+)+/?)`")
+
+#: Backticked paths with these extensions must exist (code/docs/data the
+#: prose points the reader at); anything else in backticks is prose.
+_CHECKED_EXTENSIONS = {".py", ".md", ".yml", ".yaml", ".json", ".txt"}
+
+#: Repo-relative paths documented as *outputs* (created at runtime).
+_RUNTIME_ARTIFACTS = re.compile(r"BENCH_.*\.json$|.*\.partir-cache.*")
+
+
+def check_file(doc_path: str, repo_root: str) -> list:
+    base = os.path.dirname(os.path.abspath(doc_path))
+    broken = []
+    with open(doc_path) as handle:
+        text = handle.read()
+    targets = []
+    for match in _MD_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        targets.append((target.split("#")[0], base))
+    for match in _TICK_PATH.finditer(text):
+        target = match.group(1)
+        ext = os.path.splitext(target)[1]
+        if not target.endswith("/") and ext not in _CHECKED_EXTENSIONS:
+            continue
+        if _RUNTIME_ARTIFACTS.search(target):
+            continue
+        # Backticked paths are repo-root-relative by convention.
+        targets.append((target, repo_root))
+    for target, root in targets:
+        if not target:
+            continue
+        # Backticked paths may be repo-root-relative or package-relative
+        # (docs/ARCHITECTURE.md quotes paths "relative to src/repro/").
+        candidates = [
+            os.path.join(root, target),
+            os.path.join(repo_root, "src", target),
+            os.path.join(repo_root, "src", "repro", target),
+        ]
+        if not any(os.path.exists(c) for c in candidates):
+            broken.append((doc_path, target))
+    return broken
+
+
+def main(argv) -> int:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    docs = argv or ["README.md", "docs/ARCHITECTURE.md"]
+    broken = []
+    for doc in docs:
+        broken.extend(check_file(doc, repo_root))
+    for doc, target in broken:
+        print(f"{doc}: broken reference -> {target}", file=sys.stderr)
+    if not broken:
+        print(f"link check ok: {', '.join(docs)}")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
