@@ -22,6 +22,7 @@ population), and undo-log bookkeeping is not the expensive part of an
 extension.
 """
 
+import statistics
 import time
 
 from repro.auto.evaluator import candidate_actions, try_apply_action
@@ -29,9 +30,13 @@ from repro.core.propagate import propagate
 from repro.core.sharding import ShardingEnv
 from repro.mesh import Mesh
 from repro.models import transformer
+from repro.sim import TPU_V3, costmodel
 from benchmarks.common import print_table, write_bench_json
 
 MESH = Mesh({"batch": 8, "model": 4})
+
+#: Dirty-set sizes the scaling leg sweeps (values toggled per evaluation).
+_DIRTY_SIZES = (1, 2, 4, 8, 16)
 
 
 def _time_per_op(fn, repeats: int) -> float:
@@ -39,6 +44,79 @@ def _time_per_op(fn, repeats: int) -> float:
     for _ in range(repeats):
         fn()
     return (time.perf_counter() - start) / repeats
+
+
+def _fit_slope(points) -> float:
+    """Least-squares slope of ``time = slope * k + intercept``."""
+    ks = [float(k) for k, _ in points]
+    ts = [t for _, t in points]
+    n = len(points)
+    mean_k = sum(ks) / n
+    mean_t = sum(ts) / n
+    denom = sum((k - mean_k) ** 2 for k in ks)
+    return sum((k - mean_k) * (t - mean_t)
+               for k, t in zip(ks, ts)) / denom
+
+
+def _scaling_leg(num_layers: int) -> dict:
+    """Differential-evaluation time vs |dirty set| at fixed |function|.
+
+    Values are toggled between their propagated and original shardings
+    *without* re-running propagation (propagation would re-derive tiles
+    from still-tiled neighbors and turn the writes into pointer no-ops),
+    so each evaluation sees a journal of exactly ``k`` changed values.
+    Per point: median of repeats (micro-timings flake on shared runners).
+    """
+    tcfg = transformer.t32(num_layers=num_layers, d_model=512, num_heads=8,
+                           d_head=64, ffw_dim=2048, vocab=4096, seq_len=128,
+                           batch=16)
+    function = transformer.trace_training_step(tcfg).function
+    env = ShardingEnv(MESH)
+    propagate(function, env)
+    candidates = candidate_actions(function, env, ["batch", "model"], 12)
+    token = env.checkpoint()
+    try_apply_action(function, env, candidates[1])
+    propagate(function, env, incremental=True)
+    originals = {value: env.sharding(value)
+                 for value, _ in env.writes_since(token)}
+    env.rollback(token)
+    # (value, changed sharding) pairs that are effective writes both ways.
+    toggles = [(value, sharding)
+               for value, sharding in originals.items()
+               if sharding is not env.sharding(value)]
+    originals = {value: env.sharding(value) for value, _ in toggles}
+    assert len(toggles) >= max(_DIRTY_SIZES)
+
+    estimator = costmodel.StreamingEstimator(function, MESH, TPU_V3)
+    env.enable_journal()
+    env.drain_journal()
+    estimator.estimate_incremental(env, None)  # prime the full walk once
+    full_s = _time_per_op(
+        lambda: costmodel.estimate_streaming(function, env, TPU_V3), 5)
+
+    points = {}
+    for k in _DIRTY_SIZES:
+        phase = [False]
+
+        def one_eval():
+            phase[0] = not phase[0]
+            for value, changed in toggles[:k]:
+                env.set_sharding(
+                    value, changed if phase[0] else originals[value])
+            estimator.estimate_incremental(env, env.drain_journal())
+
+        one_eval()  # warm the segments for this k before timing
+        points[k] = statistics.median(
+            _time_per_op(one_eval, 10) for _ in range(5))
+        # Leave the toggled values restored before the next size.
+        if phase[0]:
+            one_eval()
+    return {
+        "ops": sum(1 for _ in function.walk()),
+        "full_walk_seconds": full_s,
+        "per_eval_seconds": {str(k): points[k] for k in _DIRTY_SIZES},
+        "slope_seconds_per_dirty": _fit_slope(sorted(points.items())),
+    }
 
 
 def test_env_ops(benchmark):
@@ -98,8 +176,16 @@ def test_env_ops(benchmark):
             env.rollback(inner)
         results["propagate_extension"] = _time_per_op(extension, 20)
 
+        # O(dirty) differential estimation: per-evaluation time vs the
+        # number of changed values, at two function sizes.
+        results["scaling"] = {
+            "small": _scaling_leg(num_layers=2),
+            "large": _scaling_leg(num_layers=4),
+        }
+
     benchmark.pedantic(bench_all, rounds=1, iterations=1)
 
+    scaling = results.pop("scaling")
     print_table(
         "Env memory-model primitives (per-op cost; undo-log retraction is "
         "O(writes) bookkeeping, propagation remains the real work both "
@@ -108,10 +194,24 @@ def test_env_ops(benchmark):
         [(name, f"{seconds * 1e6:.2f}us")
          for name, seconds in results.items()],
     )
+    print_table(
+        "Differential estimation scaling (per-evaluation time vs |dirty|; "
+        "the slope must track the dirty-set size, not |function|)",
+        ["leg", "ops", "k=1", f"k={max(_DIRTY_SIZES)}", "slope/dirty",
+         "full walk"],
+        [(name,
+          str(leg["ops"]),
+          f"{leg['per_eval_seconds']['1'] * 1e6:.1f}us",
+          f"{leg['per_eval_seconds'][str(max(_DIRTY_SIZES))] * 1e6:.1f}us",
+          f"{leg['slope_seconds_per_dirty'] * 1e6:.2f}us",
+          f"{leg['full_walk_seconds'] * 1e6:.1f}us")
+         for name, leg in scaling.items()],
+    )
     write_bench_json("env_ops", {
         "mesh": dict(MESH.axes),
         "delta_writes": len(delta),
         "per_op_seconds": results,
+        "scaling": scaling,
     })
 
     # Structural gates (coarse: micro-benchmarks on shared CI runners).
@@ -125,3 +225,13 @@ def test_env_ops(benchmark):
         results["propagate_extension"]
     assert results[f"delta_replay_{len(delta)}_writes"] < \
         results["propagate_extension"]
+    # O(dirty) differential estimation: doubling |function| (2 -> 4
+    # layers, ~2x the ops) must not double the per-dirty-value slope —
+    # the cost per evaluation scales with the dirty set, sublinearly in
+    # the function size.  (Linear scaling would put the ratio at ~2.0.)
+    small, large = scaling["small"], scaling["large"]
+    assert large["ops"] >= 1.8 * small["ops"]
+    assert large["slope_seconds_per_dirty"] < \
+        1.6 * max(small["slope_seconds_per_dirty"], 1e-7)
+    # ... and a one-value refresh stays far below the full streaming walk.
+    assert large["per_eval_seconds"]["1"] < 0.5 * large["full_walk_seconds"]

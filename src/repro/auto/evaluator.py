@@ -257,6 +257,16 @@ class Evaluator:
         self.remote_reconcile_hits = 0
         self.remote_shared_plan_hits = 0
         self.remote_shared_full = False
+        #: Undo-engine prefix accounting: of all the actions the rollouts
+        #: asked to stand applied (summed |key| over ``_env_for_undo``
+        #: calls), how many were already in place on the action stack and
+        #: survived (no rollback, no re-apply)?  The ratio is the
+        #: schedulers' prefix-aware wave ordering's figure of merit —
+        #: surfaced as ``SearchResult.prefix_reuse_ratio``.
+        self.prefix_actions_total = 0
+        self.prefix_actions_reused = 0
+        self.remote_prefix_actions_total = 0
+        self.remote_prefix_actions_reused = 0
         self.table = table if table is not None else TranspositionTable()
         self._env_cache: Dict[ActionKey, ShardingEnv] = {}
         # One streaming estimator for the whole search: its per-op plan and
@@ -312,6 +322,16 @@ class Evaluator:
             return True
         return self.remote_shared_full
 
+    @property
+    def prefix_reuse_ratio(self) -> float:
+        """Fraction of requested prefix actions the undo engine kept in
+        place across consecutive evaluations (workers included); 0.0 when
+        nothing was evaluated or on the fork engine."""
+        total = self.prefix_actions_total + self.remote_prefix_actions_total
+        reused = (self.prefix_actions_reused
+                  + self.remote_prefix_actions_reused)
+        return reused / total if total else 0.0
+
     def _env_for(self, key: ActionKey) -> ShardingEnv:
         """Propagated env for a canonical action prefix.
 
@@ -354,6 +374,8 @@ class Evaluator:
             limit = min(len(stack), len(key))
             while lcp < limit and stack[lcp][0] == key[lcp]:
                 lcp += 1
+        self.prefix_actions_total += len(key)
+        self.prefix_actions_reused += lcp
         if lcp < len(stack):
             env.rollback(stack[lcp][1])
             del stack[lcp:]

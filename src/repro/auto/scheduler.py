@@ -14,21 +14,25 @@ scores them; the scheduler decides *how many are in flight at once* and
   ``random.Random``, so that no backend's interleaving can perturb
   another rollout's draw.
 * ``batched`` — collects a wave of leaves under virtual loss, then scores
-  the wave's distinct action sets in sorted order through the shared
-  evaluator, so consecutive sets extend common cached prefix envs, before
-  reverting the losses and backing up every leaf.
+  the wave's distinct action sets in **Euler-tour order** (the leaves'
+  ``tour_path`` positions, ties by key) through the shared evaluator:
+  consecutive evaluations come from neighboring subtrees, so the undo
+  engine's rollback/extend distance tracks the true edit distance between
+  rollouts, before reverting the losses and backing up every leaf.
 * ``process`` — forms waves the same way, but fans the wave's
   transposition-table misses across ``multiprocessing`` workers.  PR 1's
   prefix-env cache made evaluations independent given their prefix: a
   worker owns a full :class:`~repro.auto.evaluator.Evaluator` (its own
   prefix envs, plan memos and local table), so the only bytes crossing the
   process boundary are canonical action keys out and ``(key, cost,
-  counters)`` back.  Keys are routed to workers by a stable hash of the
-  canonical set's leading action: action sets sharing a prefix land on the
-  same worker in every wave, so each worker's prefix-env and lowering-plan
-  caches stay warm for its slice of the action space instead of every
-  worker cold-replanning everything (each worker is its own single-process
-  pool precisely so the routing — not pool timing — decides placement).
+  counters)`` back.  Tour-ordered keys are routed by longest-common-prefix
+  affinity: each goes to the worker whose last routed key shares the
+  longest canonical prefix (ties to a stable hash of the leading action,
+  with a per-wave cap keeping the fan-out balanced), so every worker's
+  slice of the wave is a run of tree-neighboring sets its prefix-env and
+  lowering-plan caches stay warm for (each worker is its own
+  single-process pool precisely so the routing — not pool timing —
+  decides placement).
 
 Workers are primed once per search with ``(function, mesh, portable env
 state, device, flags)``; under the default ``fork`` start method that
@@ -57,6 +61,17 @@ from repro.auto import sharedmemo
 from repro.auto.evaluator import Evaluator
 from repro.auto.tree import ActionKey, TreePolicy, _stable_hash
 
+
+def key_lcp(a: ActionKey, b: ActionKey) -> int:
+    """Longest common prefix (in actions) of two canonical action sets —
+    the undo engine's measure of how much applied-prefix state survives
+    between two consecutive evaluations."""
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i
+
 #: Default worker count for the process backend.
 DEFAULT_WORKERS = 2
 
@@ -78,6 +93,19 @@ class RolloutScheduler:
         self.wave_size = wave_size
         self.workers = workers
         self._started = False
+        #: Per-wave longest-common-prefix statistics over the order the
+        #: wave's distinct keys were actually evaluated in: number of
+        #: waves, consecutive pairs, and summed LCP actions.  Surfaced via
+        #: ``SearchResult`` (``waves`` / ``wave_lcp_mean``).
+        self.waves = 0
+        self.wave_lcp_pairs = 0
+        self.wave_lcp_actions = 0
+
+    def _note_wave_order(self, ordered: Sequence[ActionKey]) -> None:
+        self.waves += 1
+        for prev, key in zip(ordered, ordered[1:]):
+            self.wave_lcp_pairs += 1
+            self.wave_lcp_actions += key_lcp(prev, key)
 
     # -- the wave loop ------------------------------------------------------
 
@@ -109,12 +137,20 @@ class RolloutScheduler:
             while done < budget:
                 count = min(wave_size, budget - done)
                 wave = []
+                tours: Dict[ActionKey, tuple] = {}
                 for _ in range(count):
                     node, key = policy.next_rollout()
                     node.apply_virtual_loss()
                     wave.append((node, key))
+                    # Euler-tour position of the rollout's leaf; duplicate
+                    # keys keep the earliest (deterministic: expansion
+                    # order fixes tour paths per seed).
+                    tour = node.tour_path
+                    existing = tours.get(key)
+                    if existing is None or tour < existing:
+                        tours[key] = tour
                 costs = self._evaluate_wave(
-                    evaluator, [key for _, key in wave]
+                    evaluator, [key for _, key in wave], tours
                 )
                 for node, key in wave:
                     node.revert_virtual_loss()
@@ -143,8 +179,9 @@ class RolloutScheduler:
     def _stop(self) -> None:
         pass
 
-    def _evaluate_wave(self, evaluator: Evaluator,
-                       keys: Sequence[ActionKey]) -> Dict[ActionKey, float]:
+    def _evaluate_wave(self, evaluator: Evaluator, keys: Sequence[ActionKey],
+                       tours: Dict[ActionKey, tuple]) -> Dict[
+                           ActionKey, float]:
         raise NotImplementedError
 
 
@@ -156,7 +193,8 @@ class SerialScheduler(RolloutScheduler):
     def _effective_wave_size(self, budget: int) -> int:
         return 1
 
-    def _evaluate_wave(self, evaluator, keys):
+    def _evaluate_wave(self, evaluator, keys, tours):
+        self._note_wave_order(list(keys))
         return {key: evaluator.evaluate(key) for key in keys}
 
 
@@ -169,11 +207,18 @@ class BatchedScheduler(RolloutScheduler):
     def _effective_wave_size(self, budget: int) -> int:
         return self.wave_size or min(self.DEFAULT_WAVE, max(budget, 1))
 
-    def _evaluate_wave(self, evaluator, keys):
-        # Sorted order maximizes shared canonical prefixes between
-        # consecutive evaluations (the prefix-env cache turns those into
-        # single-action incremental extensions).
-        return {key: evaluator.evaluate(key) for key in sorted(set(keys))}
+    def _evaluate_wave(self, evaluator, keys, tours):
+        # Prefix-aware wave ordering: score the wave's distinct sets along
+        # the tree's Euler tour (leaf ``tour_path``, ties by key), so
+        # consecutive evaluations come from neighboring subtrees and the
+        # undo engine's rollback/extend distance tracks the true edit
+        # distance between rollouts instead of jumping across the tree.
+        # Only the *evaluation* order changes — ``run`` backs results up
+        # in wave order regardless, so a wave of one stays bit-identical
+        # to the serial loop.
+        ordered = sorted(set(keys), key=lambda key: (tours.get(key, ()), key))
+        self._note_wave_order(ordered)
+        return {key: evaluator.evaluate(key) for key in ordered}
 
 
 # -- process backend ---------------------------------------------------------------
@@ -218,6 +263,8 @@ def _worker_evaluate(key: ActionKey):
         evaluator.reconcile_chain_hits,
         evaluator.lower_calls,
         evaluator.shared_plan_hits,
+        evaluator.prefix_actions_total,
+        evaluator.prefix_actions_reused,
     )
     cost = evaluator.evaluate(key)
     return (
@@ -232,6 +279,8 @@ def _worker_evaluate(key: ActionKey):
         evaluator.lower_calls - before[6],
         evaluator.shared_plan_hits - before[7],
         evaluator.shared_memo_full,
+        evaluator.prefix_actions_total - before[8],
+        evaluator.prefix_actions_reused - before[9],
     )
 
 
@@ -295,6 +344,9 @@ class ProcessScheduler(RolloutScheduler):
                 pool.join()
             raise
         self._pools = pools
+        #: Last key routed to each worker — the affinity anchor the
+        #: LCP router extends wave after wave.
+        self._last_key: List[Optional[ActionKey]] = [None] * len(pools)
 
     def _stop(self) -> None:
         for pool in self._pools:
@@ -308,7 +360,8 @@ class ProcessScheduler(RolloutScheduler):
             self._store = None
 
     def _route(self, key: ActionKey) -> int:
-        """Stable worker index for a canonical action set.
+        """Home worker index for a canonical action set (affinity-free
+        fallback).
 
         Hashing the *leading* action sends every set extending a given
         prefix to the same worker, wave after wave — the worker's cached
@@ -316,25 +369,66 @@ class ProcessScheduler(RolloutScheduler):
         action space."""
         return _stable_hash(key[:1]) % len(self._pools)
 
-    def _evaluate_wave(self, evaluator, keys):
+    def _route_wave(self, ordered: Sequence[ActionKey]) -> Dict[
+            int, List[ActionKey]]:
+        """Assign a tour-ordered wave of table misses to workers by
+        longest-common-prefix affinity.
+
+        Each key goes to the eligible worker whose *last routed key*
+        shares the longest canonical prefix — i.e. the worker whose undo
+        engine is already standing closest to the requested state.  Ties
+        fall back to the stable leading-action home (keeping each prefix
+        slice on one worker across waves), then to the lowest index.  A
+        per-wave cap of ``ceil(misses / workers)`` keeps the fan-out
+        balanced, so affinity can never starve the pool down to one busy
+        worker.  Everything here is a function of the wave content and
+        the routing history — never of pool timing — so placement stays
+        deterministic for a fixed seed."""
+        npools = len(self._pools)
+        cap = -(-len(ordered) // npools) if ordered else 0
+        assignments: Dict[int, List[ActionKey]] = {w: [] for w in
+                                                   range(npools)}
+        last = self._last_key
+        for key in ordered:
+            home = self._route(key)
+            best = max(
+                (w for w in range(npools) if len(assignments[w]) < cap),
+                key=lambda w: (
+                    key_lcp(key, last[w]) if last[w] is not None else 0,
+                    w == home,
+                    -w,
+                ),
+            )
+            assignments[best].append(key)
+            last[best] = key
+        return {w: keys for w, keys in assignments.items() if keys}
+
+    def _evaluate_wave(self, evaluator, keys, tours):
         costs: Dict[ActionKey, float] = {}
-        assignments: Dict[int, List[ActionKey]] = {}
-        for key in sorted(set(keys)):
+        misses: List[ActionKey] = []
+        # Euler-tour order (see BatchedScheduler): each worker's slice of
+        # the wave is then a run of tree-neighboring sets, which its undo
+        # engine extends with short rollbacks.
+        for key in sorted(set(keys),
+                          key=lambda key: (tours.get(key, ()), key)):
             cached = evaluator.table.lookup(key) if evaluator.memoize \
                 else None
             if cached is not None:
                 costs[key] = cached
             else:
-                assignments.setdefault(self._route(key), []).append(key)
+                misses.append(key)
+        self._note_wave_order(misses)
         futures = [
             self._pools[worker].map_async(_worker_evaluate, worker_keys,
                                           chunksize=len(worker_keys))
-            for worker, worker_keys in sorted(assignments.items())
+            for worker, worker_keys in sorted(
+                self._route_wave(misses).items()
+            )
         ]
         for future in futures:
             for (key, cost, prop_dt, est_dt, ops, prop_calls, ops_reused,
-                 chain_hits, lower_calls, shared_hits,
-                 shared_full) in future.get():
+                 chain_hits, lower_calls, shared_hits, shared_full,
+                 prefix_total, prefix_reused) in future.get():
                 costs[key] = cost
                 evaluator.evaluations += 1
                 evaluator.propagate_time_s += prop_dt
@@ -346,6 +440,12 @@ class ProcessScheduler(RolloutScheduler):
                 evaluator.lower_calls += lower_calls
                 evaluator.remote_shared_plan_hits += shared_hits
                 evaluator.remote_shared_full |= shared_full
+                if shared_full and self._store is not None:
+                    # Workers never warn themselves; surface the segment
+                    # fill as the main process's one-shot RuntimeWarning.
+                    self._store.note_remote_full()
+                evaluator.remote_prefix_actions_total += prefix_total
+                evaluator.remote_prefix_actions_reused += prefix_reused
                 if evaluator.memoize:
                     evaluator.table.store(key, cost)
         return costs

@@ -117,6 +117,17 @@ class SearchResult:
     #: Distinct candidate action groups covered by warm-started statistics
     #: at search start.
     prior_groups: int = 0
+    #: Fraction of requested prefix actions the undo engine kept in place
+    #: instead of rolling back and re-applying (workers included; 0.0 for
+    #: the fork engine, which has no undo stack to reuse).
+    prefix_reuse_ratio: float = 0.0
+    #: Evaluation waves the scheduler formed (each rollout is its own wave
+    #: on the serial backend).
+    waves: int = 0
+    #: Mean longest-common-prefix length between consecutively evaluated
+    #: action sets within a wave — how well the Euler-tour ordering lines
+    #: tree-neighboring rollouts up back to back.
+    wave_lcp_mean: float = 0.0
 
 
 def mcts_search(
@@ -279,6 +290,10 @@ def mcts_search(
         action_space=action_space,
         tree_prior_hits=policy.tree_prior_hits,
         prior_groups=policy.prior_groups,
+        prefix_reuse_ratio=evaluator.prefix_reuse_ratio,
+        waves=scheduler.waves,
+        wave_lcp_mean=(scheduler.wave_lcp_actions / scheduler.wave_lcp_pairs
+                       if scheduler.wave_lcp_pairs else 0.0),
     )
 
 

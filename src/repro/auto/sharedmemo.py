@@ -120,6 +120,21 @@ class SharedMemoStore:
         return (self._segment.name, self._lock, self._size,
                 getattr(self, "_start_method", "fork"))
 
+    def __getstate__(self):
+        # Stores cross process boundaries through handle()/attach() (Pool
+        # initargs), never through pickle: a pickled copy keeps only the
+        # bookkeeping — crucially ``_warned_full``, so a store that
+        # round-trips inside some larger pickled object can never re-emit
+        # its one-shot warning — and comes back segment-less and inert.
+        state = self.__dict__.copy()
+        state["_segment"] = None
+        state["_lock"] = None
+        state["_owner"] = False
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     def close(self) -> None:
         try:
             self._segment.close()
@@ -135,16 +150,41 @@ class SharedMemoStore:
 
     # -- records ------------------------------------------------------------
 
+    def _warn_once(self) -> None:
+        if self._warned_full:
+            return
+        self._warned_full = True
+        warnings.warn(
+            f"cross-worker shared plan memo is full "
+            f"({self._size} bytes): later cold plans/chains will not "
+            f"be pooled across processes (results are unaffected; "
+            f"raise the store size to restore pooling)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def note_remote_full(self) -> None:
+        """A worker reported its view of the segment full: mark this side
+        full too and emit the owning process's one-shot warning.  Workers
+        themselves never warn (see :meth:`publish`), so the warning fires
+        exactly once in the main process regardless of which side filled
+        first — or of how many workers hit the limit."""
+        self._full = True
+        self._warn_once()
+
     def publish(self, payloads: List[tuple]) -> int:
         """Append pickled payloads; returns how many fit.
 
         On the first append that does not fit, the store goes *full* for
-        this process: a one-shot :class:`RuntimeWarning` is emitted and
-        every later ``publish`` is a silent no-op (the log is append-only
-        within its fixed-size segment — no wraparound or eviction), so
-        later cold computations stay process-local instead of pooled.
+        this process and every later ``publish`` is a silent no-op (the
+        log is append-only within its fixed-size segment — no wraparound
+        or eviction), so later cold computations stay process-local
+        instead of pooled.  Only the *owning* (main-process) store emits
+        the one-shot :class:`RuntimeWarning`; an attached worker store
+        just sets its flag, which rides back with the wave results and
+        surfaces through :meth:`note_remote_full`.
         """
-        if self._full or not payloads:
+        if self._full or not payloads or self._segment is None:
             return 0
         blobs = [pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL)
                  for p in payloads]
@@ -162,21 +202,15 @@ class SharedMemoStore:
                 offset = end
                 written += 1
             _HEADER.pack_into(buf, 0, offset - 8)
-        if self._full and not self._warned_full:
-            self._warned_full = True
-            warnings.warn(
-                f"cross-worker shared plan memo is full "
-                f"({self._size} bytes): later cold plans/chains will not "
-                f"be pooled across processes (results are unaffected; "
-                f"raise the store size to restore pooling)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        if self._full and self._owner:
+            self._warn_once()
         return written
 
     def poll(self, offset: int) -> Tuple[int, List[tuple]]:
         """Records committed since ``offset`` (a value previously returned
         by this method; start at 0).  Returns ``(new_offset, payloads)``."""
+        if self._segment is None:  # a pickled round-trip: inert
+            return offset, []
         buf = self._segment.buf
         with self._lock:
             committed = _HEADER.unpack_from(buf, 0)[0]

@@ -398,6 +398,19 @@ class ShardingEnv:
         #: sharding changed — by forward mutation *or* rollback — since the
         #: last :meth:`drain_journal`.  ``None`` when disabled.
         self._journal: Optional[List[Value]] = None
+        #: Strictly monotone write counter.  Unlike ``version`` (which
+        #: :meth:`rollback` restores to the checkpoint's value), this
+        #: counts every sharding change ever applied — including the
+        #: restoring writes a rollback performs — so consumers can tell
+        #: "the env is back in a state I saw" apart from "nothing
+        #: happened".  The incremental estimator's journal-coverage check
+        #: (:meth:`last_drain_window`) is built on it.
+        self._write_serial: int = 0
+        #: Serial at which the open journal window began (None = disabled).
+        self._journal_from: Optional[int] = None
+        #: ``(window start serial, window end serial)`` of the most recent
+        #: :meth:`drain_journal`, or None if never drained.
+        self._last_drain: Optional[Tuple[int, int]] = None
 
     def sharding(self, value: Value) -> Sharding:
         existing = self._delta.get(value)
@@ -432,6 +445,7 @@ class ShardingEnv:
             self._journal.append(value)
         self._delta[value] = sharding
         self.version += 1
+        self._write_serial += 1
         self._dirty.add(value)
 
     # -- undo log -----------------------------------------------------------
@@ -477,6 +491,7 @@ class ShardingEnv:
             # live delta is exact whether the overwritten entry lived in
             # the delta or in a frozen base (copy() may have run since).
             self._delta[value] = previous
+            self._write_serial += 1
             if journal is not None:
                 journal.append(value)
         del undo[token.undo_length:]
@@ -524,9 +539,21 @@ class ShardingEnv:
         rollout evaluator memoizes one such delta per search prefix so
         re-extending a previously-propagated prefix skips the propagation
         fixed point entirely.
+
+        Raises the same stale-token error as :meth:`rollback` when
+        ``token`` has already been rolled back or released: its recorded
+        ``undo_length`` then indexes a log epoch that no longer exists, and
+        slicing from it would silently return writes belonging to other
+        checkpoints (or nothing at all) instead of the token's true delta.
         """
         if token.env is not self:
             raise ShardingError("checkpoint token belongs to another env")
+        stack = self._checkpoints
+        if (token.stack_index >= len(stack)
+                or stack[token.stack_index] is not token):
+            raise ShardingError(
+                "stale checkpoint token: already rolled back or released"
+            )
         seen: Set[Value] = set()
         out: List[Tuple[Value, Sharding]] = []
         for value, _ in self._undo[token.undo_length:]:
@@ -547,14 +574,40 @@ class ShardingEnv:
         """
         if self._journal is None:
             self._journal = []
+            self._journal_from = self._write_serial
 
     def drain_journal(self) -> List[Value]:
-        """Distinct values mutated since the last drain (order preserved)."""
+        """Distinct values mutated since the last drain (order preserved).
+
+        Returns ``[]`` without recording a drain window when the journal
+        is disabled — a disabled journal yields no coverage claim, unlike
+        an enabled-but-empty one (which really does mean "nothing changed
+        since the last drain")."""
         journal = self._journal
+        if journal is None:
+            return []
+        self._last_drain = (self._journal_from, self._write_serial)
+        self._journal_from = self._write_serial
         if not journal:
             return []
         self._journal = []
         return list(dict.fromkeys(journal))
+
+    @property
+    def write_serial(self) -> int:
+        """The strictly monotone write counter (rollbacks count as writes)."""
+        return self._write_serial
+
+    @property
+    def last_drain_window(self) -> Optional[Tuple[int, int]]:
+        """``(start, end)`` write serials covered by the most recent
+        :meth:`drain_journal`, or None if the journal has never been
+        drained (including: never enabled).  A consumer that synced its
+        state at serial ``s`` may trust a drained change-set iff
+        ``start <= s`` and ``end == write_serial`` — otherwise values
+        changed outside the drained window and the set is not exhaustive.
+        """
+        return self._last_drain
 
     def dirty_values(self) -> Set[Value]:
         """Values whose sharding changed since the last :meth:`clear_dirty`."""

@@ -42,7 +42,7 @@ from repro.ir.types import TensorType
 from repro.mesh import Mesh
 from repro.sim.devices import DeviceSpec
 from repro.sim import memory as memory_mod
-from repro.sim.memory import LiveRangeLog, peak_live_bytes
+from repro.sim.memory import LiveRangeLog, PeakSegmentTree, peak_live_bytes
 from repro.spmd.collectives import is_collective
 from repro.spmd.fusion import single_axis_move
 from repro.spmd.lower import LoweredModule, Lowerer
@@ -73,6 +73,141 @@ class CostEstimate:
             self.collective_time_s[key] = (
                 self.collective_time_s.get(key, 0.0) + value * times
             )
+
+
+class ExactSum:
+    """Error-free float accumulator (Shewchuk partials, ``msum`` style).
+
+    ``add`` maintains a list of non-overlapping partials whose real-number
+    sum is *exactly* the sum of everything added so far; ``value`` rounds
+    that exact sum once with :func:`math.fsum`.  Two consequences the cost
+    model builds on:
+
+    * the reported value is independent of the order terms were added in
+      (it is the correctly-rounded true sum), and
+    * adding ``-x`` after ``x`` removes the term *exactly* — a
+      subtract-old/add-new differential update lands on the bit-identical
+      value a fresh left-to-right accumulation of the surviving terms'
+      correctly-rounded sum would produce.
+
+    Zero terms are skipped (they cannot change the exact sum), so a term
+    multiset and its nonzero subset are indistinguishable.
+    """
+
+    __slots__ = ("partials",)
+
+    def __init__(self):
+        self.partials: List[float] = []
+
+    def add(self, x: float) -> None:
+        if x == 0.0:
+            return
+        partials = self.partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        if x != 0.0:
+            partials[i:] = [x]
+        else:
+            del partials[i:]
+
+    def value(self) -> float:
+        return math.fsum(self.partials)
+
+
+class _CostAcc:
+    """The cost model's accumulator: one :class:`ExactSum` per estimate
+    field plus per-collective-opcode ``[ExactSum, count]`` cells.
+
+    The ``count`` tracks dict-key *presence* separately from the summed
+    seconds: an ``all_slice`` contributes a 0.0 term (skipped by the
+    ExactSum) but must still create its ``collective_time_s`` key, and a
+    differential removal must delete the key exactly when the last
+    contributing op goes away.
+
+    Every evaluation path — materialized, streaming, differential — feeds
+    the *same term multiset* through this class, which is what makes their
+    outputs bit-identical.
+    """
+
+    __slots__ = ("denom", "flops", "compute_s", "comm_bytes", "comm_s",
+                 "coll")
+
+    def __init__(self, denom: float):
+        self.denom = denom  # device.peak_flops * _COMPUTE_EFFICIENCY
+        self.flops = ExactSum()
+        self.compute_s = ExactSum()
+        self.comm_bytes = ExactSum()
+        self.comm_s = ExactSum()
+        self.coll: Dict[str, list] = {}
+
+    def add_op_cost(self, flops: float) -> None:
+        self.flops.add(flops)
+        self.compute_s.add(flops / self.denom)
+
+    def add_coll_cost(self, opcode: str, bytes_moved: float,
+                      seconds: float) -> None:
+        self.comm_bytes.add(bytes_moved)
+        self.comm_s.add(seconds)
+        cell = self.coll.get(opcode)
+        if cell is None:
+            cell = self.coll[opcode] = [ExactSum(), 0]
+        cell[0].add(seconds)
+        cell[1] += 1
+
+    def add_scaled(self, other: "CostEstimate", times: float) -> None:
+        """A scan body's finalized estimate, scaled by its trip count: one
+        term per field (same shape in every path)."""
+        self.flops.add(other.local_flops * times)
+        self.compute_s.add(other.compute_s * times)
+        self.comm_bytes.add(other.comm_bytes * times)
+        self.comm_s.add(other.comm_s * times)
+        for opcode, seconds in other.collective_time_s.items():
+            cell = self.coll.get(opcode)
+            if cell is None:
+                cell = self.coll[opcode] = [ExactSum(), 0]
+            cell[0].add(seconds * times)
+            cell[1] += 1
+
+    def apply(self, terms, sign: float, isign: int) -> None:
+        """Apply a flattened cost bundle (the differential path's per-unit
+        term list) with ``sign`` +1.0/-1.0; ``isign`` adjusts the
+        per-opcode presence counts."""
+        coll = self.coll
+        for term in terms:
+            kind = term[0]
+            if kind == "fl":
+                self.flops.add(sign * term[1])
+            elif kind == "cp":
+                self.compute_s.add(sign * term[1])
+            elif kind == "cb":
+                self.comm_bytes.add(sign * term[1])
+            elif kind == "cs":
+                self.comm_s.add(sign * term[1])
+            else:  # ("co", opcode, seconds)
+                cell = coll.get(term[1])
+                if cell is None:
+                    cell = coll[term[1]] = [ExactSum(), 0]
+                cell[0].add(sign * term[2])
+                cell[1] += isign
+
+    def estimate(self) -> CostEstimate:
+        """Finalize into a :class:`CostEstimate` (runtime and peak are the
+        caller's to fill in)."""
+        coll = {
+            opcode: cell[0].value()
+            for opcode, cell in self.coll.items() if cell[1] > 0
+        }
+        return CostEstimate(0.0, self.compute_s.value(), self.comm_s.value(),
+                            self.flops.value(), self.comm_bytes.value(),
+                            0.0, coll)
 
 
 def collective_cost(opcode: str, attrs: dict, operand_bytes: float,
@@ -113,28 +248,21 @@ def _collective_cost(op, mesh: Mesh, device: DeviceSpec):
 
 def _estimate_function(function: Function, mesh: Mesh,
                        device: DeviceSpec) -> CostEstimate:
-    estimate = CostEstimate(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, {})
+    acc = _CostAcc(device.peak_flops * _COMPUTE_EFFICIENCY)
     for op in function.ops:
         if op.opcode == "scan":
             inner = _estimate_function(op.regions[0], mesh, device)
-            estimate.merge_scaled(inner, op.attrs["trip_count"])
+            acc.add_scaled(inner, op.attrs["trip_count"])
             continue
         if is_collective(op.opcode):
             bytes_moved, seconds = _collective_cost(op, mesh, device)
-            estimate.comm_bytes += bytes_moved
-            estimate.comm_s += seconds
-            estimate.collective_time_s[op.opcode] = (
-                estimate.collective_time_s.get(op.opcode, 0.0) + seconds
-            )
+            acc.add_coll_cost(op.opcode, bytes_moved, seconds)
             continue
         opdef = opdefs.get(op.opcode)
         flops = opdef.flops([v.type for v in op.operands], op.attrs) \
             if opdef.flops else 0.0
-        estimate.local_flops += flops
-        estimate.compute_s += flops / (
-            device.peak_flops * _COMPUTE_EFFICIENCY
-        )
-    return estimate
+        acc.add_op_cost(flops)
+    return acc.estimate()
 
 
 def estimate(lowered: LoweredModule, device: DeviceSpec,
@@ -239,13 +367,13 @@ class CostSink:
     that claim.
     """
 
-    __slots__ = ("mesh", "device", "estimate", "_uids", "_log",
+    __slots__ = ("mesh", "device", "_acc", "_uids", "_log",
                  "_params_bytes", "_pending", "_record", "_emitted")
 
     def __init__(self, mesh: Mesh, device: DeviceSpec, uids=None):
         self.mesh = mesh
         self.device = device
-        self.estimate = CostEstimate(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, {})
+        self._acc = _CostAcc(device.peak_flops * _COMPUTE_EFFICIENCY)
         self._uids = uids if uids is not None else itertools.count()
         self._log = LiveRangeLog()
         self._params_bytes = 0
@@ -307,12 +435,7 @@ class CostSink:
             self._flush_pending()
         uids = self._uids
         handles = [_StreamValue(t, next(uids)) for t in plan.result_types]
-        est = self.estimate
-        flops = plan.flops
-        est.local_flops += flops
-        est.compute_s += flops / (
-            self.device.peak_flops * _COMPUTE_EFFICIENCY
-        )
+        self._acc.add_op_cost(plan.flops)
         self._log.add_op(
             [o.uid for o in operands],
             [(h.uid, b) for h, b in zip(handles, plan.result_nbytes)],
@@ -323,12 +446,11 @@ class CostSink:
     def finish(self, results, names) -> _StreamResult:
         self._flush_pending()
         peak = self._log.peak_bytes([r.uid for r in results])
-        return _StreamResult(self.estimate, peak, self._params_bytes)
+        return _StreamResult(self._acc.estimate(), peak, self._params_bytes)
 
     # -- accounting ---------------------------------------------------------
 
     def _cost_op(self, opcode, operands, attrs, handles) -> None:
-        est = self.estimate
         collective = is_collective(opcode)
         bytes_moved = seconds = flops = 0.0
         if collective:
@@ -336,19 +458,12 @@ class CostSink:
                 opcode, attrs, operands[0].type.nbytes,
                 handles[0].type.nbytes, self.mesh, self.device,
             )
-            est.comm_bytes += bytes_moved
-            est.comm_s += seconds
-            est.collective_time_s[opcode] = (
-                est.collective_time_s.get(opcode, 0.0) + seconds
-            )
+            self._acc.add_coll_cost(opcode, bytes_moved, seconds)
         else:
             opdef = opdefs.get(opcode)
             flops = opdef.flops([o.type for o in operands], attrs) \
                 if opdef.flops else 0.0
-            est.local_flops += flops
-            est.compute_s += flops / (
-                self.device.peak_flops * _COMPUTE_EFFICIENCY
-            )
+            self._acc.add_op_cost(flops)
         alias = opcode in memory_mod.ALIASING_OPS
         self._log.add_op(
             [o.uid for o in operands],
@@ -372,21 +487,14 @@ class CostSink:
         emission path would have flushed it in."""
         if entry.did_emit:
             self._flush_pending()
-        est = self.estimate
+        acc = self._acc
         handle = value
         for step in entry.steps:
             new = _StreamValue(step.result_type, next(self._uids))
             if step.is_collective:
-                est.comm_bytes += step.bytes_moved
-                est.comm_s += step.seconds
-                est.collective_time_s[step.opcode] = (
-                    est.collective_time_s.get(step.opcode, 0.0) + step.seconds
-                )
+                acc.add_coll_cost(step.opcode, step.bytes_moved, step.seconds)
             else:
-                est.local_flops += step.flops
-                est.compute_s += step.flops / (
-                    self.device.peak_flops * _COMPUTE_EFFICIENCY
-                )
+                acc.add_op_cost(step.flops)
             self._log.add_op([handle.uid], [(new.uid, step.nbytes)],
                              alias=step.alias)
             handle = new
@@ -459,7 +567,7 @@ class CostSink:
             _StreamValue(operands[i].type, next(self._uids))
             for i in range(num_carries)
         ]
-        self.estimate.merge_scaled(body.estimate, attrs["trip_count"])
+        self._acc.add_scaled(body.estimate, attrs["trip_count"])
         self._log.add_op(
             [o.uid for o in operands],
             [(h.uid, h.type.nbytes) for h in handles],
@@ -778,6 +886,15 @@ class StreamingEstimator:
         ``changed_values=None`` forces a full rebuild (always the case on
         the first call for an env).  Requires the reconcile-chain cache;
         falls back to :meth:`estimate` when it is disabled.
+
+        A non-None ``changed_values`` is only trusted when the env's
+        journal actually covers every write since this estimator last
+        synced with the env (checked against the monotone
+        ``env.write_serial`` and the drain window): if the journal was
+        never enabled, was drained by another party mid-search, or the env
+        moved after the drain, the integrated state silently missing those
+        writes would reuse stale segments — so the call falls back to the
+        exact full-rebuild path instead.
         """
         if self._chains is None:
             return self.estimate(env, overlap=overlap)
@@ -785,9 +902,15 @@ class StreamingEstimator:
         if inc is None or inc.env is not env:
             inc = self._inc = _IncrementalEstimate(self, env)
             changed_values = None
+        if changed_values is not None:
+            window = env.last_drain_window
+            if (window is None or window[1] != env.write_serial
+                    or window[0] > inc.synced_serial):
+                changed_values = None
         if self._shared is not None:
             self._shared_sync()
         result = inc.run(changed_values, overlap)
+        inc.synced_serial = env.write_serial
         self._shared_flush()
         return result
 
@@ -870,6 +993,75 @@ class _IncrementalEstimate:
         self._results_segments: Dict[tuple, tuple] = {}
         self._results_segment: Optional[tuple] = None
         self._build_units()
+        # -- differential state (see the "differential integration" section):
+        # positions 0 (params), 1..N (top-level ops), N+1 (results).
+        count = len(self._units) + 2
+        self._pos_count = count
+        self._pos_results = count - 1
+        self._recs: List[tuple] = [()] * count
+        self._bundles: List[tuple] = [()] * count
+        self._rops: List[tuple] = [()] * count
+        self._deps_val: List[frozenset] = [frozenset()] * count
+        self._deps_key: List[frozenset] = [frozenset()] * count
+        self._unit_keys: List[dict] = [{}] * count
+        self._unit_dids: List[list] = [[] for _ in range(count)]
+        self._unit_exports: List[dict] = [{}] * count
+        self._unit_finals: List[dict] = [{}] * count
+        self._uses_by: List[dict] = [{}] * count
+        self._frees: List[dict] = [dict() for _ in range(count)]
+        self._exports: Dict[object, tuple] = {}
+        self._finals: Dict[tuple, tuple] = {}
+        self._val_consumers: Dict[object, set] = {}
+        self._key_consumers: Dict[tuple, set] = {}
+        self._key_sites: Dict[tuple, dict] = {}
+        self._key_owner: Dict[tuple, tuple] = {}
+        self._uses: Dict[int, dict] = {}
+        self._last_use: Dict[int, tuple] = {}
+        self._def_nbytes: Dict[int, int] = {}
+        self._def_pos: Dict[int, tuple] = {}
+        self._parent: Dict[int, int] = {}
+        self._children: Dict[int, set] = {}
+        self._free_pos: Dict[int, tuple] = {}
+        self._out_refs: tuple = ()
+        self._out_handles: tuple = ()
+        self._out_roots: set = set()
+        self._out_member: set = set()
+        self._acc = _CostAcc(self.device.peak_flops * _COMPUTE_EFFICIENCY)
+        self._tree = PeakSegmentTree(count)
+        self._did_counter = itertools.count()
+        self._primed = False
+        #: Units whose current segment the differential state does not yet
+        #: reflect (accumulated across bulk-replay evaluations; integrated
+        #: in one catch-up pass before the next differential answer).
+        self._stale_units: set = set()
+        #: index -> segment object the differential state last integrated,
+        #: so A -> B -> A round-trips (rollback-heavy searches revisit
+        #: states constantly) drop out of the backlog as no-ops.
+        self._synced_segments: Dict[int, tuple] = {}
+        self._diff_primed = False
+        #: value -> sharding iid its adjacent units' segments reflect.  A
+        #: journaled write whose value is back on the recorded sharding
+        #: (rollback + re-extension along a shared prefix lands most
+        #: values exactly where they were) dirties nothing — the sig
+        #: rebuild over thousands of round-tripped units is the refresh
+        #: loop's dominant cost on deep rollouts.
+        self._seen_iids: Dict[object, int] = {}
+        #: id(segment) -> compiled stable-uid replay plan for
+        #: :meth:`_bulk_replay`.  Plans pin their segment (first element),
+        #: so an id can never be recycled underneath the cache.
+        self._bulk_plans: Dict[int, tuple] = {}
+        self._bulk_uid = itertools.count()
+        #: Whole-state result memo for :meth:`_bulk_replay`: segment
+        #: identity fingerprint -> (estimate, site hits).  MCTS revisits
+        #: whole states constantly (permuted action chains commute to the
+        #: same env state), and the replay output is a pure function of
+        #: the segment instances, so a fingerprint hit skips the replay
+        #: outright.  Bounded: cleared wholesale when it grows past 1024
+        #: states (keys hold one id per unit, so entries are not free).
+        self._bulk_memo: Dict[tuple, tuple] = {}
+        #: Env write serial the integrated state reflects (see
+        #: :meth:`StreamingEstimator.estimate_incremental`'s coverage gate).
+        self.synced_serial = -1
 
     _PARAMS = -1
     _RESULTS = -2
@@ -922,30 +1114,63 @@ class _IncrementalEstimate:
 
     def run(self, changed_values, overlap: bool) -> CostEstimate:
         units = self._units
-        if changed_values is None:
+        sharding = self.env.sharding
+        # Direct delta probe with sharding() as the overlay-chain fallback:
+        # this loop touches tens of thousands of values per evaluation and
+        # the undo engine's env stores (nearly) every value in its own
+        # delta, so the method-call frame is pure overhead on the hit path.
+        delta_get = self.env._delta.get
+        force = not self._primed or changed_values is None
+        if force:
+            self._primed = True
             dirty = set(range(len(units)))
             dirty.add(self._PARAMS)
             dirty.add(self._RESULTS)
+            self._seen_iids = {
+                value: sharding(value)._iid for value in self._adjacent
+            }
         else:
             dirty = set()
             adjacent = self._adjacent
+            seen = self._seen_iids
             for value in changed_values:
+                s = delta_get(value)
+                iid = s._iid if s is not None else sharding(value)._iid
+                if seen.get(value) == iid:
+                    # Round-trip write: the value is back on the sharding
+                    # every adjacent segment already reflects (all of them
+                    # were refreshed when it was recorded), so nothing
+                    # here can have moved.
+                    continue
+                seen[value] = iid
                 for index in adjacent.get(value, ()):
                     dirty.add(index)
         # Refresh inline: this loop runs for every dirty op on every
         # evaluation, so the common hit path (sig rebuild -> memo get) is
-        # kept free of method-call overhead.
-        sharding = self.env.sharding
+        # kept free of method-call overhead.  A segment that resolves to
+        # the identical memo entry leaves the integrated state untouched.
+        estimator = self.estimator
         current = self._current
+        changed_units = []
         for index in dirty:
             if index < 0:
                 if index == self._PARAMS:
+                    old = self._params_segment
                     self._refresh_params()
+                    if force or self._params_segment is not old:
+                        changed_units.append(index)
                 else:
+                    old = self._results_segment
                     self._refresh_results()
+                    if force or self._results_segment is not old:
+                        changed_units.append(index)
                 continue
             unit = units[index]
-            sig = tuple([sharding(v)._iid for v in unit.sig_values])
+            sig = tuple([
+                s._iid if (s := delta_get(v)) is not None
+                else sharding(v)._iid
+                for v in unit.sig_values
+            ])
             segments = unit.segments
             segment = segments.get(sig)
             if segment is None:
@@ -959,9 +1184,374 @@ class _IncrementalEstimate:
                 else:
                     segment = self._resolve_plain(unit.op, sig)
                 segments[sig] = segment
+            else:
+                estimator.ops_reused += 1
             unit.segment = segment
+            if force or segment is not current[index]:
+                changed_units.append(index)
             current[index] = segment
-        return self._replay(overlap)
+        # -- mode pick: the differential bookkeeping (registry diffs,
+        # position resolution, segment-tree updates) has a per-unit
+        # constant far above a plain segment replay, so it only wins when
+        # the *effective* backlog — segments the integrated state has not
+        # seen, after dropping A -> B -> A round-trips — is a small slice
+        # of the function.  Above the threshold the whole-function replay
+        # is cheaper; the integrated state is left stale and the backlog
+        # is carried forward for the next small-delta evaluation.
+        stale = self._stale_units
+        stale.update(changed_units)
+        synced = self._synced_segments
+        effective = []
+        for index in stale:
+            if index == self._PARAMS:
+                segment = self._params_segment
+            elif index == self._RESULTS:
+                segment = self._results_segment
+            else:
+                segment = current[index]
+            if segment is not synced.get(index):
+                effective.append(index)
+        if self._diff_primed and len(effective) * 4 > self._pos_count:
+            return self._bulk_replay(overlap)
+        if effective:
+            self._integrate(effective)
+            for index in effective:
+                if index == self._PARAMS:
+                    synced[index] = self._params_segment
+                elif index == self._RESULTS:
+                    synced[index] = self._results_segment
+                else:
+                    synced[index] = current[index]
+        stale.clear()
+        self._diff_primed = True
+        est = self._acc.estimate()
+        est.runtime_s = (max(est.compute_s, est.comm_s) if overlap
+                         else est.compute_s + est.comm_s)
+        est.peak_memory_bytes = self._tree.peak()
+        return est
+
+    def _bulk_replay(self, overlap: bool) -> CostEstimate:
+        """Whole-function replay over the memoized segments.
+
+        Fallback for evaluations that re-shard most of the function (deep
+        rollouts on the widened action space routinely dirty the majority
+        of values).  Each segment instance is compiled once into a replay
+        plan carrying *stable* uids: def pairs, chain records past the
+        first hop, trailing-slice records and the per-segment cost terms
+        are pre-built tuples, so a replay is mostly ``list.extend`` calls
+        — only the operand-uid tuples (which depend on which segments
+        produced the operands *this* evaluation) are rebuilt.  Stable,
+        sparse uids are safe: :meth:`LiveRangeLog.peak_bytes` keys every
+        table by uid and never assumes density, and record *order* (which
+        the peak walk does depend on) is byte-for-byte the sequential
+        replay's.  Plans key on ``id(segment)`` and pin the segment, so
+        ids cannot be recycled underneath the cache.
+
+        The cost terms feed ``math.fsum`` — the correctly-rounded true
+        sum of the term multiset, i.e. the very float the differential
+        path's ``ExactSum.value()`` reports — so the result stays
+        bit-identical to the streaming and materializing pipelines.  The
+        integrated differential state is deliberately left stale; ``run``
+        carries the debt in ``_stale_units``.
+        """
+        estimator = self.estimator
+        # Whole-state fingerprint: segments are memoized per signature, so
+        # identical env states present identical instances — two id-equal
+        # fingerprints replay to the same estimate, bit for bit.
+        memo = self._bulk_memo
+        memo_key = (overlap, id(self._params_segment),
+                    id(self._results_segment), tuple(map(id, self._current)))
+        hit = memo.get(memo_key)
+        if hit is not None:
+            est, cached_hits = hit
+            estimator.reconcile_hits += cached_hits
+            return CostEstimate(
+                est.runtime_s, est.compute_s, est.comm_s, est.local_flops,
+                est.comm_bytes, est.peak_memory_bytes,
+                dict(est.collective_time_s),
+            )
+        fl_terms: list = []
+        cp_terms: list = []
+        cb_terms: list = []
+        cs_terms: list = []
+        coll_map: Dict[str, list] = {}
+        fl_extend = fl_terms.extend
+        cp_extend = cp_terms.extend
+        cb_extend = cb_terms.extend
+        cs_extend = cs_terms.extend
+        coll_get = coll_map.get
+
+        log = LiveRangeLog()
+        ops_append = log._ops.append
+        ops_extend = log._ops.extend
+        value_uids: Dict[object, int] = {}
+        uid_get = value_uids.__getitem__
+        reduce_seen: Dict[tuple, int] = {}
+        site_hits = 0
+        plans = self._bulk_plans
+
+        segment = self._params_segment
+        if segment:
+            plan = plans.get(id(segment))
+            if plan is None or plan[0] is not segment:
+                plan = plans[id(segment)] = self._bulk_compile_params(
+                    segment)
+            log._params.extend(plan[2])
+            value_uids.update(plan[3])
+
+        def replay_site(plan) -> int:
+            value, reduce_key, chain = plan
+            if chain is None:
+                # In-layout operand: the producer's export is the handle.
+                return value_uids[value]
+            if reduce_key is not None:
+                cached = reduce_seen.get(reduce_key)
+                if cached is not None:
+                    return cached
+            (first_def, first_alias, statics, fl_part, cp_part, cb_part,
+             cs_part, coll_part, final) = chain
+            # Only the first hop's operand is dynamic; the rest of the
+            # chain consumes its own stable uids and is replayed verbatim.
+            ops_append(((value_uids[value],), first_def, first_alias, 0))
+            if statics:
+                ops_extend(statics)
+            if fl_part:
+                fl_extend(fl_part)
+                cp_extend(cp_part)
+            if cb_part:
+                cb_extend(cb_part)
+                cs_extend(cs_part)
+                for opcode, seconds in coll_part:
+                    cell = coll_get(opcode)
+                    if cell is None:
+                        cell = coll_map[opcode] = [[], 0]
+                    cell[0].append(seconds)
+                    cell[1] += 1
+            if reduce_key is not None:
+                reduce_seen[reduce_key] = final
+            return final
+
+        for segment in self._current:
+            plan = plans.get(id(segment))
+            if plan is None or plan[0] is not segment:
+                plan = plans[id(segment)] = self._bulk_compile(segment)
+            kind = plan[1]
+            if kind == "op0":
+                # All operands already in layout, no trailing slices.
+                (_, _, values, defs, alias, fl_part, cp_part,
+                 result_items) = plan
+                site_hits += len(values)
+                ops_append((tuple(map(uid_get, values)), defs, alias, 0))
+                if fl_part:
+                    fl_extend(fl_part)
+                    cp_extend(cp_part)
+                for result, uid in result_items:
+                    value_uids[result] = uid
+            elif kind == "alias":
+                # Transparent tag marker: no cost, no live-range record.
+                value_uids[plan[3]] = value_uids[plan[2]]
+            elif kind == "op":
+                (_, _, site_plans, defs, alias, fl_part, cp_part,
+                 post_records, coll_part, result_items) = plan
+                site_hits += len(site_plans)
+                operand_uids = tuple([replay_site(p) for p in site_plans])
+                ops_append((operand_uids, defs, alias, 0))
+                if post_records:
+                    ops_extend(post_records)
+                    for opcode, seconds in coll_part:
+                        cell = coll_get(opcode)
+                        if cell is None:
+                            cell = coll_map[opcode] = [[], 0]
+                        cell[0].append(seconds)
+                        cell[1] += 1
+                if fl_part:
+                    fl_extend(fl_part)
+                    cp_extend(cp_part)
+                for result, uid in result_items:
+                    value_uids[result] = uid
+            else:  # scan
+                (_, _, site_plans, defs, extra, fl_part, cp_part, cb_part,
+                 cs_part, coll_part, tail_records, result_items) = plan
+                site_hits += len(site_plans)
+                operand_uids = tuple([replay_site(p) for p in site_plans])
+                ops_append((operand_uids, defs, False, extra))
+                if tail_records:
+                    ops_extend(tail_records)
+                fl_extend(fl_part)
+                cp_extend(cp_part)
+                cb_extend(cb_part)
+                cs_extend(cs_part)
+                for opcode, seconds in coll_part:
+                    cell = coll_get(opcode)
+                    if cell is None:
+                        cell = coll_map[opcode] = [[], 0]
+                    cell[0].append(seconds)
+                    cell[1] += 1
+                for result, uid in result_items:
+                    value_uids[result] = uid
+
+        segment = self._results_segment
+        if segment:
+            plan = plans.get(id(segment))
+            if plan is None or plan[0] is not segment:
+                plan = plans[id(segment)] = self._bulk_compile_results(
+                    segment)
+            site_plans = plan[2]
+            site_hits += len(site_plans)
+            result_uids = [replay_site(p) for p in site_plans]
+        else:
+            result_uids = []
+        estimator.reconcile_hits += site_hits
+        est = CostEstimate(
+            0.0, math.fsum(cp_terms), math.fsum(cs_terms),
+            math.fsum(fl_terms), math.fsum(cb_terms), 0.0,
+            {opcode: math.fsum(cell[0])
+             for opcode, cell in coll_map.items() if cell[1] > 0},
+        )
+        est.runtime_s = (max(est.compute_s, est.comm_s) if overlap
+                         else est.compute_s + est.comm_s)
+        est.peak_memory_bytes = log.peak_bytes(result_uids)
+        if len(memo) >= 1024:
+            memo.clear()
+        memo[memo_key] = (est, site_hits)
+        # The memoized instance stays pristine; callers get a copy (the
+        # estimate type mutates in place via ``add``).
+        return CostEstimate(
+            est.runtime_s, est.compute_s, est.comm_s, est.local_flops,
+            est.comm_bytes, est.peak_memory_bytes,
+            dict(est.collective_time_s),
+        )
+
+    def _bulk_compile_params(self, segment) -> tuple:
+        """Params replay plan: log records and value->uid exports."""
+        mk = self._bulk_uid.__next__
+        pairs = []
+        items = []
+        for param, nbytes in segment:
+            uid = mk()
+            pairs.append((uid, nbytes))
+            items.append((param, uid))
+        return (segment, "params", tuple(pairs), tuple(items))
+
+    def _bulk_compile_results(self, segment) -> tuple:
+        return (segment, "results",
+                tuple(self._bulk_compile_site(site) for site in segment))
+
+    def _bulk_compile_site(self, site) -> tuple:
+        """Replay plan for one reconcile site: ``(value, reduce key,
+        chain)`` with ``chain=None`` for in-layout operands, else the
+        pre-built first-hop def, static tail records, separated cost
+        terms, and the chain's final (export) uid."""
+        value, entry, reduce_key = site
+        steps = entry.steps
+        if not steps:
+            return (value, reduce_key, None)
+        denom = self.device.peak_flops * _COMPUTE_EFFICIENCY
+        mk = self._bulk_uid.__next__
+        fl_part: list = []
+        cp_part: list = []
+        cb_part: list = []
+        cs_part: list = []
+        coll_part: list = []
+        statics: list = []
+        first_def = None
+        first_alias = False
+        prev = -1
+        for position, step in enumerate(steps):
+            uid = mk()
+            if position == 0:
+                first_def = ((uid, step.nbytes),)
+                first_alias = step.alias
+            else:
+                statics.append(((prev,), ((uid, step.nbytes),),
+                                step.alias, 0))
+            if step.is_collective:
+                cb_part.append(step.bytes_moved)
+                cs_part.append(step.seconds)
+                coll_part.append((step.opcode, step.seconds))
+            else:
+                fl_part.append(step.flops)
+                cp_part.append(step.flops / denom)
+            prev = uid
+        return (value, reduce_key,
+                (first_def, first_alias, tuple(statics), tuple(fl_part),
+                 tuple(cp_part), tuple(cb_part), tuple(cs_part),
+                 tuple(coll_part), prev))
+
+    def _bulk_compile(self, segment) -> tuple:
+        """Compile one memoized segment into its stable-uid replay plan."""
+        tag = segment[0]
+        mk = self._bulk_uid.__next__
+        denom = self.device.peak_flops * _COMPUTE_EFFICIENCY
+        if tag == "op0":
+            _, values, flops, result_nbytes, results, alias = segment
+            defs = tuple((mk(), nbytes) for nbytes in result_nbytes)
+            items = tuple(
+                (result, defs[r][0]) for r, result in enumerate(results))
+            fl_part = (flops,) if flops else ()
+            cp_part = (flops / denom,) if flops else ()
+            return (segment, "op0", values, defs, alias, fl_part, cp_part,
+                    items)
+        if tag == "alias":
+            return (segment, "alias", segment[1], segment[2])
+        if tag == "op":
+            (_, sites, flops, result_nbytes, results, alias,
+             trailing) = segment
+            site_plans = tuple(
+                self._bulk_compile_site(site) for site in sites)
+            defs = tuple((mk(), nbytes) for nbytes in result_nbytes)
+            post_records = []
+            coll_part = []
+            items = []
+            for r, result in enumerate(results):
+                uid = defs[r][0]
+                sliced_nbytes = trailing[r]
+                if sliced_nbytes is not None:
+                    new_uid = mk()
+                    post_records.append(
+                        ((uid,), ((new_uid, sliced_nbytes),), False, 0))
+                    coll_part.append(("all_slice", 0.0))
+                    uid = new_uid
+                items.append((result, uid))
+            fl_part = (flops,) if flops else ()
+            cp_part = (flops / denom,) if flops else ()
+            return (segment, "op", site_plans, defs, alias, fl_part,
+                    cp_part, tuple(post_records), tuple(coll_part),
+                    tuple(items))
+        # scan
+        (_, sites, body_result, trips, carry_nbytes, results, tail_sites,
+         extra, _num_carries) = segment
+        site_plans = tuple(self._bulk_compile_site(site) for site in sites)
+        defs = tuple((mk(), nbytes) for nbytes in carry_nbytes)
+        body = body_result.estimate
+        fl_part = [body.local_flops * trips]
+        cp_part = [body.compute_s * trips]
+        cb_part = [body.comm_bytes * trips]
+        cs_part = [body.comm_s * trips]
+        coll_part = [(opcode, seconds * trips)
+                     for opcode, seconds in body.collective_time_s.items()]
+        exports = {result: defs[i][0] for i, result in enumerate(results)}
+        tail_records = []
+        for tail in tail_sites:
+            index, entry = tail[0], tail[1]
+            prev = exports[results[index]]
+            for step in entry.steps:
+                uid = mk()
+                tail_records.append(
+                    ((prev,), ((uid, step.nbytes),), step.alias, 0))
+                if step.is_collective:
+                    cb_part.append(step.bytes_moved)
+                    cs_part.append(step.seconds)
+                    coll_part.append((step.opcode, step.seconds))
+                else:
+                    fl_part.append(step.flops)
+                    cp_part.append(step.flops / denom)
+                prev = uid
+            exports[results[index]] = prev
+        return (segment, "scan", site_plans, defs, extra, tuple(fl_part),
+                tuple(cp_part), tuple(cb_part), tuple(cs_part),
+                tuple(coll_part), tuple(tail_records),
+                tuple(exports.items()))
 
     def _sig(self, values) -> tuple:
         sharding = self.env.sharding
@@ -1026,6 +1616,8 @@ class _IncrementalEstimate:
                 lambda: self._lowerer._record_chain(local, actual, required,
                                                     allowed_pending),
             )
+        else:
+            estimator.reconcile_hits += 1
         reduce_key = (value, ar_axes, required_t) if ar_axes else None
         return (value, entry, reduce_key)
 
@@ -1137,180 +1729,554 @@ class _IncrementalEstimate:
             )
         return (entry, None)
 
-    # -- replay -------------------------------------------------------------
+    # -- differential integration -------------------------------------------
+    #
+    # The per-evaluation O(|function|) replay is replaced by subtract-old/
+    # add-new integration over the changed units only:
+    #
+    # * every unit's current segment is compiled into *records* — the exact
+    #   live-range rows its replay would append, with symbolic operand
+    #   references — and a *cost bundle*, the exact estimate terms it would
+    #   add.  Bundles feed a persistent error-free accumulator
+    #   (:class:`_CostAcc`): removing the stale bundle and adding the new
+    #   one lands on the bit-identical correctly-rounded totals a full walk
+    #   over the current segments would produce, because every path sums
+    #   the same term multiset exactly.
+    # * peak memory is maintained per unit as an integer (net, max-prefix)
+    #   profile over the unit's records; cross-unit lifetimes enter through
+    #   free events placed at each storage root's class-wide last use, and
+    #   a :class:`~repro.sim.memory.PeakSegmentTree` combines the profiles
+    #   into the global peak in O(log n) per dirty unit.  All-integer, so
+    #   the result equals the reference :meth:`LiveRangeLog.peak_bytes`
+    #   walk exactly.
+    #
+    # Symbolic operand references are ``("v", value)`` — the handle
+    # exported for a program value, ``("k", reduce_key)`` — the
+    # deduplicated pending-reduction owner's final handle, or
+    # ``("d", def_id)`` — a unit-local definition.  Resolution follows
+    # export/final indirections, registering every traversed value/key as
+    # a dependency, so a unit re-resolves exactly when a handle it
+    # consumes actually changed.
 
-    def _replay(self, overlap: bool) -> CostEstimate:
-        # The replay loop is the undo-engine's per-evaluation floor, so it
-        # runs on locals: float accumulators are written back to the
-        # CostEstimate once (same additions in the same order — the
-        # bit-identity property tests pin this), uids are plain ints, and
-        # live-range records are appended raw in LiveRangeLog's format.
-        estimator = self.estimator
-        est = CostEstimate(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, {})
-        collective_s = est.collective_time_s
-        log = LiveRangeLog()
-        params_log = log._params
-        ops_log = log._ops
-        ops_append = ops_log.append
-        compute_denom = self.device.peak_flops * _COMPUTE_EFFICIENCY
-        next_uid = 0
-        value_uids: Dict[object, int] = {}
-        reduce_seen: Dict[tuple, int] = {}
-        params_bytes = 0
-        local_flops = compute_s = comm_bytes = comm_s = 0.0
-        site_hits = 0
-        unit_replays = 0
+    def _pos_of(self, index: int) -> int:
+        if index == self._PARAMS:
+            return 0
+        if index == self._RESULTS:
+            return self._pos_results
+        return index + 1
 
-        for param, nbytes in self._params_segment:
-            value_uids[param] = next_uid
-            params_bytes += nbytes
-            params_log.append((next_uid, nbytes))
-            next_uid += 1
+    def _segment_sites(self, pos: int) -> tuple:
+        if pos == self._pos_results:
+            return self._results_segment
+        segment = self._current[pos - 1]
+        tag = segment[0]
+        if tag == "op" or tag == "scan":
+            return segment[1]
+        return ()
 
-        def replay_site(site) -> int:
-            nonlocal next_uid, local_flops, compute_s, comm_bytes, comm_s
-            value, entry, reduce_key = site
-            handle = value_uids[value]
-            if reduce_key is not None:
-                cached = reduce_seen.get(reduce_key)
-                if cached is not None:
-                    return cached
+    def _integrate(self, changed_units) -> None:
+        changed = {self._pos_of(index) for index in changed_units}
+        # Phase 1: the pending-reduction dedup registry.  Ownership — which
+        # site materializes a deduplicated reduction, exactly the first one
+        # in replay order — is the one cross-unit coupling that changes
+        # *records*, so an owner flip forces a rebuild of both ends.
+        key_sites = self._key_sites
+        keys_touched = set()
+        for pos in changed:
+            new_keys: Dict[tuple, int] = {}
+            if pos:
+                for ordinal, site in enumerate(self._segment_sites(pos)):
+                    rkey = site[2]
+                    if rkey is not None and rkey not in new_keys:
+                        new_keys[rkey] = ordinal
+            old_keys = self._unit_keys[pos]
+            if new_keys != old_keys:
+                for rkey, ordinal in old_keys.items():
+                    if new_keys.get(rkey) != ordinal:
+                        if rkey not in new_keys:
+                            sites = key_sites.get(rkey)
+                            if sites is not None:
+                                sites.pop(pos, None)
+                        keys_touched.add(rkey)
+                for rkey, ordinal in new_keys.items():
+                    if old_keys.get(rkey) != ordinal:
+                        key_sites.setdefault(rkey, {})[pos] = ordinal
+                        keys_touched.add(rkey)
+                self._unit_keys[pos] = new_keys
+        rebuild = set(changed)
+        key_owner = self._key_owner
+        for rkey in keys_touched:
+            sites = key_sites.get(rkey)
+            if not sites:
+                key_sites.pop(rkey, None)
+                key_owner.pop(rkey, None)
+                self._finals.pop(rkey, None)
+                continue
+            owner = min(sites.items())
+            old_owner = key_owner.get(rkey)
+            if owner != old_owner:
+                key_owner[rkey] = owner
+                if old_owner is not None:
+                    rebuild.add(old_owner[0])
+                rebuild.add(owner[0])
+        # Phase 2: rebuild records/bundles/exports for the rebuild set.
+        touched_vals: set = set()
+        touched_keys: set = set()
+        removed: set = set()
+        dirty_defs: set = set()
+        profile_dirty: set = set()
+        out_dirty = False
+        for pos in rebuild:
+            self._build_pos(pos, touched_vals, touched_keys, removed,
+                            dirty_defs, profile_dirty)
+        # Phase 3: units whose records survive but whose resolved operand
+        # handles changed.
+        resolve = set(rebuild)
+        val_consumers = self._val_consumers
+        for value in touched_vals:
+            consumers = val_consumers.get(value)
+            if consumers:
+                resolve |= consumers
+        key_consumers = self._key_consumers
+        for rkey in touched_keys:
+            consumers = key_consumers.get(rkey)
+            if consumers:
+                resolve |= consumers
+        # Phase 4: resolution — uses, alias edges, definition positions.
+        for pos in resolve:
+            if self._resolve_pos(pos, dirty_defs, profile_dirty):
+                out_dirty = True
+        # Phase 5: retired definitions.  A consumer can only reference a
+        # retired definition through an export/final that changed, so every
+        # live reference was just re-resolved; what's left is registry
+        # cleanup.
+        for did in removed:
+            self._def_nbytes.pop(did, None)
+            self._def_pos.pop(did, None)
+            self._uses.pop(did, None)
+            self._last_use.pop(did, None)
+            self._drop_free(did, profile_dirty)
+            parent = self._parent.pop(did, None)
+            if parent is not None:
+                siblings = self._children.get(parent)
+                if siblings:
+                    siblings.discard(did)
+                dirty_defs.add(parent)
+            self._children.pop(did, None)
+            if did in self._out_member:
+                out_dirty = True
+        # Phase 6: output storage roots (never freed, never dead-on-
+        # arrival).  Recomputed only when the results resolution or an
+        # alias edge on an output path moved.
+        if out_dirty:
+            self._recompute_out(dirty_defs, profile_dirty)
+        # Phase 7: free events for every storage class that moved.
+        self._update_frees(dirty_defs, removed, profile_dirty)
+        # Phase 8: per-unit profiles into the peak segment tree.
+        for pos in profile_dirty:
+            self._recompute_profile(pos)
+
+    def _build_pos(self, pos, touched_vals, touched_keys, removed,
+                   dirty_defs, profile_dirty) -> None:
+        denom = self._acc.denom
+        reuse = iter(self._unit_dids[pos])
+        new_dids: list = []
+        def_nbytes = self._def_nbytes
+        did_counter = self._did_counter
+
+        def mk_def(nbytes: int) -> int:
+            # Stable definition ids: reusing the unit's previous ids keeps
+            # every registry entry (uses, alias edges, free events) valid
+            # across a rebuild, so consumers are touched only when an
+            # export genuinely moves.
+            did = next(reuse, None)
+            if did is None:
+                did = next(did_counter)
+                def_nbytes[did] = nbytes
+                dirty_defs.add(did)
+            elif def_nbytes[did] != nbytes:
+                def_nbytes[did] = nbytes
+                dirty_defs.add(did)
+            new_dids.append(did)
+            return did
+
+        recs: list = []
+        bundle: list = []
+        exports: dict = {}
+        finals: dict = {}
+        key_owner = self._key_owner
+
+        def emit_chain(entry, handle):
             for step in entry.steps:
-                uid = next_uid
-                next_uid = uid + 1
+                did = mk_def(step.nbytes)
+                recs.append(((handle,), ((did, step.nbytes),),
+                             step.alias, 0))
                 if step.is_collective:
-                    comm_bytes += step.bytes_moved
-                    comm_s += step.seconds
-                    collective_s[step.opcode] = (
-                        collective_s.get(step.opcode, 0.0) + step.seconds
-                    )
+                    bundle.append(("cb", step.bytes_moved))
+                    bundle.append(("cs", step.seconds))
+                    bundle.append(("co", step.opcode, step.seconds))
                 else:
-                    local_flops += step.flops
-                    compute_s += step.flops / compute_denom
-                ops_append(((handle,), ((uid, step.nbytes),), step.alias, 0))
-                handle = uid
-            if reduce_key is not None:
-                reduce_seen[reduce_key] = handle
+                    bundle.append(("fl", step.flops))
+                    bundle.append(("cp", step.flops / denom))
+                handle = ("d", did)
             return handle
 
-        for segment in self._current:
-            unit_replays += 1
+        def emit_site(site, ordinal):
+            value, entry, rkey = site
+            if rkey is not None and key_owner.get(rkey) != (pos, ordinal):
+                return ("k", rkey)
+            handle = emit_chain(entry, ("v", value))
+            if rkey is not None:
+                finals[rkey] = handle
+            return handle
+
+        if pos == 0:
+            for param, nbytes in self._params_segment:
+                did = mk_def(nbytes)
+                recs.append(((), ((did, nbytes),), False, 0))
+                exports[param] = ("d", did)
+        elif pos == self._pos_results:
+            self._out_refs = tuple(
+                emit_site(site, ordinal)
+                for ordinal, site in enumerate(self._results_segment)
+            )
+        else:
+            segment = self._current[pos - 1]
             tag = segment[0]
             if tag == "alias":
-                # Transparent tag marker: no cost, no live-range record.
-                value_uids[segment[2]] = value_uids[segment[1]]
+                exports[segment[2]] = ("v", segment[1])
             elif tag == "op0":
-                # All operands already in layout, no trailing slices.
                 _, values, flops, result_nbytes, results, alias = segment
-                site_hits += len(values)
-                operand_uids = tuple(map(value_uids.__getitem__, values))
-                if flops:
-                    local_flops += flops
-                    compute_s += flops / compute_denom
-                uid = next_uid
-                if len(results) == 1:
-                    pair = (uid, result_nbytes[0])
-                    next_uid = uid + 1
-                    ops_append((operand_uids, (pair,), alias, 0))
-                    value_uids[results[0]] = uid
-                else:
-                    result_pairs = tuple(
-                        (uid + r, nbytes)
-                        for r, nbytes in enumerate(result_nbytes)
-                    )
-                    next_uid = uid + len(result_pairs)
-                    ops_append((operand_uids, result_pairs, alias, 0))
-                    for r, result in enumerate(results):
-                        value_uids[result] = result_pairs[r][0]
+                defs = tuple(
+                    (mk_def(nbytes), nbytes) for nbytes in result_nbytes
+                )
+                recs.append((tuple(("v", value) for value in values),
+                             defs, alias, 0))
+                bundle.append(("fl", flops))
+                bundle.append(("cp", flops / denom))
+                for r, result in enumerate(results):
+                    exports[result] = ("d", defs[r][0])
             elif tag == "op":
                 (_, sites, flops, result_nbytes, results, alias,
                  trailing) = segment
-                site_hits += len(sites)
-                operand_uids = tuple(replay_site(site) for site in sites)
-                if flops:
-                    local_flops += flops
-                    compute_s += flops / compute_denom
-                uid = next_uid
-                result_pairs = tuple(
-                    (uid + r, nbytes)
-                    for r, nbytes in enumerate(result_nbytes)
+                operand_refs = tuple(
+                    emit_site(site, ordinal)
+                    for ordinal, site in enumerate(sites)
                 )
-                next_uid = uid + len(result_pairs)
-                ops_append((operand_uids, result_pairs, alias, 0))
+                defs = tuple(
+                    (mk_def(nbytes), nbytes) for nbytes in result_nbytes
+                )
+                recs.append((operand_refs, defs, alias, 0))
+                bundle.append(("fl", flops))
+                bundle.append(("cp", flops / denom))
                 for r, result in enumerate(results):
-                    handle = result_pairs[r][0]
+                    handle = ("d", defs[r][0])
                     sliced_nbytes = trailing[r]
                     if sliced_nbytes is not None:
-                        new_uid = next_uid
-                        next_uid = new_uid + 1
-                        comm_bytes += 0.0
-                        comm_s += 0.0
-                        collective_s["all_slice"] = (
-                            collective_s.get("all_slice", 0.0) + 0.0
-                        )
-                        ops_append(((handle,), ((new_uid, sliced_nbytes),),
-                                    False, 0))
-                        handle = new_uid
-                    value_uids[result] = handle
-            else:
+                        did = mk_def(sliced_nbytes)
+                        recs.append(((handle,), ((did, sliced_nbytes),),
+                                     False, 0))
+                        bundle.append(("co", "all_slice", 0.0))
+                        handle = ("d", did)
+                    exports[result] = handle
+            else:  # scan
                 (_, sites, body_result, trips, carry_nbytes, results,
-                 tail_sites, extra, num_carries) = segment
-                site_hits += len(sites)
-                operand_uids = tuple(replay_site(site) for site in sites)
-                # merge_scaled mutates the estimate directly: flush the
-                # local accumulators first, reload after.
-                est.local_flops += local_flops
-                est.compute_s += compute_s
-                est.comm_bytes += comm_bytes
-                est.comm_s += comm_s
-                est.merge_scaled(body_result.estimate, trips)
-                local_flops = est.local_flops
-                compute_s = est.compute_s
-                comm_bytes = est.comm_bytes
-                comm_s = est.comm_s
-                est.local_flops = est.compute_s = 0.0
-                est.comm_bytes = est.comm_s = 0.0
-                uid = next_uid
-                carry_pairs = tuple(
-                    (uid + i, nbytes)
-                    for i, nbytes in enumerate(carry_nbytes)
+                 tail_sites, extra, _num_carries) = segment
+                operand_refs = tuple(
+                    emit_site(site, ordinal)
+                    for ordinal, site in enumerate(sites)
                 )
-                next_uid = uid + len(carry_pairs)
-                ops_append((operand_uids, carry_pairs, False, extra))
+                defs = tuple(
+                    (mk_def(nbytes), nbytes) for nbytes in carry_nbytes
+                )
+                recs.append((operand_refs, defs, False, extra))
+                body = body_result.estimate
+                bundle.append(("fl", body.local_flops * trips))
+                bundle.append(("cp", body.compute_s * trips))
+                bundle.append(("cb", body.comm_bytes * trips))
+                bundle.append(("cs", body.comm_s * trips))
+                for opcode, seconds in body.collective_time_s.items():
+                    bundle.append(("co", opcode, seconds * trips))
                 for i, result in enumerate(results):
-                    value_uids[result] = carry_pairs[i][0]
-                for index, entry, _ in tail_sites:
-                    handle = value_uids[results[index]]
-                    for step in entry.steps:
-                        uid = next_uid
-                        next_uid = uid + 1
-                        if step.is_collective:
-                            comm_bytes += step.bytes_moved
-                            comm_s += step.seconds
-                            collective_s[step.opcode] = (
-                                collective_s.get(step.opcode, 0.0)
-                                + step.seconds
-                            )
-                        else:
-                            local_flops += step.flops
-                            compute_s += step.flops / compute_denom
-                        ops_append(((handle,), ((uid, step.nbytes),),
-                                    step.alias, 0))
-                        handle = uid
-                    value_uids[results[index]] = handle
+                    exports[result] = ("d", defs[i][0])
+                for tail in tail_sites:
+                    index, entry = tail[0], tail[1]
+                    exports[results[index]] = emit_chain(
+                        entry, exports[results[index]]
+                    )
 
-        result_uids = [replay_site(site) for site in self._results_segment]
-        site_hits += len(self._results_segment)
-        est.local_flops += local_flops
-        est.compute_s += compute_s
-        est.comm_bytes += comm_bytes
-        est.comm_s += comm_s
-        estimator.reconcile_hits += site_hits
-        estimator.ops_reused += unit_replays
-        est.runtime_s = (max(est.compute_s, est.comm_s) if overlap
-                         else est.compute_s + est.comm_s)
-        est.peak_memory_bytes = log.peak_bytes(result_uids)
-        return est
+        for did in reuse:
+            removed.add(did)
+        self._unit_dids[pos] = new_dids
+        # Export/final diffs drive the touched set: a consumer re-resolves
+        # exactly when a handle it reads maps to a different target.
+        global_exports = self._exports
+        old_exports = self._unit_exports[pos]
+        for value, ref in exports.items():
+            if old_exports.get(value) != ref:
+                touched_vals.add(value)
+                global_exports[value] = ref
+        self._unit_exports[pos] = exports
+        global_finals = self._finals
+        old_finals = self._unit_finals[pos]
+        for rkey, ref in finals.items():
+            if old_finals.get(rkey) != ref:
+                touched_keys.add(rkey)
+            global_finals[rkey] = ref
+        self._unit_finals[pos] = finals
+        acc = self._acc
+        acc.apply(self._bundles[pos], -1.0, -1)
+        new_bundle = tuple(bundle)
+        acc.apply(new_bundle, 1.0, 1)
+        self._bundles[pos] = new_bundle
+        self._recs[pos] = tuple(recs)
+        profile_dirty.add(pos)
+
+    def _resolve_pos(self, pos, dirty_defs, profile_dirty) -> bool:
+        out_dirty = False
+        uses = self._uses
+        lu_dirty = set()
+        for did in self._uses_by[pos]:
+            entry = uses.get(did)
+            if entry is not None and entry.pop(pos, None) is not None:
+                lu_dirty.add(did)
+        exports = self._exports
+        finals = self._finals
+        parent = self._parent
+        children = self._children
+        out_member = self._out_member
+        def_pos = self._def_pos
+        new_uses: dict = {}
+        deps_val: set = set()
+        deps_key: set = set()
+        rops: list = []
+
+        def resolve(ref):
+            while True:
+                kind = ref[0]
+                if kind == "d":
+                    return ref[1]
+                if kind == "v":
+                    deps_val.add(ref[1])
+                    ref = exports[ref[1]]
+                else:
+                    deps_key.add(ref[1])
+                    ref = finals[ref[1]]
+
+        for ordinal, rec in enumerate(self._recs[pos]):
+            operand_refs, defs, alias, _extra = rec
+            resolved = []
+            for ref in operand_refs:
+                did = resolve(ref)
+                resolved.append(did)
+                if new_uses.get(did, -1) < ordinal:
+                    new_uses[did] = ordinal
+            rops.append(tuple(resolved))
+            if alias:
+                child = defs[0][0]
+                new_parent = resolved[0]
+                old_parent = parent.get(child)
+                if old_parent != new_parent:
+                    if old_parent is not None:
+                        siblings = children.get(old_parent)
+                        if siblings:
+                            siblings.discard(child)
+                        dirty_defs.add(old_parent)
+                    parent[child] = new_parent
+                    children.setdefault(new_parent, set()).add(child)
+                    dirty_defs.add(new_parent)
+                    dirty_defs.add(child)
+                    if (child in out_member or new_parent in out_member
+                            or old_parent in out_member):
+                        out_dirty = True
+            else:
+                for did, _nbytes in defs:
+                    old_parent = parent.pop(did, None)
+                    if old_parent is not None:
+                        siblings = children.get(old_parent)
+                        if siblings:
+                            siblings.discard(did)
+                        dirty_defs.add(old_parent)
+                        dirty_defs.add(did)
+                        if did in out_member:
+                            out_dirty = True
+            for did, _nbytes in defs:
+                def_pos[did] = (pos, ordinal)
+        self._rops[pos] = tuple(rops)
+        if pos == self._pos_results:
+            # Output handles are read, not consumed: they pin storage roots
+            # (out_roots) without extending any live range.
+            self._out_handles = tuple(
+                resolve(ref) for ref in self._out_refs
+            )
+            out_dirty = True
+        for did, max_ordinal in new_uses.items():
+            entry = uses.get(did)
+            if entry is None:
+                entry = uses[did] = {}
+            if entry.get(pos) != max_ordinal:
+                entry[pos] = max_ordinal
+            lu_dirty.add(did)
+        self._uses_by[pos] = new_uses
+        last_use = self._last_use
+        for did in lu_dirty:
+            entry = uses.get(did)
+            old = last_use.get(did)
+            new = max(entry.items()) if entry else None
+            if new != old:
+                if new is None:
+                    last_use.pop(did, None)
+                else:
+                    last_use[did] = new
+                dirty_defs.add(did)
+                if (old is None) != (new is None):
+                    # Dead-on-arrival status flipped at the definition.
+                    defined_at = def_pos.get(did)
+                    if defined_at is not None:
+                        profile_dirty.add(defined_at[0])
+        old_vals = self._deps_val[pos]
+        if deps_val != old_vals:
+            val_consumers = self._val_consumers
+            for value in old_vals - deps_val:
+                consumers = val_consumers.get(value)
+                if consumers:
+                    consumers.discard(pos)
+            for value in deps_val - old_vals:
+                val_consumers.setdefault(value, set()).add(pos)
+            self._deps_val[pos] = frozenset(deps_val)
+        old_keys = self._deps_key[pos]
+        if deps_key != old_keys:
+            key_consumers = self._key_consumers
+            for rkey in old_keys - deps_key:
+                consumers = key_consumers.get(rkey)
+                if consumers:
+                    consumers.discard(pos)
+            for rkey in deps_key - old_keys:
+                key_consumers.setdefault(rkey, set()).add(pos)
+            self._deps_key[pos] = frozenset(deps_key)
+        return out_dirty
+
+    def _recompute_out(self, dirty_defs, profile_dirty) -> None:
+        parent = self._parent
+        new_roots = set()
+        member = set()
+        for did in self._out_handles:
+            node = did
+            while True:
+                member.add(node)
+                up = parent.get(node)
+                if up is None:
+                    break
+                node = up
+            new_roots.add(node)
+        old_roots = self._out_roots
+        if new_roots != old_roots:
+            def_pos = self._def_pos
+            for did in new_roots ^ old_roots:
+                dirty_defs.add(did)
+                defined_at = def_pos.get(did)
+                if defined_at is not None:
+                    profile_dirty.add(defined_at[0])
+            self._out_roots = new_roots
+        self._out_member = member
+
+    def _update_frees(self, dirty_defs, removed, profile_dirty) -> None:
+        parent = self._parent
+        def_nbytes = self._def_nbytes
+        roots = set()
+        for did in dirty_defs:
+            if did in removed or did not in def_nbytes:
+                continue
+            if parent.get(did) is not None:
+                # Not (or no longer) a storage root: an ex-root sheds its
+                # free event, and its class re-checks at the actual root.
+                self._drop_free(did, profile_dirty)
+                node = did
+                while parent.get(node) is not None:
+                    node = parent[node]
+                roots.add(node)
+            else:
+                roots.add(did)
+        out_roots = self._out_roots
+        last_use = self._last_use
+        children = self._children
+        frees = self._frees
+        free_pos = self._free_pos
+        for root in roots:
+            if root in removed or root not in def_nbytes:
+                continue
+            if root in out_roots:
+                self._drop_free(root, profile_dirty)
+                continue
+            # Class-wide last use: aliases extend their root's lifetime.
+            best = None
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                when = last_use.get(node)
+                if when is not None and (best is None or when > best):
+                    best = when
+                kids = children.get(node)
+                if kids:
+                    stack.extend(kids)
+            if best is None:
+                self._drop_free(root, profile_dirty)
+                continue
+            size = def_nbytes[root]
+            event = (best[0], best[1], size)
+            if free_pos.get(root) != event:
+                self._drop_free(root, profile_dirty)
+                free_pos[root] = event
+                frees[best[0]].setdefault(best[1], []).append((root, size))
+                profile_dirty.add(best[0])
+
+    def _drop_free(self, root, profile_dirty) -> None:
+        event = self._free_pos.pop(root, None)
+        if event is None:
+            return
+        pos, ordinal, size = event
+        bucket = self._frees[pos].get(ordinal)
+        if bucket is not None:
+            try:
+                bucket.remove((root, size))
+            except ValueError:
+                pass
+            if not bucket:
+                del self._frees[pos][ordinal]
+        profile_dirty.add(pos)
+
+    def _recompute_profile(self, pos) -> None:
+        # The reference walk's exact per-record discipline: allocate
+        # non-alias definitions, sample the peak (with a scan body's
+        # transient spike riding on top), apply this record's free events,
+        # then drop dead-on-arrival results.  Parameters stay live unless
+        # a use frees their class downstream.
+        uses = self._uses
+        out_roots = self._out_roots
+        frees = self._frees[pos]
+        running = 0
+        best = 0
+        skip_doa = pos == 0
+        for ordinal, rec in enumerate(self._recs[pos]):
+            _operand_refs, defs, alias, extra = rec
+            if not alias:
+                for _did, nbytes in defs:
+                    running += nbytes
+                if extra:
+                    transient = running + extra
+                    if transient > best:
+                        best = transient
+                if running > best:
+                    best = running
+            bucket = frees.get(ordinal)
+            if bucket:
+                for _root, size in bucket:
+                    running -= size
+            if not alias and not skip_doa:
+                for did, nbytes in defs:
+                    if not uses.get(did) and did not in out_roots:
+                        running -= nbytes
+        self._tree.update(pos, running, best)
 
 
 def estimate_streaming(function: Function, env, device: DeviceSpec,

@@ -312,3 +312,68 @@ def test_pickled_shardings_drop_process_local_caches():
     assert not hasattr(clone, "_used")
     # Interning the unpickled clone resolves to the canonical instance.
     assert intern_sharding(clone) is original
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_checkpoint_release_rollback_interleaving_property(seed):
+    """Random write/checkpoint/rollback/release interleavings against
+    shadow ``copy()`` snapshots: a rollback restores shardings bit-exactly
+    and a release keeps them, whatever was nested inside; every consumed
+    token — rolled back, released, or swallowed by an outer rollback or a
+    non-innermost release — raises the documented LIFO error from
+    ``rollback``, ``release`` *and* ``writes_since`` (a stale token's
+    recorded undo offset indexes a log epoch that no longer exists, so
+    slicing from it would silently return the wrong delta)."""
+    builder = FunctionBuilder("interleave_prop")
+    params = [builder.param((8, 8), name=f"p{i}") for i in range(6)]
+    env = ShardingEnv(MESH)
+    rng = random.Random(seed)
+    pool = [
+        Sharding.replicated(2),
+        Sharding.replicated(2).with_tile(0, "batch"),
+        Sharding.replicated(2).with_tile(1, "model"),
+        Sharding.replicated(2).with_tile(0, "batch").with_tile(1, "model"),
+        Sharding.replicated(2).with_sum("model"),
+    ]
+    live = []      # (token, shadow copy taken at checkpoint time)
+    consumed = []  # tokens that must raise from now on
+    for _ in range(120):
+        roll = rng.random()
+        if roll < 0.45:
+            env.set_sharding(rng.choice(params), rng.choice(pool))
+        elif roll < 0.65 or not live:
+            live.append((env.checkpoint(), env.copy(with_events=False)))
+        elif roll < 0.85:
+            index = rng.randrange(len(live))  # any depth, not just innermost
+            token, shadow = live[index]
+            env.writes_since(token)  # live tokens always have a delta view
+            env.rollback(token)
+            consumed.extend(t for t, _ in live[index:])
+            del live[index:]
+            assert [env.sharding(p) for p in params] == \
+                [shadow.sharding(p) for p in params]
+        else:
+            index = rng.randrange(len(live))
+            token, _ = live[index]
+            before = [env.sharding(p) for p in params]
+            env.release(token)  # non-innermost: swallows nested tokens too
+            consumed.extend(t for t, _ in live[index:])
+            del live[index:]
+            assert [env.sharding(p) for p in params] == before
+        assert env.checkpoint_depth == len(live)
+        for stale in consumed:
+            with pytest.raises(ShardingError):
+                env.rollback(stale)
+            with pytest.raises(ShardingError):
+                env.release(stale)
+            with pytest.raises(ShardingError):
+                env.writes_since(stale)
+    # Outer tokens that survived every inner release/rollback still
+    # restore the exact state their checkpoint captured.
+    while live:
+        token, shadow = live.pop(0)
+        env.rollback(token)
+        consumed.extend(t for t, _ in live)
+        live.clear()
+        assert [env.sharding(p) for p in params] == \
+            [shadow.sharding(p) for p in params]

@@ -151,6 +151,68 @@ def test_incremental_estimate_field_exact(case):
         assert dataclasses.asdict(fast) == dataclasses.asdict(slow), step
 
 
+def test_incremental_falls_back_on_unreliable_journal():
+    """``estimate_incremental`` must not trust ``changed_values`` the
+    write journal cannot vouch for: a disabled journal, a third-party
+    drain mid-search, or rollback restorations the caller never drained
+    all force the exact full pass instead of silently reusing stale
+    segments."""
+    _, traced = CASES[0]
+    function = traced.function
+    env = ShardingEnv(MESH)
+    propagate(function, env)
+    inc = costmodel.StreamingEstimator(function, MESH, TPU_V3)
+    ref = costmodel.StreamingEstimator(function, MESH, TPU_V3)
+    candidates = candidate_actions(function, env, ["batch", "model"], 8)
+    assert len(candidates) >= 4
+
+    def apply(index):
+        try_apply_action(function, env, candidates[index])
+        propagate(function, env, incremental=True)
+
+    def check(fast):
+        assert dataclasses.asdict(fast) == dataclasses.asdict(
+            ref.estimate(env))
+
+    # Journal disabled: an (empty) changed-values claim is unverifiable,
+    # so it must not mask the writes that happened since the last run.
+    baseline = inc.estimate_incremental(env, None)
+    apply(0)
+    fast = inc.estimate_incremental(env, [])
+    check(fast)
+    assert dataclasses.asdict(fast) != dataclasses.asdict(baseline)
+
+    # In-protocol fast path: enabled journal, caller passes its own
+    # fresh drain — trusted, and exact.
+    env.enable_journal()
+    token = env.checkpoint()
+    apply(1)
+    check(inc.estimate_incremental(env, env.drain_journal()))
+
+    # Third-party drain mid-search: someone else consumes the journal, so
+    # the caller's next drain misses that window entirely.
+    apply(2)
+    stolen = env.drain_journal()
+    assert stolen
+    apply(3)
+    partial = env.drain_journal()  # covers candidates[3] only
+    check(inc.estimate_incremental(env, partial))
+
+    # ... and an *empty* post-theft drain is just as untrustworthy: the
+    # stolen window held real writes the caller never saw.
+    apply(len(candidates) - 1)
+    stolen = env.drain_journal()
+    assert stolen
+    check(inc.estimate_incremental(env, env.drain_journal()))
+
+    # Rollback restorations hidden by a third-party drain: the caller
+    # drains after the theft, sees nothing, and must still get the
+    # rolled-back state's exact estimate.
+    env.rollback(token)
+    assert env.drain_journal()  # third party consumes the restorations
+    check(inc.estimate_incremental(env, env.drain_journal()))
+
+
 def test_undo_evaluator_reuses_propagation_deltas():
     """Re-extending a rolled-back prefix must replay the memoized write
     delta instead of re-running propagation."""

@@ -509,6 +509,82 @@ class TestSharedMemoFull:
             store.close()
             store.unlink()
 
+    def test_worker_fill_is_silent_and_main_warns_once(self):
+        """An attached (worker-side) store fills silently; the fill flag
+        rides back with the wave results and the *main process* store
+        emits the one-shot warning via note_remote_full — exactly once,
+        no matter how many workers report full."""
+        pytest.importorskip("multiprocessing.shared_memory")
+        import multiprocessing
+
+        from repro.auto import sharedmemo
+
+        context = multiprocessing.get_context()
+        store = sharedmemo.create_store(context, size=256)
+        if store is None:
+            pytest.skip("shared memory unavailable")
+        worker = None
+        try:
+            name, lock, size, start = store.handle()
+            worker = sharedmemo.SharedMemoStore.attach(name, lock, size,
+                                                       start)
+            payload = [("p", 0, ("x" * 64,), "y" * 64)]
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                while not worker.full:
+                    worker.publish(payload)
+                worker.publish(payload)
+            assert worker.full
+            assert not [w for w in caught
+                        if issubclass(w.category, RuntimeWarning)]
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                store.note_remote_full()  # first worker reports full
+                store.note_remote_full()  # ... and a second one
+                store.publish(payload)    # local publish can't re-warn
+            assert store.full
+            messages = [w for w in caught
+                        if issubclass(w.category, RuntimeWarning)]
+            assert len(messages) == 1
+        finally:
+            if worker is not None:
+                worker.close()
+            store.close()
+            store.unlink()
+
+    def test_warned_full_survives_pickling(self):
+        """A store that already warned and round-trips through pickle must
+        come back inert and still marked warned — it can never re-emit
+        the one-shot warning or touch a segment it no longer holds."""
+        pytest.importorskip("multiprocessing.shared_memory")
+        import multiprocessing
+        import pickle
+
+        from repro.auto import sharedmemo
+
+        context = multiprocessing.get_context()
+        store = sharedmemo.create_store(context, size=256)
+        if store is None:
+            pytest.skip("shared memory unavailable")
+        try:
+            payload = [("p", 0, ("x" * 64,), "y" * 64)]
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                while not store.full:
+                    store.publish(payload)
+            copy = pickle.loads(pickle.dumps(store))
+            assert copy.full
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                copy.note_remote_full()
+                assert copy.publish(payload) == 0
+                assert copy.poll(0) == (0, [])
+            assert not [w for w in caught
+                        if issubclass(w.category, RuntimeWarning)]
+        finally:
+            store.close()
+            store.unlink()
+
     def test_search_surfaces_shared_memo_full_flag(self, monkeypatch):
         pytest.importorskip("multiprocessing.shared_memory")
         from repro.auto import scheduler as scheduler_mod
