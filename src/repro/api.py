@@ -240,7 +240,8 @@ class AutomaticPartition(Tactic):
                  search_backend: Optional[str] = None,
                  cache_dir: Optional[str] = None,
                  rollout_env: Optional[str] = None,
-                 action_space: Optional[str] = None):
+                 action_space: Optional[str] = None,
+                 plan_server: Optional[str] = None):
         self.axes = list(axes)
         self.options = dict(options or {})
         if search_backend is not None:
@@ -251,6 +252,8 @@ class AutomaticPartition(Tactic):
             self.options["rollout_env"] = rollout_env
         if action_space is not None:
             self.options["action_space"] = action_space
+        if plan_server is not None:
+            self.options["plan_server"] = plan_server
         self.name = f"auto<{','.join(self.axes)}>"
         #: The SearchResult of the most recent apply() (None before).
         self.last_search = None
@@ -312,6 +315,7 @@ def partir_jit(
     device: DeviceSpec = TPU_V3,
     estimate_per_tactic: bool = True,
     incremental: bool = True,
+    plan_server: Optional[str] = None,
 ):
     """Partition a traced function with a schedule of tactics.
 
@@ -339,11 +343,25 @@ def partir_jit(
     deduped across the schedule, so the reports are identical in both
     modes (a full re-sweep would otherwise re-report persisting conflicts
     that the worklist, never revisiting unchanged ops, does not).
+
+    ``plan_server="host:port"`` points every :class:`AutomaticPartition`
+    in the schedule (that does not already pin its own) at a
+    :mod:`repro.auto.server` daemon: searches are answered from the
+    shared plan store when possible and fall back to local search when
+    the server is unreachable.
     """
     function = traced.function
     env = ShardingEnv(mesh)
     reports: List[TacticReport] = []
     seen_conflicts = set()
+
+    injected: List[AutomaticPartition] = []
+    if plan_server is not None:
+        for tactic in schedule:
+            if isinstance(tactic, AutomaticPartition) and \
+                    "plan_server" not in tactic.options:
+                tactic.options["plan_server"] = plan_server
+                injected.append(tactic)
 
     def new_conflicts() -> List[str]:
         fresh = []
@@ -355,24 +373,30 @@ def partir_jit(
         return fresh
 
     start = time.perf_counter()
-    for tactic in schedule:
-        applied = tactic.apply(function, env, incremental=incremental)
-        report_estimate = None
-        counts = CollectiveCounts()
-        if estimate_per_tactic:
-            snapshot = lower(function, env)
-            snapshot.function = fuse_collectives(snapshot.function)
-            counts = count_collectives(snapshot.function)
-            report_estimate = costmodel.estimate(snapshot, device)
-        reports.append(
-            TacticReport(
-                tactic=tactic.name,
-                counts=counts,
-                estimate=report_estimate,
-                conflicts=new_conflicts(),
-                actions=applied,
+    try:
+        for tactic in schedule:
+            applied = tactic.apply(function, env, incremental=incremental)
+            report_estimate = None
+            counts = CollectiveCounts()
+            if estimate_per_tactic:
+                snapshot = lower(function, env)
+                snapshot.function = fuse_collectives(snapshot.function)
+                counts = count_collectives(snapshot.function)
+                report_estimate = costmodel.estimate(snapshot, device)
+            reports.append(
+                TacticReport(
+                    tactic=tactic.name,
+                    counts=counts,
+                    estimate=report_estimate,
+                    conflicts=new_conflicts(),
+                    actions=applied,
+                )
             )
-        )
+    finally:
+        # The injection is call-scoped: a tactic object reused in a later
+        # schedule must not remember this call's server.
+        for tactic in injected:
+            tactic.options.pop("plan_server", None)
     partition_time = time.perf_counter() - start
 
     lower_start = time.perf_counter()

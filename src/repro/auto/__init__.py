@@ -6,10 +6,16 @@ Package map:
   ``run_automatic_partition``) and ``SearchResult``.
 * :mod:`repro.auto.tree` — UCT tree policy, virtual loss, rollout RNG.
 * :mod:`repro.auto.evaluator` — canonical-action-set scoring pipeline.
-* :mod:`repro.auto.scheduler` — serial / batched / process backends.
+* :mod:`repro.auto.scheduler` — serial / batched / process / remote
+  backends.
 * :mod:`repro.auto.sharedmemo` — cross-worker shared plan memo.
 * :mod:`repro.auto.cache` — transposition table + on-disk persistence
   with load-time compaction.
+* :mod:`repro.auto.fingerprint` — relaxed (canonicalized) fingerprints:
+  alpha-renamed / input-permuted isomorphic programs share one key.
+* :mod:`repro.auto.planstore` — the plan server's LRU plan/prior store.
+* :mod:`repro.auto.rpc` / :mod:`repro.auto.server` — the
+  partitioning-as-a-service daemon and its socket protocol.
 """
 
 from repro.auto.cache import TranspositionTable, function_fingerprint
@@ -20,7 +26,18 @@ from repro.auto.evaluator import (
     action_group_key,
     candidate_actions,
 )
-from repro.auto.scheduler import BACKENDS, RolloutScheduler, make_scheduler
+from repro.auto.fingerprint import (
+    CanonicalForm,
+    canonicalize,
+    relaxed_fingerprint,
+)
+from repro.auto.planstore import PlanRecord, PlanStore
+from repro.auto.scheduler import (
+    BACKENDS,
+    RolloutScheduler,
+    SchedulerUnavailable,
+    make_scheduler,
+)
 from repro.auto.search import SearchResult, mcts_search, run_automatic_partition
 from repro.auto.tree import TreePolicy, canonical_key
 
@@ -29,15 +46,21 @@ __all__ = [
     "action_group_key",
     "candidate_actions",
     "BACKENDS",
+    "CanonicalForm",
     "Evaluator",
+    "PlanRecord",
+    "PlanStore",
     "ROLLOUT_ENVS",
     "RolloutScheduler",
+    "SchedulerUnavailable",
     "SearchResult",
     "TranspositionTable",
     "TreePolicy",
     "canonical_key",
+    "canonicalize",
     "function_fingerprint",
     "make_scheduler",
     "mcts_search",
+    "relaxed_fingerprint",
     "run_automatic_partition",
 ]

@@ -38,6 +38,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import warnings
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.actions import TILE_INPUT
@@ -180,6 +181,7 @@ class TranspositionTable:
         self.hits = 0
         self.warm_hits = 0
         self.compactions = 0
+        self.evictions = 0
         self._costs: Dict[ActionKey, float] = {}
         self._warm: Set[ActionKey] = set()
         self._pending: List[Tuple[ActionKey, float]] = []
@@ -281,15 +283,31 @@ class TranspositionTable:
         self._pending = []
         self._prior_pending = []
 
-    def compact(self) -> None:
+    def compact(self, max_entries: Optional[int] = None) -> None:
         """Rewrite the log keeping exactly one (the newest) record per key.
 
         The in-memory table — already the last-record-wins replay of the
         log, with any torn tail skipped — *is* the compacted content, so
         hits and values are unchanged by construction.  The rewrite goes
         through a temp file + atomic rename: a crash mid-compaction leaves
-        the old log intact.  No-op for purely in-memory tables.
+        the old log intact.
+
+        ``max_entries`` additionally caps the table LRU-style: cost
+        entries beyond the cap are evicted oldest-first-stored (dict
+        insertion order — the log replay order, so a long-lived cache dir
+        sheds its most ancient scores first) and counted in
+        ``self.evictions``.  The cap applies to in-memory tables too; only
+        the rewrite step needs a ``path``.
         """
+        if max_entries is not None and max_entries >= 0:
+            while len(self._costs) > max_entries:
+                oldest = next(iter(self._costs))
+                del self._costs[oldest]
+                self._warm.discard(oldest)
+                self.evictions += 1
+            if self._pending:
+                self._pending = [entry for entry in self._pending
+                                 if entry[0] in self._costs]
         if self.path is None:
             return
         directory = os.path.dirname(self.path) or "."
@@ -314,11 +332,19 @@ class TranspositionTable:
         """Replay the log; returns ``(records, wasted records)`` where
         wasted counts duplicate-key overwrites (for priors: repeat records
         for an already-seen group, which compaction merges into one) and
-        torn/garbled lines — the load-time compaction signal."""
+        torn/garbled lines — the load-time compaction signal.
+
+        A garbled *final* line is the expected signature of a crashed
+        writer (a torn append) and is skipped silently; garbage anywhere
+        **mid-file** means real corruption — still skipped, so the intact
+        records survive, but surfaced as a ``RuntimeWarning``."""
         records = 0
         waste = 0
+        line_number = 0
+        bad_lines: List[int] = []
         with open(path) as handle:
             for line in handle:
+                line_number += 1
                 line = line.strip()
                 if not line:
                     continue
@@ -342,11 +368,20 @@ class TranspositionTable:
                 except (json.JSONDecodeError, KeyError, TypeError,
                         ValueError):
                     waste += 1
-                    continue  # torn tail line from a crashed writer
+                    bad_lines.append(line_number)
+                    continue  # skip; classified after the scan
                 if key in self._costs:
                     waste += 1  # superseded by this newer record
                 self._costs[key] = cost
                 self._warm.add(key)
+        corrupt = [n for n in bad_lines if n < line_number]
+        if corrupt:
+            warnings.warn(
+                f"transposition log {path!r}: skipped {len(corrupt)} "
+                f"corrupt mid-file line(s) (first at line {corrupt[0]}); "
+                "intact records were kept",
+                RuntimeWarning,
+            )
         return records, waste
 
 

@@ -1,0 +1,227 @@
+"""Length-prefixed socket protocol for the plan server.
+
+Wire format (all little-endian): each message is ``[u32 length][pickle
+payload]`` — the same framing discipline as the shared-memory memo's
+record log (:mod:`repro.auto.sharedmemo`), lifted onto a stream socket.
+A request and its reply are both plain picklable objects (dicts by
+convention, with a ``"kind"`` discriminator); the server answers every
+request on the same connection, in order, so a connection is a simple
+synchronous request/reply channel and one client can hold several
+connections for parallelism (the ``remote`` rollout backend does).
+
+Payloads are **pickle**, which is what lets traced :class:`Function`
+objects, meshes and portable env states ride along unchanged — exactly
+the worker-transport contract of the ``process`` backend, across a socket
+instead of a fork.  Pickle is not safe against hostile peers: the plan
+server is a *trusted-cluster* daemon (bind it to localhost or a private
+network, as the paper's target deployment does), not an internet service.
+
+Errors cross the wire as ``{"ok": False, "error": ...}`` replies and are
+re-raised client-side as :class:`RemoteError`; transport-level failures
+surface as :class:`ConnectionError`/``OSError`` so callers can fall back
+to local search (see ``mcts_search(plan_server=...)``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import Callable, Optional, Tuple
+
+_FRAME = struct.Struct("<I")
+
+#: Upper bound on one frame; a guard against garbage on the port, not a
+#: protocol limit (paper-scale functions pickle to a few MB at most).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Protocol version, checked by the server on every request.
+PROTOCOL = 1
+
+
+class RemoteError(RuntimeError):
+    """The server processed the request and reported a failure."""
+
+
+def parse_address(address) -> Tuple[str, int]:
+    """``"host:port"`` (or ``(host, port)``) -> ``(host, port)``."""
+    if isinstance(address, (tuple, list)):
+        host, port = address
+        return str(host), int(port)
+    host, _, port = str(address).rpartition(":")
+    if not host or not port:
+        raise ValueError(
+            f"plan server address {address!r} is not 'host:port'"
+        )
+    return host, int(port)
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+# -- framing -----------------------------------------------------------------------
+
+
+def send_msg(sock: socket.socket, payload) -> None:
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_FRAME.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = sock.recv(min(count, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket):
+    header = _recv_exact(sock, _FRAME.size)
+    (length,) = _FRAME.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"oversized frame ({length} bytes)")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+# -- client ------------------------------------------------------------------------
+
+
+class Connection:
+    """One synchronous request/reply channel to the server."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+
+    def request(self, payload: dict):
+        """Send one request; return the reply's ``"value"`` field.
+
+        Raises :class:`RemoteError` for server-reported failures and
+        ``ConnectionError``/``OSError`` for transport failures."""
+        message = dict(payload)
+        message.setdefault("protocol", PROTOCOL)
+        send_msg(self._sock, message)
+        reply = recv_msg(self._sock)
+        if not isinstance(reply, dict) or not reply.get("ok"):
+            error = reply.get("error") if isinstance(reply, dict) \
+                else repr(reply)
+            raise RemoteError(str(error))
+        return reply.get("value")
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(address, timeout: Optional[float] = 30.0) -> Connection:
+    """Open a connection to ``address`` (``"host:port"`` or tuple).
+
+    ``timeout`` bounds the TCP connect *and* every subsequent
+    request/reply round trip; raises ``OSError`` when the server is
+    unreachable — the signal the client-side fallback keys on."""
+    host, port = parse_address(address)
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(timeout)
+    return Connection(sock)
+
+
+# -- server loop -------------------------------------------------------------------
+
+
+class RpcServer:
+    """A thread-per-connection frame server.
+
+    ``handler_factory()`` is called once per accepted connection and must
+    return a ``callable(message) -> value``; the return value is wrapped
+    in an ``{"ok": True, "value": ...}`` reply, exceptions in an
+    ``{"ok": False, "error": ...}`` reply.  Per-connection handlers may
+    carry state (the plan server's evaluator sessions do) and may expose
+    a ``close()`` hook, invoked when the connection ends.
+    """
+
+    def __init__(self, handler_factory: Callable[[], Callable],
+                 host: str = "127.0.0.1", port: int = 0):
+        self._handler_factory = handler_factory
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(64)
+        self.address: Tuple[str, int] = self._sock.getsockname()[:2]
+        self._threads = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    def start(self) -> None:
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="partir-rpc-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread (daemon main)."""
+        self._accept_loop()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        for thread in list(self._threads):
+            thread.join(timeout=5.0)
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # socket closed by stop()
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="partir-rpc-conn", daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        handler = self._handler_factory()
+        try:
+            while not self._stopping.is_set():
+                try:
+                    message = recv_msg(conn)
+                except (ConnectionError, OSError, EOFError,
+                        pickle.UnpicklingError):
+                    return
+                try:
+                    value = handler(message)
+                    reply = {"ok": True, "value": value}
+                except Exception as exc:  # surface, never kill the server
+                    reply = {"ok": False,
+                             "error": f"{type(exc).__name__}: {exc}"}
+                try:
+                    send_msg(conn, reply)
+                except (ConnectionError, OSError):
+                    return
+        finally:
+            close = getattr(handler, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:
+                    pass
+            try:
+                conn.close()
+            except OSError:
+                pass

@@ -19,6 +19,14 @@ scores them; the scheduler decides *how many are in flight at once* and
   consecutive evaluations come from neighboring subtrees, so the undo
   engine's rollback/extend distance tracks the true edit distance between
   rollouts, before reverting the losses and backing up every leaf.
+* ``remote`` — same wave formation and LCP-affinity routing as
+  ``process``, but the workers are **evaluator sessions on a plan
+  server** (:mod:`repro.auto.server`): one socket connection per worker,
+  primed once with the same ``(function, mesh, portable env state,
+  device, flags)`` payload, then streamed canonical action keys — one
+  search fanning rollout waves across machines.  An unreachable server
+  raises :class:`SchedulerUnavailable` at start, which ``mcts_search``
+  catches to fall back to the serial backend.
 * ``process`` — forms waves the same way, but fans the wave's
   transposition-table misses across ``multiprocessing`` workers.  PR 1's
   prefix-env cache made evaluations independent given their prefix: a
@@ -53,6 +61,7 @@ avoided.
 from __future__ import annotations
 
 import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.sharding import ShardingEnv
@@ -75,7 +84,13 @@ def key_lcp(a: ActionKey, b: ActionKey) -> int:
 #: Default worker count for the process backend.
 DEFAULT_WORKERS = 2
 
-BACKENDS = ("serial", "batched", "process")
+BACKENDS = ("serial", "batched", "process", "remote")
+
+
+class SchedulerUnavailable(RuntimeError):
+    """A backend's resources could not be reached (e.g. the ``remote``
+    backend's plan server is down); callers may fall back to a local
+    backend."""
 
 
 class RolloutScheduler:
@@ -249,10 +264,16 @@ def _worker_init(function, mesh, portable_env, device, incremental,
 
 
 def _worker_evaluate(key: ActionKey):
+    """Score one key in this process's primed evaluator (pool target)."""
+    return evaluate_with_deltas(_WORKER_EVALUATOR, key)
+
+
+def evaluate_with_deltas(evaluator: Evaluator, key: ActionKey):
     """Score one key; return the cost plus this call's counter deltas so
     the main evaluator's observability (and the benchmark JSONs) reflect
-    worker-side cache behavior, not just the main process's."""
-    evaluator = _WORKER_EVALUATOR
+    worker-side cache behavior, not just the main process's.  Shared by
+    the process pool workers and the plan server's evaluator sessions —
+    both speak the same 13-tuple."""
     stats = evaluator.root.stats
     before = (
         evaluator.propagate_time_s,
@@ -284,20 +305,116 @@ def _worker_evaluate(key: ActionKey):
     )
 
 
-class ProcessScheduler(RolloutScheduler):
-    """Waves fanned across evaluator-owning worker processes.
+def _fold_delta(evaluator: Evaluator, result, store=None) -> None:
+    """Fold one worker 13-tuple's counter deltas into the main evaluator
+    (shared by the process and remote backends) and memoize its cost."""
+    (key, cost, prop_dt, est_dt, ops, prop_calls, ops_reused,
+     chain_hits, lower_calls, shared_hits, shared_full,
+     prefix_total, prefix_reused) = result
+    evaluator.evaluations += 1
+    evaluator.propagate_time_s += prop_dt
+    evaluator.estimate_time_s += est_dt
+    evaluator.remote_ops_processed += ops
+    evaluator.remote_propagate_calls += prop_calls
+    evaluator.remote_ops_reused += ops_reused
+    evaluator.remote_reconcile_hits += chain_hits
+    evaluator.lower_calls += lower_calls
+    evaluator.remote_shared_plan_hits += shared_hits
+    evaluator.remote_shared_full |= shared_full
+    if shared_full and store is not None:
+        # Workers never warn themselves; surface the segment fill as the
+        # main process's one-shot RuntimeWarning.
+        store.note_remote_full()
+    evaluator.remote_prefix_actions_total += prefix_total
+    evaluator.remote_prefix_actions_reused += prefix_reused
+    if evaluator.memoize:
+        evaluator.table.store(tuple(map(tuple, key)), cost)
 
-    Each worker is a single-process pool of its own, so the prefix-affine
-    routing below — not pool scheduling timing — decides which worker
-    scores which action set.  That keeps placement (and therefore each
-    worker's cache contents) deterministic for a fixed seed.
-    """
 
-    name = "process"
+class _AffinityScheduler(RolloutScheduler):
+    """Shared wave-routing machinery for backends with evaluator-owning
+    workers (``process`` pools, ``remote`` server sessions): table-hit
+    filtering, Euler-tour ordering, and LCP-affine placement over
+    ``self._nslots`` worker slots."""
 
     def _effective_wave_size(self, budget: int) -> int:
         workers = self.workers or DEFAULT_WORKERS
         return self.wave_size or min(max(budget, 1), 2 * workers)
+
+    def _split_wave(self, evaluator, keys, tours):
+        """Serve table hits locally; return ``(costs, tour-ordered
+        misses)`` for the backend to fan out."""
+        costs: Dict[ActionKey, float] = {}
+        misses: List[ActionKey] = []
+        # Euler-tour order (see BatchedScheduler): each worker's slice of
+        # the wave is then a run of tree-neighboring sets, which its undo
+        # engine extends with short rollbacks.
+        for key in sorted(set(keys),
+                          key=lambda key: (tours.get(key, ()), key)):
+            cached = evaluator.table.lookup(key) if evaluator.memoize \
+                else None
+            if cached is not None:
+                costs[key] = cached
+            else:
+                misses.append(key)
+        self._note_wave_order(misses)
+        return costs, misses
+
+    def _route(self, key: ActionKey) -> int:
+        """Home worker index for a canonical action set (affinity-free
+        fallback).
+
+        Hashing the *leading* action sends every set extending a given
+        prefix to the same worker, wave after wave — the worker's cached
+        prefix envs and lowering plans then serve its whole slice of the
+        action space."""
+        return _stable_hash(key[:1]) % self._nslots
+
+    def _route_wave(self, ordered: Sequence[ActionKey]) -> Dict[
+            int, List[ActionKey]]:
+        """Assign a tour-ordered wave of table misses to workers by
+        longest-common-prefix affinity.
+
+        Each key goes to the eligible worker whose *last routed key*
+        shares the longest canonical prefix — i.e. the worker whose undo
+        engine is already standing closest to the requested state.  Ties
+        fall back to the stable leading-action home (keeping each prefix
+        slice on one worker across waves), then to the lowest index.  A
+        per-wave cap of ``ceil(misses / workers)`` keeps the fan-out
+        balanced, so affinity can never starve the pool down to one busy
+        worker.  Everything here is a function of the wave content and
+        the routing history — never of pool timing — so placement stays
+        deterministic for a fixed seed."""
+        npools = self._nslots
+        cap = -(-len(ordered) // npools) if ordered else 0
+        assignments: Dict[int, List[ActionKey]] = {w: [] for w in
+                                                   range(npools)}
+        last = self._last_key
+        for key in ordered:
+            home = self._route(key)
+            best = max(
+                (w for w in range(npools) if len(assignments[w]) < cap),
+                key=lambda w: (
+                    key_lcp(key, last[w]) if last[w] is not None else 0,
+                    w == home,
+                    -w,
+                ),
+            )
+            assignments[best].append(key)
+            last[best] = key
+        return {w: keys for w, keys in assignments.items() if keys}
+
+
+class ProcessScheduler(_AffinityScheduler):
+    """Waves fanned across evaluator-owning worker processes.
+
+    Each worker is a single-process pool of its own, so the prefix-affine
+    routing — not pool scheduling timing — decides which worker scores
+    which action set.  That keeps placement (and therefore each worker's
+    cache contents) deterministic for a fixed seed.
+    """
+
+    name = "process"
 
     def _start(self, evaluator: Evaluator) -> None:
         workers = self.workers or DEFAULT_WORKERS
@@ -344,6 +461,7 @@ class ProcessScheduler(RolloutScheduler):
                 pool.join()
             raise
         self._pools = pools
+        self._nslots = len(pools)
         #: Last key routed to each worker — the affinity anchor the
         #: LCP router extends wave after wave.
         self._last_key: List[Optional[ActionKey]] = [None] * len(pools)
@@ -359,65 +477,8 @@ class ProcessScheduler(RolloutScheduler):
             self._store.unlink()
             self._store = None
 
-    def _route(self, key: ActionKey) -> int:
-        """Home worker index for a canonical action set (affinity-free
-        fallback).
-
-        Hashing the *leading* action sends every set extending a given
-        prefix to the same worker, wave after wave — the worker's cached
-        prefix envs and lowering plans then serve its whole slice of the
-        action space."""
-        return _stable_hash(key[:1]) % len(self._pools)
-
-    def _route_wave(self, ordered: Sequence[ActionKey]) -> Dict[
-            int, List[ActionKey]]:
-        """Assign a tour-ordered wave of table misses to workers by
-        longest-common-prefix affinity.
-
-        Each key goes to the eligible worker whose *last routed key*
-        shares the longest canonical prefix — i.e. the worker whose undo
-        engine is already standing closest to the requested state.  Ties
-        fall back to the stable leading-action home (keeping each prefix
-        slice on one worker across waves), then to the lowest index.  A
-        per-wave cap of ``ceil(misses / workers)`` keeps the fan-out
-        balanced, so affinity can never starve the pool down to one busy
-        worker.  Everything here is a function of the wave content and
-        the routing history — never of pool timing — so placement stays
-        deterministic for a fixed seed."""
-        npools = len(self._pools)
-        cap = -(-len(ordered) // npools) if ordered else 0
-        assignments: Dict[int, List[ActionKey]] = {w: [] for w in
-                                                   range(npools)}
-        last = self._last_key
-        for key in ordered:
-            home = self._route(key)
-            best = max(
-                (w for w in range(npools) if len(assignments[w]) < cap),
-                key=lambda w: (
-                    key_lcp(key, last[w]) if last[w] is not None else 0,
-                    w == home,
-                    -w,
-                ),
-            )
-            assignments[best].append(key)
-            last[best] = key
-        return {w: keys for w, keys in assignments.items() if keys}
-
     def _evaluate_wave(self, evaluator, keys, tours):
-        costs: Dict[ActionKey, float] = {}
-        misses: List[ActionKey] = []
-        # Euler-tour order (see BatchedScheduler): each worker's slice of
-        # the wave is then a run of tree-neighboring sets, which its undo
-        # engine extends with short rollbacks.
-        for key in sorted(set(keys),
-                          key=lambda key: (tours.get(key, ()), key)):
-            cached = evaluator.table.lookup(key) if evaluator.memoize \
-                else None
-            if cached is not None:
-                costs[key] = cached
-            else:
-                misses.append(key)
-        self._note_wave_order(misses)
+        costs, misses = self._split_wave(evaluator, keys, tours)
         futures = [
             self._pools[worker].map_async(_worker_evaluate, worker_keys,
                                           chunksize=len(worker_keys))
@@ -426,28 +487,103 @@ class ProcessScheduler(RolloutScheduler):
             )
         ]
         for future in futures:
-            for (key, cost, prop_dt, est_dt, ops, prop_calls, ops_reused,
-                 chain_hits, lower_calls, shared_hits, shared_full,
-                 prefix_total, prefix_reused) in future.get():
-                costs[key] = cost
-                evaluator.evaluations += 1
-                evaluator.propagate_time_s += prop_dt
-                evaluator.estimate_time_s += est_dt
-                evaluator.remote_ops_processed += ops
-                evaluator.remote_propagate_calls += prop_calls
-                evaluator.remote_ops_reused += ops_reused
-                evaluator.remote_reconcile_hits += chain_hits
-                evaluator.lower_calls += lower_calls
-                evaluator.remote_shared_plan_hits += shared_hits
-                evaluator.remote_shared_full |= shared_full
-                if shared_full and self._store is not None:
-                    # Workers never warn themselves; surface the segment
-                    # fill as the main process's one-shot RuntimeWarning.
-                    self._store.note_remote_full()
-                evaluator.remote_prefix_actions_total += prefix_total
-                evaluator.remote_prefix_actions_reused += prefix_reused
-                if evaluator.memoize:
-                    evaluator.table.store(key, cost)
+            for result in future.get():
+                costs[result[0]] = result[1]
+                _fold_delta(evaluator, result, store=self._store)
+        return costs
+
+
+class RemoteScheduler(_AffinityScheduler):
+    """Waves fanned across evaluator sessions on a plan server.
+
+    Mirrors :class:`ProcessScheduler` — one primed evaluator per worker,
+    LCP-affine placement, 13-tuple counter deltas back — except the
+    workers live behind ``plan_server`` socket connections, so the same
+    search can span machines.  No shared plan memo crosses the wire (the
+    server's sessions share a process, which is better than a memo).
+    """
+
+    name = "remote"
+
+    def __init__(self, wave_size: Optional[int] = None,
+                 workers: Optional[int] = None,
+                 plan_server=None):
+        super().__init__(wave_size=wave_size, workers=workers)
+        if plan_server is None:
+            raise ValueError(
+                "backend='remote' requires plan_server='host:port'"
+            )
+        self.plan_server = plan_server
+
+    def _start(self, evaluator: Evaluator) -> None:
+        from repro.auto import rpc
+
+        workers = self.workers or DEFAULT_WORKERS
+        if evaluator.rollout_env == "undo":
+            # Same discipline as the process backend: snapshot the root
+            # (empty prefix) state for the sessions' baselines.
+            evaluator._env_for(())
+        root = evaluator.root
+        init = {
+            "kind": "eval_init",
+            "function": evaluator.function,
+            "mesh": root.mesh,
+            "env": root.portable_state(evaluator.function),
+            "device": evaluator.device,
+            "incremental": evaluator.incremental,
+            "memoize": evaluator.memoize,
+            "streaming": evaluator.streaming,
+            "reconcile_cache": evaluator._estimator._chains is not None
+            if evaluator._estimator else True,
+            "rollout_env": evaluator.rollout_env,
+        }
+        connections = []
+        try:
+            for _ in range(workers):
+                connection = rpc.connect(self.plan_server)
+                connection.request(init)
+                connections.append(connection)
+        except (OSError, rpc.RemoteError) as exc:
+            for connection in connections:
+                connection.close()
+            raise SchedulerUnavailable(
+                f"plan server {self.plan_server!r} unavailable: {exc}"
+            ) from exc
+        self._connections = connections
+        self._nslots = len(connections)
+        self._last_key: List[Optional[ActionKey]] = [None] * len(
+            connections)
+        self._executor = ThreadPoolExecutor(
+            max_workers=len(connections),
+            thread_name_prefix="partir-remote",
+        )
+
+    def _stop(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.request({"kind": "eval_close"})
+            except Exception:
+                pass
+            connection.close()
+        self._connections = []
+        self._executor.shutdown(wait=True)
+
+    def _evaluate_wave(self, evaluator, keys, tours):
+        costs, misses = self._split_wave(evaluator, keys, tours)
+        futures = [
+            self._executor.submit(
+                self._connections[worker].request,
+                {"kind": "eval", "keys": [list(k) for k in worker_keys]},
+            )
+            for worker, worker_keys in sorted(
+                self._route_wave(misses).items()
+            )
+        ]
+        for future in futures:
+            for result in future.result():
+                key = tuple(map(tuple, result[0]))
+                costs[key] = result[1]
+                _fold_delta(evaluator, result)
         return costs
 
 
@@ -455,15 +591,20 @@ _SCHEDULERS = {
     "serial": SerialScheduler,
     "batched": BatchedScheduler,
     "process": ProcessScheduler,
+    "remote": RemoteScheduler,
 }
 
 
 def make_scheduler(backend: str, wave_size: Optional[int] = None,
-                   workers: Optional[int] = None) -> RolloutScheduler:
+                   workers: Optional[int] = None,
+                   plan_server=None) -> RolloutScheduler:
     try:
         cls = _SCHEDULERS[backend]
     except KeyError:
         raise ValueError(
             f"unknown search backend {backend!r}; expected one of {BACKENDS}"
         )
+    if cls is RemoteScheduler:
+        return cls(wave_size=wave_size, workers=workers,
+                   plan_server=plan_server)
     return cls(wave_size=wave_size, workers=workers)

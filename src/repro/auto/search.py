@@ -37,6 +37,7 @@ property of these configs rather than a theorem.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core import actions as core_actions
@@ -53,7 +54,7 @@ from repro.auto.evaluator import (
     candidate_actions,
     try_apply_action,
 )
-from repro.auto.scheduler import make_scheduler
+from repro.auto.scheduler import SchedulerUnavailable, make_scheduler
 from repro.auto.tree import ActionKey, TreePolicy, canonical_key
 
 # Backwards-compatible aliases (the pre-package module exposed these).
@@ -128,6 +129,54 @@ class SearchResult:
     #: action sets within a wave — how well the Euler-tour ordering lines
     #: tree-neighboring rollouts up back to back.
     wave_lcp_mean: float = 0.0
+    #: Where the plan came from: ``"local"`` (this process searched), or
+    #: ``"server:exact"`` / ``"server:relaxed"`` / ``"server:search"`` /
+    #: ``"server:dedup"`` when a plan server answered (the suffix is the
+    #: store tier that matched — see :mod:`repro.auto.planstore`).
+    plan_source: str = "local"
+
+
+#: Upper bound on one plan request's round trip — generous because a cold
+#: request makes the server *run the search* before replying.
+PLAN_REQUEST_TIMEOUT_S = 600.0
+
+
+def _request_plan(function: Function, env: ShardingEnv,
+                  axes: Sequence[str], device: DeviceSpec,
+                  plan_server: str, **search_params):
+    """Ask the plan server for this function's plan; None means "search
+    locally" (server unreachable or erroring — warned, never fatal)."""
+    from repro.auto import rpc
+
+    try:
+        connection = rpc.connect(plan_server,
+                                 timeout=PLAN_REQUEST_TIMEOUT_S)
+    except (OSError, ValueError) as exc:
+        warnings.warn(
+            f"plan server {plan_server!r} unreachable, searching "
+            f"locally: {exc}",
+            RuntimeWarning,
+        )
+        return None
+    try:
+        return connection.request({
+            "kind": "plan",
+            "function": function,
+            "mesh": env.mesh,
+            "env": env.portable_state(function),
+            "device": device,
+            "axes": list(axes),
+            "search": dict(search_params),
+        })
+    except (rpc.RemoteError, OSError) as exc:
+        warnings.warn(
+            f"plan server {plan_server!r} failed, searching locally: "
+            f"{exc}",
+            RuntimeWarning,
+        )
+        return None
+    finally:
+        connection.close()
 
 
 def mcts_search(
@@ -151,6 +200,7 @@ def mcts_search(
     rollout_env: str = "undo",
     action_space: str = "tagged",
     max_tag_points: int = 16,
+    plan_server: Optional[str] = None,
 ) -> SearchResult:
     """UCT search; returns the best action sequence found.
 
@@ -187,7 +237,35 @@ def mcts_search(
     ('serial', 'undo', 'tagged')
     >>> result.tree_prior_hits  # no cache_dir: nothing warm to reuse
     0
+
+    ``plan_server="host:port"`` asks a :mod:`repro.auto.server` daemon for
+    the plan first: a store hit (exact or relaxed fingerprint tier) skips
+    the local search entirely and ``plan_source`` records the tier; an
+    unreachable server warns once and falls back to the local search.
+    With ``backend="remote"`` the search instead runs *here* but fans its
+    rollout waves across the server's evaluator sessions (falling back to
+    ``serial`` if the server is unreachable).
     """
+    if plan_server is not None and backend != "remote":
+        served = _request_plan(function, env, axes, device, plan_server,
+                               budget=budget, rollout_depth=rollout_depth,
+                               exploration=exploration, seed=seed,
+                               max_inputs=max_inputs,
+                               action_space=action_space,
+                               max_tag_points=max_tag_points)
+        if served is not None:
+            reply_actions = canonical_key(
+                tuple(tuple(action) for action in served["actions"])
+            )
+            return SearchResult(
+                actions=list(reply_actions),
+                cost=float(served["cost"]),
+                evaluations=0,
+                backend=backend,
+                rollout_env=rollout_env,
+                action_space=action_space,
+                plan_source=f"server:{served['tier']}",
+            )
     candidates = candidate_actions(function, env, axes, max_inputs,
                                    action_space=action_space,
                                    max_tag_points=max_tag_points)
@@ -203,10 +281,21 @@ def mcts_search(
         streaming=streaming, reconcile_cache=reconcile_cache, table=table,
         rollout_env=rollout_env,
     )
-    scheduler = make_scheduler(backend, wave_size=wave_size, workers=workers)
+    scheduler = make_scheduler(backend, wave_size=wave_size,
+                               workers=workers, plan_server=plan_server)
     # Fork worker pools (a no-op for in-process backends) before the
     # baseline evaluation: worker cache-priming overlaps it.
-    scheduler.prepare(evaluator)
+    try:
+        scheduler.prepare(evaluator)
+    except SchedulerUnavailable as exc:
+        warnings.warn(
+            f"remote backend unavailable, falling back to serial: {exc}",
+            RuntimeWarning,
+        )
+        scheduler = make_scheduler("serial", wave_size=wave_size,
+                                   workers=workers)
+        backend = scheduler.name
+        scheduler.prepare(evaluator)
     try:
         baseline = evaluator.evaluate(())
     except BaseException:
@@ -317,6 +406,7 @@ def run_automatic_partition(
     rollout_env: str = "undo",
     action_space: str = "tagged",
     max_tag_points: int = 16,
+    plan_server: Optional[str] = None,
     result_sink: Optional[list] = None,
     **_ignored,
 ) -> int:
@@ -340,7 +430,8 @@ def run_automatic_partition(
                          reconcile_cache=reconcile_cache,
                          rollout_env=rollout_env,
                          action_space=action_space,
-                         max_tag_points=max_tag_points)
+                         max_tag_points=max_tag_points,
+                         plan_server=plan_server)
     if result_sink is not None:
         result_sink.append(result)
     # Replay the winner exactly the way the evaluator scored it: one

@@ -1,0 +1,368 @@
+"""Partitioning-as-a-service: the multi-tenant plan server daemon.
+
+One long-lived :class:`PlanServer` serves partition plans, priors and
+transposition entries to many concurrent clients over the framed socket
+protocol of :mod:`repro.auto.rpc`:
+
+* **plan requests** — the client ships its traced function, mesh,
+  portable initial-sharding state, device and the semantic search
+  parameters; the server answers from its two-tier
+  :class:`~repro.auto.planstore.PlanStore` (exact fingerprint first, then
+  the relaxed canonical fingerprint of :mod:`repro.auto.fingerprint`, so
+  alpha-renamed or input-permuted isomorphic programs hit one shared
+  entry) and only *searches* on a genuine miss.  Plans are cached in
+  canonical index space and translated into each requester's local
+  parameter/tag numbering on the way out.
+* **in-flight deduplication** — a second request for a key whose search
+  is still running blocks on the first request's completion instead of
+  re-searching: N concurrent identical requests cost exactly one search
+  (``stats()["searches_run"]`` is the regression-tested counter).
+* **evaluator sessions** — the ``remote`` rollout backend
+  (:class:`repro.auto.scheduler.RemoteScheduler`) opens one connection
+  per remote worker, primes a server-side
+  :class:`~repro.auto.evaluator.Evaluator` once (``eval_init``), then
+  streams canonical action sets to score — fanning one search's rollout
+  waves across machines with the same portable-state transport the
+  ``process`` backend uses across forks.
+
+Run the daemon with::
+
+    python -m repro.auto.server --port 7077
+
+and point clients at it with ``partir_jit(..., plan_server="host:port")``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.core.sharding import ShardingEnv
+
+from repro.auto import rpc
+from repro.auto.cache import TranspositionTable, function_fingerprint, \
+    table_for
+from repro.auto.evaluator import Evaluator
+from repro.auto.fingerprint import CanonicalForm, canonicalize
+from repro.auto.planstore import PlanRecord, PlanStore
+from repro.auto.search import mcts_search
+
+#: Search parameters that define a plan's identity: requests agreeing on
+#: all of these (and on the relaxed fingerprint) are "the same search" and
+#: may share a cache entry / an in-flight future.  Everything else —
+#: backend, rollout env, cache and streaming toggles — is bit-identical by
+#: the regression-pinned purity properties and deliberately excluded.
+SEMANTIC_PARAMS = ("budget", "rollout_depth", "exploration", "seed",
+                   "max_inputs", "action_space", "max_tag_points")
+
+
+def params_key(axes, search_params: dict) -> Tuple:
+    key = [tuple(axes)]
+    for name in SEMANTIC_PARAMS:
+        key.append(search_params.get(name))
+    return tuple(key)
+
+
+class _Inflight:
+    """The future a deduplicated plan search resolves."""
+
+    __slots__ = ("event", "record", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.record: Optional[PlanRecord] = None
+        self.error: Optional[str] = None
+
+
+class _ConnectionHandler:
+    """Per-connection dispatch; owns the connection's evaluator session."""
+
+    def __init__(self, server: "PlanServer"):
+        self._server = server
+        self._evaluator: Optional[Evaluator] = None
+
+    def __call__(self, message):
+        if not isinstance(message, dict):
+            raise TypeError("malformed request")
+        if message.get("protocol") != rpc.PROTOCOL:
+            raise ValueError(
+                f"protocol mismatch: server speaks {rpc.PROTOCOL}"
+            )
+        kind = message.get("kind")
+        if kind == "ping":
+            return "pong"
+        if kind == "stats":
+            return self._server.stats()
+        if kind == "plan":
+            return self._server.handle_plan(message)
+        if kind == "table":
+            return self._server.handle_table(message)
+        if kind == "eval_init":
+            return self._eval_init(message)
+        if kind == "eval":
+            return self._eval(message)
+        if kind == "eval_close":
+            self.close()
+            return True
+        raise ValueError(f"unknown request kind {kind!r}")
+
+    # -- evaluator sessions (the `remote` rollout backend's far side) -------
+
+    def _eval_init(self, message) -> float:
+        function = message["function"]
+        env = ShardingEnv(message["mesh"])
+        env.apply_portable_state(function, message["env"])
+        self._evaluator = Evaluator(
+            function, env, message["device"],
+            incremental=message.get("incremental", True),
+            memoize=message.get("memoize", True),
+            streaming=message.get("streaming", True),
+            reconcile_cache=message.get("reconcile_cache", True),
+            rollout_env=message.get("rollout_env", "undo"),
+        )
+        self._server.note_eval_session()
+        # Prime the plan/chain memos exactly like a process-pool worker.
+        return self._evaluator.evaluate(())
+
+    def _eval(self, message):
+        if self._evaluator is None:
+            raise RuntimeError("eval before eval_init on this connection")
+        from repro.auto.scheduler import evaluate_with_deltas
+
+        return [evaluate_with_deltas(self._evaluator, tuple(map(tuple, key)))
+                for key in message["keys"]]
+
+    def close(self) -> None:
+        self._evaluator = None
+
+
+class PlanServer:
+    """The daemon: a :class:`PlanStore` behind an :class:`rpc.RpcServer`.
+
+    ``cache_dir`` (optional) gives server-side searches a persistent
+    transposition/prior spool: repeated misses on one fingerprint
+    warm-start each other, and completed plans carry their search's
+    per-action-group priors in the store record.  ``search_fn`` is an
+    injection point for tests (defaults to :func:`mcts_search`);
+    ``search_defaults`` overrides the search's keyword defaults (e.g.
+    ``{"backend": "process", "workers": 4}``).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 store: Optional[PlanStore] = None,
+                 cache_dir: Optional[str] = None,
+                 search_fn=None,
+                 search_defaults: Optional[dict] = None,
+                 search_timeout: float = 600.0):
+        self.store = store if store is not None else PlanStore()
+        self.cache_dir = cache_dir
+        self.search_timeout = search_timeout
+        self._search_fn = search_fn if search_fn is not None else mcts_search
+        self._search_defaults = dict(search_defaults or {})
+        self._inflight: Dict[Tuple, _Inflight] = {}
+        self._lock = threading.Lock()
+        self.searches_run = 0
+        self.dedup_joined = 0
+        self.plan_requests = 0
+        self.eval_sessions = 0
+        self._rpc = rpc.RpcServer(lambda: _ConnectionHandler(self),
+                                  host=host, port=port)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._rpc.address
+
+    def start(self) -> "PlanServer":
+        self._rpc.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._rpc.serve_forever()
+
+    def stop(self) -> None:
+        self._rpc.stop()
+
+    def __enter__(self) -> "PlanServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def note_eval_session(self) -> None:
+        with self._lock:
+            self.eval_sessions += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            out = {
+                "searches_run": self.searches_run,
+                "dedup_joined": self.dedup_joined,
+                "plan_requests": self.plan_requests,
+                "eval_sessions": self.eval_sessions,
+                "inflight": len(self._inflight),
+            }
+        out["store"] = self.store.stats()
+        return out
+
+    # -- plan serving -------------------------------------------------------
+
+    def _request_context(self, message):
+        function = message["function"]
+        mesh = message["mesh"]
+        device = message["device"]
+        env = ShardingEnv(mesh)
+        env.apply_portable_state(function, message["env"])
+        canon = canonicalize(function, mesh, device, env)
+        exact_fp = function_fingerprint(function, mesh, device, env)
+        return function, mesh, device, env, canon, exact_fp
+
+    def handle_plan(self, message) -> dict:
+        (function, mesh, device, env, canon,
+         exact_fp) = self._request_context(message)
+        axes = list(message["axes"])
+        search_params = dict(message.get("search", {}))
+        pkey = params_key(axes, search_params)
+        with self._lock:
+            self.plan_requests += 1
+        found = self.store.lookup(exact_fp, canon.digest, pkey)
+        if found is not None:
+            record, tier = found
+            return self._reply(record, tier, canon)
+        key = (canon.digest, pkey)
+        with self._lock:
+            flight = self._inflight.get(key)
+            runner = flight is None
+            if runner:
+                flight = _Inflight()
+                self._inflight[key] = flight
+                self.searches_run += 1
+            else:
+                self.dedup_joined += 1
+        if not runner:
+            if not flight.event.wait(timeout=self.search_timeout):
+                raise TimeoutError(
+                    "deduplicated search did not finish in time"
+                )
+            if flight.record is None:
+                raise RuntimeError(
+                    f"deduplicated search failed: {flight.error}"
+                )
+            return self._reply(flight.record, "dedup", canon)
+        try:
+            record = self._run_search(function, env, axes, device,
+                                      search_params, canon, exact_fp, key)
+            flight.record = record
+        except BaseException as exc:
+            flight.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+        return self._reply(record, "search", canon)
+
+    def _run_search(self, function, env, axes, device, search_params,
+                    canon: CanonicalForm, exact_fp: str,
+                    key: Tuple) -> PlanRecord:
+        kwargs = dict(self._search_defaults)
+        for name in SEMANTIC_PARAMS:
+            if search_params.get(name) is not None:
+                kwargs[name] = search_params[name]
+        kwargs.setdefault("cache_dir", self.cache_dir)
+        result = self._search_fn(function, env, axes, device=device,
+                                 **kwargs)
+        priors: dict = {}
+        if self.cache_dir is not None:
+            # Reload the search's spool table: its accumulated per-group
+            # statistics become the record's servable priors.
+            table = table_for(self.cache_dir, function, env.mesh, device,
+                              env)
+            priors = table.warm_priors()
+        meta = {k: v for k, v in dataclasses.asdict(result).items()
+                if k not in ("actions",)}
+        record = PlanRecord(
+            key=key,
+            actions=canon.encode_key(tuple(tuple(a) for a in
+                                           result.actions)),
+            cost=result.cost,
+            priors=priors,
+            meta=meta,
+        )
+        self.store.put(record, exact_fp=exact_fp)
+        return record
+
+    def _reply(self, record: PlanRecord, tier: str,
+               canon: CanonicalForm) -> dict:
+        return {
+            "tier": tier,
+            "actions": [list(a) for a in canon.decode_key(record.actions)],
+            "cost": record.cost,
+            "priors": record.priors,
+            "meta": dict(record.meta),
+            "digest": record.key[0],
+        }
+
+    # -- transposition entries ----------------------------------------------
+
+    def handle_table(self, message) -> dict:
+        """Every transposition entry the server's spool holds for the
+        request's *exact* fingerprint (local index space by construction).
+        Empty without a ``cache_dir``."""
+        (function, mesh, device, env, _canon,
+         exact_fp) = self._request_context(message)
+        entries = []
+        priors: dict = {}
+        if self.cache_dir is not None:
+            table = table_for(self.cache_dir, function, mesh, device, env)
+            entries = [([list(a) for a in key], cost)
+                       for key, cost in table._costs.items()]
+            priors = table.warm_priors()
+        return {"exact_fp": exact_fp, "entries": entries, "priors": priors}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="PartIR plan server: partitioning-as-a-service daemon"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 picks an ephemeral port (printed)")
+    parser.add_argument("--max-entries", type=int, default=None,
+                        help="LRU plan-store cap "
+                             "(default: $PARTIR_PLAN_STORE_ENTRIES or 512)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="transposition/prior spool directory for "
+                             "server-side searches")
+    parser.add_argument("--store", default=None,
+                        help="JSONL snapshot to load at start and save "
+                             "on shutdown")
+    args = parser.parse_args(argv)
+
+    store = PlanStore(max_entries=args.max_entries)
+    if args.store:
+        loaded = store.load(args.store)
+        print(f"partir-plan-server loaded {loaded} plans from {args.store}",
+              flush=True)
+    server = PlanServer(host=args.host, port=args.port, store=store,
+                        cache_dir=args.cache_dir)
+    host, port = server.address
+    print(f"partir-plan-server listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        if args.store:
+            store.save(args.store)
+            print(f"partir-plan-server saved {len(store)} plans to "
+                  f"{args.store}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ touches the segment; only cold computations publish.
 
 from __future__ import annotations
 
+import os
 import pickle
 import struct
 import warnings
@@ -50,6 +51,23 @@ except ImportError:  # pragma: no cover - ancient pythons only
 #: benchmark-scale searches (a plan pickles to ~1-2 KB; searches produce
 #: thousands, not millions, of distinct neighborhoods).
 DEFAULT_SIZE = 16 * 1024 * 1024
+
+#: Environment variable overriding the default segment size (bytes).
+ENV_SIZE = "PARTIR_SHARED_MEMO_BYTES"
+
+
+def default_size() -> int:
+    """The configured segment size: ``PARTIR_SHARED_MEMO_BYTES`` when set
+    to a positive integer, else :data:`DEFAULT_SIZE`."""
+    raw = os.environ.get(ENV_SIZE)
+    if raw:
+        try:
+            value = int(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return DEFAULT_SIZE
 
 _HEADER = struct.Struct("<Q")
 _RECLEN = struct.Struct("<I")
@@ -88,7 +106,13 @@ class SharedMemoStore:
     # -- lifecycle ----------------------------------------------------------
 
     @classmethod
-    def create(cls, context, size: int = DEFAULT_SIZE) -> "SharedMemoStore":
+    def create(cls, context,
+               size: Optional[int] = None) -> "SharedMemoStore":
+        """Create a fresh segment; ``size=None`` uses
+        :func:`default_size` (``PARTIR_SHARED_MEMO_BYTES`` or the baked-in
+        default)."""
+        if size is None:
+            size = default_size()
         segment = _shm.SharedMemory(create=True, size=size)
         _HEADER.pack_into(segment.buf, 0, 0)
         store = cls(segment, context.Lock(), size, owner=True)
@@ -226,8 +250,9 @@ class SharedMemoStore:
 
 
 def create_store(context,
-                 size: int = DEFAULT_SIZE) -> Optional[SharedMemoStore]:
-    """A new store, or None when shared memory is unavailable."""
+                 size: Optional[int] = None) -> Optional[SharedMemoStore]:
+    """A new store (``size=None`` -> :func:`default_size`), or None when
+    shared memory is unavailable."""
     if _shm is None:
         return None
     try:

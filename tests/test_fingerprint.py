@@ -1,0 +1,160 @@
+"""Canonicalization goldens: the relaxed fingerprint tier.
+
+The relaxed fingerprint (:mod:`repro.auto.fingerprint`) must merge what is
+"the same partitioning problem" — alpha-renamed tags, permuted-but-
+isomorphic inputs, cost-irrelevant attr labels — while everything that can
+change a plan's cost (shapes, dtypes, mesh, device, initial shardings,
+structure) keeps programs apart in *both* tiers.  The exact fingerprint
+stays the correctness tier: these tests also pin that genuinely different
+programs never collide on it.
+"""
+
+import pytest
+
+from repro import Mesh, ShapeDtype, trace
+from repro.core.sharding import ShardingEnv
+from repro.ir.function import FunctionBuilder
+from repro.sim import DeviceSpec
+from repro.trace import ops
+
+from repro.auto.cache import function_fingerprint
+from repro.auto.fingerprint import (
+    CanonicalForm,
+    canonicalize,
+    relaxed_fingerprint,
+)
+from repro.auto.tree import canonical_key
+
+from conftest import build_matmul_chain
+
+MESH = Mesh({"B": 4, "M": 2})
+TINY_DEVICE = DeviceSpec("tiny", peak_flops=1e9, hbm_bytes=200_000,
+                         link_bandwidth=1e9)
+
+
+def chain(order=("x", "w1", "w2")):
+    """The paper's matmul chain with a chosen parameter order; every
+    order builds the same (x @ w1) @ w2 computation."""
+    builder = FunctionBuilder("main")
+    specs = {"x": (256, 8), "w1": (8, 16), "w2": (16, 8)}
+    params = {name: builder.param(specs[name], name=name)
+              for name in order}
+    hidden = builder.emit1("dot_general", [params["x"], params["w1"]],
+                           {"lhs_contract": (1,), "rhs_contract": (0,)})
+    out = builder.emit1("dot_general", [hidden, params["w2"]],
+                        {"lhs_contract": (1,), "rhs_contract": (0,)})
+    return builder.ret(out)
+
+
+def tagged_mlp(tag_name):
+    """A traced two-layer MLP with one manually named tag point."""
+    def fn(x, w1, w2):
+        hidden = ops.tag(x @ w1, tag_name)
+        return hidden @ w2
+
+    traced = trace(fn, ShapeDtype((32, 8)), ShapeDtype((8, 16)),
+                   ShapeDtype((16, 4)))
+    return traced.function
+
+
+class TestRelaxedEquivalence:
+    def test_stable_across_retraces(self):
+        first, _ = build_matmul_chain()
+        second, _ = build_matmul_chain()
+        assert relaxed_fingerprint(first, MESH, TINY_DEVICE) == \
+            relaxed_fingerprint(second, MESH, TINY_DEVICE)
+
+    def test_permuted_isomorphic_inputs_share_the_relaxed_key(self):
+        """Tracing f(x, w1, w2) as f(w2, x, w1) is the same partitioning
+        problem: one relaxed key, two exact keys."""
+        original = chain()
+        permuted = chain(order=("w2", "x", "w1"))
+        assert relaxed_fingerprint(original, MESH, TINY_DEVICE) == \
+            relaxed_fingerprint(permuted, MESH, TINY_DEVICE)
+        assert function_fingerprint(original, MESH, TINY_DEVICE) != \
+            function_fingerprint(permuted, MESH, TINY_DEVICE)
+
+    def test_alpha_renamed_tags_share_the_relaxed_key(self):
+        """A tag's name is an identity label, not a cost input."""
+        one = tagged_mlp("hidden")
+        other = tagged_mlp("post_activation")
+        assert relaxed_fingerprint(one, MESH, TINY_DEVICE) == \
+            relaxed_fingerprint(other, MESH, TINY_DEVICE)
+        assert function_fingerprint(one, MESH, TINY_DEVICE) != \
+            function_fingerprint(other, MESH, TINY_DEVICE)
+
+
+class TestDifferentProgramsStayApart:
+    @pytest.mark.parametrize("mutate", ["shape", "dtype", "mesh"])
+    def test_cost_relevant_differences_split_both_tiers(self, mutate):
+        base, _ = build_matmul_chain()
+        base_relaxed = relaxed_fingerprint(base, MESH, TINY_DEVICE)
+        base_exact = function_fingerprint(base, MESH, TINY_DEVICE)
+        if mutate == "shape":
+            other, _ = build_matmul_chain(m=512)
+            mesh = MESH
+        elif mutate == "dtype":
+            builder = FunctionBuilder("main")
+            x = builder.param((256, 8), dtype="float64", name="x")
+            w1 = builder.param((8, 16), dtype="float64", name="w1")
+            w2 = builder.param((16, 8), dtype="float64", name="w2")
+            h = builder.emit1("dot_general", [x, w1],
+                              {"lhs_contract": (1,), "rhs_contract": (0,)})
+            out = builder.emit1("dot_general", [h, w2],
+                                {"lhs_contract": (1,), "rhs_contract": (0,)})
+            other = builder.ret(out)
+            mesh = MESH
+        else:
+            other, mesh = base, Mesh({"B": 8})
+        assert relaxed_fingerprint(other, mesh, TINY_DEVICE) != base_relaxed
+        assert function_fingerprint(other, mesh, TINY_DEVICE) != base_exact
+
+    def test_initial_shardings_enter_the_relaxed_key(self):
+        function, _ = build_matmul_chain()
+        env = ShardingEnv(MESH)
+        blank = relaxed_fingerprint(function, MESH, TINY_DEVICE, env)
+        env.set_sharding(function.params[0],
+                         env.sharding(function.params[0]).with_tile(0, "B"))
+        assert relaxed_fingerprint(function, MESH, TINY_DEVICE, env) != blank
+
+    def test_device_enters_the_relaxed_key(self):
+        function, _ = build_matmul_chain()
+        fat = DeviceSpec("fat", peak_flops=1e12, hbm_bytes=16e9,
+                         link_bandwidth=1e11)
+        assert relaxed_fingerprint(function, MESH, TINY_DEVICE) != \
+            relaxed_fingerprint(function, MESH, fat)
+
+
+class TestIndexTranslation:
+    def test_encode_decode_roundtrip(self):
+        function = chain()
+        canon = canonicalize(function, MESH, TINY_DEVICE)
+        key = canonical_key([(0, 0, 0, "B"), (0, 2, 1, "M")])
+        assert canon.decode_key(canon.encode_key(key)) == key
+
+    def test_permuted_programs_meet_in_canonical_space(self):
+        """A plan encoded from one program and decoded into its permuted
+        clone must target the *same* parameters (by name)."""
+        original = chain()
+        permuted = chain(order=("w2", "x", "w1"))
+        canon_a = canonicalize(original, MESH, TINY_DEVICE)
+        canon_b = canonicalize(permuted, MESH, TINY_DEVICE)
+        names_a = [p.name for p in original.params]
+        names_b = [p.name for p in permuted.params]
+        for index in range(3):
+            encoded = canon_a.encode_key(((0, index, 0, "B"),))
+            decoded = canon_b.decode_key(encoded)
+            assert names_b[decoded[0][1]] == names_a[index]
+
+    def test_out_of_range_index_raises(self):
+        canon = canonicalize(chain(), MESH, TINY_DEVICE)
+        with pytest.raises(IndexError):
+            canon.encode_key(((0, 99, 0, "B"),))
+
+    def test_canonical_form_is_complete_permutation(self):
+        canon = canonicalize(chain(), MESH, TINY_DEVICE)
+        assert isinstance(canon, CanonicalForm)
+        assert sorted(canon.param_to_canon) == [0, 1, 2]
+        assert sorted(canon.canon_to_param) == [0, 1, 2]
+        for local, rank in enumerate(canon.param_to_canon):
+            assert canon.canon_to_param[rank] == local

@@ -320,3 +320,90 @@ class TestCompaction:
         assert reloaded.peek(((0, 99, 1, "M"),)) == 1.25
         for key in keys:
             assert reloaded.peek(key) == table.peek(key)
+
+
+class TestCompactCap:
+    def test_max_entries_evicts_oldest(self, tmp_path):
+        """compact(max_entries=) caps the table LRU-style: the oldest
+        stored keys go first, survivors and the rewritten log keep their
+        values, and the evictions counter records the drop."""
+        path = str(tmp_path / "tt.jsonl")
+        table = TranspositionTable(path)
+        keys = [((0, i, 0, "B"),) for i in range(10)]
+        for i, key in enumerate(keys):
+            table.store(key, float(i))
+        table.flush()
+
+        table.compact(max_entries=4)
+        assert table.evictions == 6
+        assert len(table) == 4
+        for i, key in enumerate(keys):
+            expected = float(i) if i >= 6 else None
+            assert table.peek(key) == expected
+
+        reloaded = TranspositionTable(path)
+        assert len(reloaded) == 4
+        for i, key in enumerate(keys[6:], start=6):
+            assert reloaded.peek(key) == float(i)
+
+    def test_cap_works_in_memory(self):
+        table = TranspositionTable()
+        for i in range(8):
+            table.store(((0, i, 0, "B"),), float(i))
+        table.compact(max_entries=3)
+        assert len(table) == 3 and table.evictions == 5
+        assert table.peek(((0, 7, 0, "B"),)) == 7.0
+
+    def test_cap_larger_than_table_is_noop(self, tmp_path):
+        path = str(tmp_path / "tt.jsonl")
+        table = TranspositionTable(path)
+        table.store(((0, 0, 0, "B"),), 1.0)
+        table.flush()
+        table.compact(max_entries=100)
+        assert table.evictions == 0 and len(table) == 1
+
+    def test_evicted_pending_records_not_flushed(self, tmp_path):
+        """An unflushed record evicted by the cap must not resurrect via a
+        later flush (the log would disagree with the in-memory table)."""
+        path = str(tmp_path / "tt.jsonl")
+        table = TranspositionTable(path)
+        table.store(((0, 0, 0, "B"),), 1.0)
+        table.store(((0, 1, 0, "B"),), 2.0)
+        table.compact(max_entries=1)
+        table.flush()
+        reloaded = TranspositionTable(path)
+        assert len(reloaded) == 1
+        assert reloaded.peek(((0, 1, 0, "B"),)) == 2.0
+
+
+class TestCorruptLog:
+    def test_mid_file_garbage_warns_and_keeps_intact_records(self, tmp_path):
+        path = str(tmp_path / "tt.jsonl")
+        table = TranspositionTable(path)
+        table.store(((0, 0, 0, "B"),), 1.0)
+        table.store(((0, 1, 0, "B"),), 2.0)
+        table.flush()
+        lines = open(path).read().splitlines()
+        lines.insert(1, "{not json at all")
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+        with pytest.warns(RuntimeWarning, match="corrupt mid-file"):
+            reloaded = TranspositionTable(path)
+        assert len(reloaded) == 2
+        assert reloaded.peek(((0, 0, 0, "B"),)) == 1.0
+        assert reloaded.peek(((0, 1, 0, "B"),)) == 2.0
+
+    def test_torn_tail_stays_silent(self, tmp_path, recwarn):
+        """A garbled *final* line is the expected crashed-writer signature
+        — skipped without any warning (the original torn-tail contract)."""
+        path = str(tmp_path / "tt.jsonl")
+        table = TranspositionTable(path)
+        table.store(((0, 0, 0, "B"),), 1.0)
+        table.flush()
+        with open(path, "a") as handle:
+            handle.write('{"k": [[0, 1, 0, "M"]], "c": 2.')
+        reloaded = TranspositionTable(path)
+        assert len(reloaded) == 1
+        assert not [w for w in recwarn.list
+                    if "corrupt" in str(w.message)]
