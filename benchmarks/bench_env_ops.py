@@ -13,7 +13,13 @@ model is tracked alongside the Fig 8/Fig 11 artifacts:
 * ``delta_replay`` — replaying a memoized propagation write-delta
   (``writes_since``), the undo engine's re-extension cost,
 * ``propagate_extension`` — a real apply + incremental propagation fixed
-  point, the irreducible cost both engines pay once per distinct prefix.
+  point, the irreducible cost both engines pay once per distinct prefix,
+* ``prune_probe`` — PR 8's per-candidate equivalence probe (checkpoint +
+  apply + propagate + footprint digest + rollback): the unit cost of the
+  action-space condenser's pre-pass, which must stay within a small
+  constant of a bare propagated extension (the digest is not the
+  expensive part) so condensing N candidates costs ~N extensions once —
+  and zero on warm runs, where persisted signatures skip every probe.
 
 Everything lands in ``BENCH_env_ops.json`` (uploaded by CI).  Gates are
 deliberately coarse — micro-timings flake on shared runners — and pin only
@@ -176,6 +182,16 @@ def test_env_ops(benchmark):
             env.rollback(inner)
         results["propagate_extension"] = _time_per_op(extension, 20)
 
+        # The condenser's per-candidate probe on the same action: the
+        # extension above plus the write-footprint digest and rollback.
+        from repro.auto.prune import probe_action
+        from repro.core.sharding import enumerate_function_values
+        value_index = {value: i for i, value in
+                       enumerate(enumerate_function_values(function))}
+        results["prune_probe"] = _time_per_op(
+            lambda: probe_action(function, env, candidates[1],
+                                 value_index=value_index), 20)
+
         # O(dirty) differential estimation: per-evaluation time vs the
         # number of changed values, at two function sizes.
         results["scaling"] = {
@@ -225,6 +241,11 @@ def test_env_ops(benchmark):
         results["propagate_extension"]
     assert results[f"delta_replay_{len(delta)}_writes"] < \
         results["propagate_extension"]
+    # A condenser probe is an extension plus digest bookkeeping: the
+    # digest must not dominate, so one probe stays within a small
+    # constant of the bare propagated extension it wraps.
+    assert results["prune_probe"] < \
+        3 * max(results["propagate_extension"], 1e-7)
     # O(dirty) differential estimation: doubling |function| (2 -> 4
     # layers, ~2x the ops) must not double the per-dirty-value slope —
     # the cost per evaluation scales with the dirty set, sublinearly in

@@ -201,6 +201,14 @@ class AutomaticPartition(Tactic):
     ``TileTagged``/``SumTagged`` actions at the traced function's tag
     points (auto-emitted at matmul/scan/reduce outputs; see
     :mod:`repro.ir.tagpoints`), ``"inputs"`` restricts to input tilings.
+    ``prune`` (default True) runs the action-space condenser before the
+    first rollout — one propagation probe per candidate collapses
+    propagation-equivalent actions to a single representative
+    (:mod:`repro.auto.prune`; ``last_search.candidates_total`` vs
+    ``candidates_kept`` reports the cut) — and ``prior`` picks the
+    warm-expansion scorer: ``"learned"`` (default — the deterministic
+    feature-hashed model of :mod:`repro.auto.prior`), ``"group"`` (flat
+    per-group means) or ``"none"``.
 
     ``search_backend`` picks the rollout scheduler (``"serial"``,
     ``"batched"`` or ``"process"`` — see :mod:`repro.auto.scheduler`);
@@ -241,7 +249,9 @@ class AutomaticPartition(Tactic):
                  cache_dir: Optional[str] = None,
                  rollout_env: Optional[str] = None,
                  action_space: Optional[str] = None,
-                 plan_server: Optional[str] = None):
+                 plan_server: Optional[str] = None,
+                 prune: Optional[bool] = None,
+                 prior: Optional[str] = None):
         self.axes = list(axes)
         self.options = dict(options or {})
         if search_backend is not None:
@@ -254,6 +264,10 @@ class AutomaticPartition(Tactic):
             self.options["action_space"] = action_space
         if plan_server is not None:
             self.options["plan_server"] = plan_server
+        if prune is not None:
+            self.options["prune"] = prune
+        if prior is not None:
+            self.options["prior"] = prior
         self.name = f"auto<{','.join(self.axes)}>"
         #: The SearchResult of the most recent apply() (None before).
         self.last_search = None

@@ -11,6 +11,13 @@ Package map:
 * :mod:`repro.auto.sharedmemo` — cross-worker shared plan memo.
 * :mod:`repro.auto.cache` — transposition table + on-disk persistence
   with load-time compaction.
+* :mod:`repro.auto.prune` — the action-space condenser: propagation
+  probes bucket candidates into equivalence classes; one representative
+  each survives.
+* :mod:`repro.auto.prior` — the deterministic feature-hashed learned
+  rollout prior fit from persisted tree statistics.
+* :mod:`repro.auto.exact` — branch-and-bound exact solver over the
+  condensed space (the small-instance regret oracle).
 * :mod:`repro.auto.fingerprint` — relaxed (canonicalized) fingerprints:
   alpha-renamed / input-permuted isomorphic programs share one key.
 * :mod:`repro.auto.planstore` — the plan server's LRU plan/prior store.
@@ -26,12 +33,15 @@ from repro.auto.evaluator import (
     action_group_key,
     candidate_actions,
 )
+from repro.auto.exact import ExactBudgetExceeded, ExactResult, exact_search
 from repro.auto.fingerprint import (
     CanonicalForm,
     canonicalize,
     relaxed_fingerprint,
 )
 from repro.auto.planstore import PlanRecord, PlanStore
+from repro.auto.prior import PRIOR_MODES, LinearPrior
+from repro.auto.prune import PruneReport, condense, probe_action
 from repro.auto.scheduler import (
     BACKENDS,
     RolloutScheduler,
@@ -48,8 +58,13 @@ __all__ = [
     "BACKENDS",
     "CanonicalForm",
     "Evaluator",
+    "ExactBudgetExceeded",
+    "ExactResult",
+    "LinearPrior",
+    "PRIOR_MODES",
     "PlanRecord",
     "PlanStore",
+    "PruneReport",
     "ROLLOUT_ENVS",
     "RolloutScheduler",
     "SchedulerUnavailable",
@@ -58,9 +73,12 @@ __all__ = [
     "TreePolicy",
     "canonical_key",
     "canonicalize",
+    "condense",
+    "exact_search",
     "function_fingerprint",
     "make_scheduler",
     "mcts_search",
+    "probe_action",
     "relaxed_fingerprint",
     "run_automatic_partition",
 ]

@@ -6,17 +6,24 @@ can be reused not just within one search but across *searches*: repeated
 ``partir_jit``/``AutomaticPartition`` calls over the same traced function
 warm-start from everything earlier calls learned.
 
-The log carries two record types:
+The log carries three record types:
 
 * **cost records** ``{"k": [[kind, index, dim, axis], ...], "c": cost}`` —
-  one per first-scored canonical action set (exact-cost reuse), and
+  one per first-scored canonical action set (exact-cost reuse),
 * **prior records** ``{"g": <group key>, "n": visits, "t": total}`` — one
   per search per action group touched (see
   :func:`repro.auto.evaluator.action_group_key`): the *tree* statistics a
   later search seeds its UCT expansion with.  Records for the same group
   accumulate across searches (visits and totals sum on load), so the
   append-only discipline extends to tree reuse: each search appends only
-  its own delta.
+  its own delta, and
+* **probe records** ``{"pa": [kind, index, dim, axis], "ps": digest}`` —
+  one per candidate action the condenser (:mod:`repro.auto.prune`) has
+  probed: the action's propagation-fixed-point digest, i.e. its
+  equivalence-class label.  A probe's result is a pure function of the
+  fingerprinted context, so the first record for an action is final; warm
+  runs (and the plan server) bucket straight from the log and skip the
+  probes.
 
 The on-disk format is deliberately **write-lean** (in the spirit of
 append-optimized structures for asymmetric memories): one JSON record per
@@ -189,6 +196,11 @@ class TranspositionTable:
         #: prior records (the persisted tree statistics).
         self._priors: Dict[Tuple, Tuple[int, float]] = {}
         self._prior_pending: List[Tuple[Tuple, int, float]] = []
+        #: action wire tuple -> propagation-fixed-point digest (the
+        #: condenser's persisted equivalence-class labels; first record
+        #: per action wins — probes are deterministic per fingerprint).
+        self._probes: Dict[Tuple, str] = {}
+        self._probe_pending: List[Tuple[Tuple, str]] = []
         if path is not None and os.path.exists(path):
             records, waste = self._load(path)
             try:
@@ -221,6 +233,26 @@ class TranspositionTable:
             self._priors[group] = (old[0] + visits, old[1] + total)
             if self.path is not None:
                 self._prior_pending.append((group, visits, total))
+
+    # -- probe signatures (the condenser's equivalence classes) ---------------
+
+    def warm_probes(self) -> Dict[Tuple, str]:
+        """Persisted ``action -> fixed-point digest`` probe signatures —
+        the warm-start input of :func:`repro.auto.prune.condense` (a
+        covered action skips its propagation probe entirely)."""
+        return dict(self._probes)
+
+    def store_probes(self, signatures: Dict[Tuple, str]) -> None:
+        """Register freshly-probed signatures and queue the new ones for
+        the log.  Signatures are deterministic per fingerprint, so an
+        action already covered is never re-queued (append-only, no
+        churn)."""
+        for action, digest in signatures.items():
+            if action in self._probes:
+                continue
+            self._probes[action] = digest
+            if self.path is not None:
+                self._probe_pending.append((action, digest))
 
     def __len__(self) -> int:
         return len(self._costs)
@@ -270,7 +302,8 @@ class TranspositionTable:
 
     def flush(self) -> None:
         """Append queued records to the log (no-op when nothing is new)."""
-        if self.path is None or not (self._pending or self._prior_pending):
+        if self.path is None or not (self._pending or self._prior_pending
+                                     or self._probe_pending):
             return
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
         with open(self.path, "a") as handle:
@@ -280,8 +313,12 @@ class TranspositionTable:
             for group, visits, total in self._prior_pending:
                 record = {"g": _to_jsonable(group), "n": visits, "t": total}
                 handle.write(json.dumps(record) + "\n")
+            for action, digest in self._probe_pending:
+                record = {"pa": list(action), "ps": digest}
+                handle.write(json.dumps(record) + "\n")
         self._pending = []
         self._prior_pending = []
+        self._probe_pending = []
 
     def compact(self, max_entries: Optional[int] = None) -> None:
         """Rewrite the log keeping exactly one (the newest) record per key.
@@ -320,12 +357,16 @@ class TranspositionTable:
             for group, (visits, total) in self._priors.items():
                 record = {"g": _to_jsonable(group), "n": visits, "t": total}
                 handle.write(json.dumps(record) + "\n")
+            for action, digest in self._probes.items():
+                record = {"pa": list(action), "ps": digest}
+                handle.write(json.dumps(record) + "\n")
         os.replace(tmp_path, self.path)
-        # Everything queued is already part of _costs/_priors and was just
-        # written; flushing it again would duplicate cost records and —
-        # since prior records SUM on load — double-count statistics.
+        # Everything queued is already part of _costs/_priors/_probes and
+        # was just written; flushing it again would duplicate cost records
+        # and — since prior records SUM on load — double-count statistics.
         self._pending = []
         self._prior_pending = []
+        self._probe_pending = []
         self.compactions += 1
 
     def _load(self, path: str) -> Tuple[int, int]:
@@ -351,6 +392,14 @@ class TranspositionTable:
                 records += 1
                 try:
                     record = json.loads(line)
+                    if "pa" in record:
+                        (action,) = _parse_key([record["pa"]])
+                        digest = str(record["ps"])
+                        if action in self._probes:
+                            waste += 1  # concurrent writers raced; first wins
+                        else:
+                            self._probes[action] = digest
+                        continue
                     if "g" in record:
                         group = _from_jsonable(record["g"])
                         visits = int(record["n"])

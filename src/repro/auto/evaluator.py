@@ -61,7 +61,8 @@ def candidate_actions(function: Function, env: ShardingEnv,
                       axes: Sequence[str],
                       max_inputs: int = 48,
                       action_space: str = "tagged",
-                      max_tag_points: int = 16
+                      max_tag_points: int = 16,
+                      truncation: Optional[Dict[str, int]] = None
                       ) -> List[Tuple[int, int, int, str]]:
     """Enumerate the legal actions of the (possibly widened) action space.
 
@@ -93,12 +94,22 @@ def candidate_actions(function: Function, env: ShardingEnv,
     Only actions legal at the *root* env are enumerated; legality is
     re-checked at application time, since earlier actions in a set may
     consume an axis.
+
+    Both caps can silently narrow the space; when ``truncation`` is a
+    dict, the number of parameters/tag points dropped by each cap is
+    reported into its ``"inputs"``/``"tag_points"`` keys so callers can
+    surface the drop (the repo's no-silent-caps convention —
+    :func:`repro.auto.search.mcts_search` warns once per process and
+    records ``SearchResult.actions_truncated``).
     """
     if action_space not in ACTION_SPACES:
         raise ValueError(
             f"unknown action_space {action_space!r}; "
             f"expected one of {ACTION_SPACES}"
         )
+    if truncation is not None:
+        truncation.setdefault("inputs", 0)
+        truncation.setdefault("tag_points", 0)
     seen_values = set()
     ranked = []
     for index, param in enumerate(function.params):
@@ -107,6 +118,8 @@ def candidate_actions(function: Function, env: ShardingEnv,
         seen_values.add(param)
         ranked.append((index, param))
     ranked.sort(key=lambda pair: (-pair[1].type.nbytes, pair[0]))
+    if truncation is not None and len(ranked) > max_inputs:
+        truncation["inputs"] = len(ranked) - max_inputs
     actions = []
     for index, param in ranked[:max_inputs]:
         for axis in axes:
@@ -127,6 +140,8 @@ def candidate_actions(function: Function, env: ShardingEnv,
         seen_roots.add(point.root)
         points.append(point)
     points.sort(key=lambda p: (-p.value.type.nbytes, p.index))
+    if truncation is not None and len(points) > max_tag_points:
+        truncation["tag_points"] = len(points) - max_tag_points
     for point in points[:max_tag_points]:
         for axis in axes:
             for dim in range(len(point.value.type.shape)):
@@ -143,22 +158,29 @@ def candidate_actions(function: Function, env: ShardingEnv,
 
 def action_group_key(function: Function, env: ShardingEnv,
                      action: Tuple[int, int, int, str]) -> tuple:
-    """The action's *group key* ``(kind, dim, axis, sharding signature)``.
+    """The action's *group key* ``(kind, op kind, dim, axis, sharding
+    signature)``.
 
     Action-group priors aggregate visit/value statistics per group: two
     actions share a group when they are the same kind of decision (same
-    kind/dim-or-factor/axis) applied to a value in the same initial
-    sharding state.  The signature is the target value's portable sharding
-    under the search's initial env, so keys are process-independent and
-    JSON-serializable — the persistence format of
-    :meth:`repro.auto.cache.TranspositionTable.store_priors`.
+    kind/dim-or-factor/axis) applied to the same kind of op (the tag
+    point's source opcode; ``"param"`` for input tilings) in the same
+    initial sharding state.  The signature is the target value's portable
+    sharding under the search's initial env, so keys are
+    process-independent and JSON-serializable — the persistence format of
+    :meth:`repro.auto.cache.TranspositionTable.store_priors`.  The op
+    kind is also what the learned prior's hashed features
+    (:meth:`repro.auto.prior.LinearPrior.features`) generalize over.
     """
     kind, index, dim, axis = action
     if kind == TILE_INPUT:
         target = function.params[index]
+        op_kind = "param"
     else:
-        target = tag_points(function)[index].value
-    return (kind, dim, axis, env.sharding(target).to_portable())
+        point = tag_points(function)[index]
+        target = point.value
+        op_kind = point.op_kind
+    return (kind, op_kind, dim, axis, env.sharding(target).to_portable())
 
 
 def try_apply_action(function: Function, env: ShardingEnv,
@@ -268,6 +290,11 @@ class Evaluator:
         self.remote_prefix_actions_total = 0
         self.remote_prefix_actions_reused = 0
         self.table = table if table is not None else TranspositionTable()
+        #: The full CostEstimate of the most recent :meth:`compute` (None
+        #: before the first).  The branch-and-bound solver
+        #: (:mod:`repro.auto.exact`) reads its compute/peak-memory terms
+        #: for admissible subtree bounds; the search itself never does.
+        self.last_estimate = None
         self._env_cache: Dict[ActionKey, ShardingEnv] = {}
         # One streaming estimator for the whole search: its per-op plan and
         # reconcile-chain memos are what let an evaluation reuse the
@@ -396,6 +423,19 @@ class Evaluator:
             stack.append((action, token))
         return env
 
+    def last_extension_writes(self) -> Optional[int]:
+        """Env writes the most recently applied action (top of the undo
+        stack) contributed, propagation included; None when nothing is
+        applied or on the fork engine.  Zero means the last action was a
+        no-op at its position — the branch-and-bound solver uses this to
+        drop subtrees whose every set is cost-identical to a sibling's
+        (actions apply in canonical sorted order, so an action that
+        no-ops after a given prefix no-ops after every extension of it
+        too)."""
+        if self.rollout_env != "undo" or not self._stack:
+            return None
+        return len(self.root.writes_since(self._stack[-1][1]))
+
     def evaluate(self, actions: Sequence[Tuple[int, int, int, str]]) -> float:
         key = canonical_key(actions)
         if self.memoize:
@@ -429,6 +469,7 @@ class Evaluator:
             estimate = costmodel.estimate(lowered, self.device)
             self.lower_calls += 1
         cost = costmodel.search_objective(estimate, self.device)
+        self.last_estimate = estimate
         self.estimate_time_s += time.perf_counter() - t1
         self.evaluations += 1
         return cost

@@ -1,0 +1,156 @@
+"""The learned rollout prior: a deterministic feature-hashed linear model.
+
+PR 5's per-group priors are flat visit/value means: an action group the
+transposition log has never seen gets no prior at all, and groups that are
+*obviously* alike — the same op kind contracted along a different mesh
+axis, the same decision on a differently-sized weight — share nothing.
+This module replaces the flat means with a tiny linear model over hashed
+features of the group key ``(action kind, op kind, dim, mesh axis,
+sharding signature)``: warm statistics train it once per search, and it
+then scores **every** candidate group, seen or unseen, so warm expansion
+generalizes across structurally-similar decisions instead of replaying
+only exact group matches.
+
+Determinism contract (the part the cross-backend regression suite pins):
+
+* the model is **fit once, at search start**, from the warm (persisted)
+  per-group statistics — a fixed input every scheduler backend shares.
+  Training examples are sorted by their canonical repr, epochs and
+  learning rate are fixed constants, and feature hashing uses
+  ``blake2b`` (never Python's salted ``hash``), so identical warm
+  statistics produce bit-identical weights in every process — serial,
+  batched, process-pool workers and the plan server all agree.
+* live in-run statistics are *accumulated* (and persisted afterwards)
+  but never refold into the model mid-search: that would couple
+  expansion order to each backend's wave timing, exactly what the
+  warm-gating of :class:`repro.auto.tree.TreePolicy` exists to prevent.
+* a cold search (no warm statistics) builds no model at all and expands
+  uniformly at random, draw-for-draw identical to the prior-free policy.
+
+The model is deliberately small: a few hundred float buckets, a handful
+of crossed features, plain-Python IEEE arithmetic.  It is a *ranking*
+prior — only relative scores matter to expansion — not a cost predictor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Valid ``prior=`` modes of the search: ``"learned"`` (default — this
+#: module's model over warm statistics), ``"group"`` (PR 5's flat
+#: per-group warm means), ``"none"`` (uniform expansion even when warm).
+PRIOR_MODES = ("learned", "group", "none")
+
+
+def _bucket(feature: str, buckets: int) -> int:
+    digest = hashlib.blake2b(feature.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % buckets
+
+
+class LinearPrior:
+    """Feature-hashed linear scorer over action-group keys.
+
+    Group keys are ``(kind, op_kind, dim, axis, sharding)`` tuples (see
+    :func:`repro.auto.evaluator.action_group_key`); pre-PR-8 logs carry
+    legacy 4-tuples without the op kind, which featurize with a ``"?"``
+    placeholder so old statistics still train a usable model.
+    """
+
+    BUCKETS = 256
+    EPOCHS = 6
+    LEARNING_RATE = 0.25
+    L2 = 1e-4
+    #: Cap on one example's visit weight: a single heavily-revisited group
+    #: must not drown every other example's gradient.
+    MAX_EXAMPLE_WEIGHT = 16
+
+    __slots__ = ("weights", "examples", "_bucket_cache")
+
+    def __init__(self):
+        self.weights: List[float] = [0.0] * self.BUCKETS
+        self.examples = 0
+        self._bucket_cache: Dict[Tuple, Tuple[int, ...]] = {}
+
+    # -- featurization -------------------------------------------------------
+
+    @staticmethod
+    def features(group: Tuple) -> List[str]:
+        """The group's hashed-feature names (order is part of the model)."""
+        if len(group) == 5:
+            kind, op_kind, dim, axis, sharding = group
+        else:  # legacy 4-tuple group key (pre-op-kind logs)
+            kind, dim, axis, sharding = group
+            op_kind = "?"
+        s = repr(sharding)
+        return [
+            "bias",
+            f"k:{kind}",
+            f"o:{op_kind}",
+            f"d:{dim}",
+            f"a:{axis}",
+            f"s:{s}",
+            f"ko:{kind}|{op_kind}",
+            f"ka:{kind}|{axis}",
+            f"kd:{kind}|{dim}",
+            f"oa:{op_kind}|{axis}",
+            f"od:{op_kind}|{dim}",
+            f"os:{op_kind}|{s}",
+            f"kas:{kind}|{axis}|{s}",
+        ]
+
+    def _buckets_for(self, group: Tuple) -> Tuple[int, ...]:
+        cached = self._bucket_cache.get(group)
+        if cached is None:
+            cached = tuple(
+                _bucket(feature, self.BUCKETS)
+                for feature in self.features(group)
+            )
+            self._bucket_cache[group] = cached
+        return cached
+
+    # -- scoring & fitting ---------------------------------------------------
+
+    def score(self, group: Tuple) -> float:
+        weights = self.weights
+        return sum(weights[b] for b in self._buckets_for(group))
+
+    def fit_one_epoch(self, examples: Sequence[Tuple[Tuple, float,
+                                                     float]]) -> None:
+        weights = self.weights
+        lr = self.LEARNING_RATE
+        l2 = self.L2
+        for group, target, weight in examples:
+            buckets = self._buckets_for(group)
+            prediction = sum(weights[b] for b in buckets)
+            step = lr * weight * (target - prediction) / len(buckets)
+            for b in buckets:
+                weights[b] += step - lr * l2 * weights[b]
+
+    @classmethod
+    def fit(cls, warm_priors: Dict[Tuple, Tuple[int, float]]
+            ) -> Optional["LinearPrior"]:
+        """Train a model from persisted per-group statistics, or ``None``
+        when there is nothing to learn from (the cold-run gate: no warm
+        statistics, no model, uniform expansion).
+
+        The example order (canonical repr sort), epoch count and step
+        sizes are fixed, so the same statistics always yield bit-identical
+        weights — the model is part of the search's seeded deterministic
+        state, not of any backend's execution order.
+        """
+        examples: List[Tuple[Tuple, float, float]] = []
+        for group, (visits, total) in sorted((warm_priors or {}).items(),
+                                             key=repr):
+            if visits <= 0:
+                continue
+            weight = min(visits, cls.MAX_EXAMPLE_WEIGHT) / \
+                cls.MAX_EXAMPLE_WEIGHT
+            examples.append((group, total / visits, weight))
+        if not examples:
+            return None
+        model = cls()
+        model.examples = len(examples)
+        for _ in range(cls.EPOCHS):
+            model.fit_one_epoch(examples)
+        return model

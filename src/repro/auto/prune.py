@@ -1,0 +1,182 @@
+"""The action-space condenser: propagation-probe equivalence pruning.
+
+PR 5's widened action space is redundant by construction: a ``TileTagged``
+on an interior value often propagates to exactly the fixed point an input
+tiling reaches (tiling a matmul output's free dim backward-propagates to
+the weight column it came from), and a ``SumTagged`` on a contracting
+factor writes precisely what tiling the factor's operand would have made
+propagation write.  Every such duplicate action burns rollout budget on a
+schedule the search has already scored and splits the per-group prior
+statistics across equivalent decisions.
+
+The condenser runs once per search, between candidate enumeration and the
+first rollout:
+
+1. **probe** — for each candidate, checkpoint the evaluator's mutable root
+   env, apply the action, run one incremental-propagation fixed point,
+   collect the forward write delta (:meth:`ShardingEnv.writes_since`), and
+   roll back.  The env funnels every write through a pointer-comparing
+   ``set_sharding``, so the delta is exactly the set of values whose fixed
+   point differs from the root's — the action's *semantic footprint*.
+2. **bucket** — actions whose footprints digest identically (value index +
+   interned portable sharding, order-independent) are propagation
+   equivalent: every canonical set extending one of them scores the same
+   cost as the set extending any other.  They share a bucket.
+3. **representative** — each bucket keeps its smallest action tuple (the
+   same order the incumbent rule breaks exact cost ties with, so pruned
+   and unpruned searches converging on an equivalent best report the same
+   wire tuples); an action whose probe is a no-op (empty delta — it was
+   enumerated as root-legal but propagation already subsumes it) is
+   dominated by not acting at all and is dropped outright.
+
+Probe digests persist in the transposition log (one record per action; see
+:meth:`repro.auto.cache.TranspositionTable.store_probes`), so a warm run —
+or the plan server re-searching a known fingerprint — buckets from the log
+without touching the env: the pre-pass then costs microseconds, far under
+the sub-10%-of-one-rollout overhead budget Fig 11 gates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.propagate import propagate
+from repro.core.sharding import ShardingEnv, enumerate_function_values
+from repro.ir.function import Function
+
+#: An action wire tuple ``(kind, index, dim, axis)``.
+ActionTuple = Tuple[int, int, int, str]
+
+
+@dataclasses.dataclass
+class PruneReport:
+    """What one condenser pass kept, dropped and measured.
+
+    ``kept`` preserves the candidate enumeration's documented total order
+    (it is a subsequence of the input).  ``signatures`` maps every probed
+    action to its fixed-point digest — the equivalence-class labels a
+    persistent table stores so later runs skip the probes.
+    """
+
+    kept: List[ActionTuple]
+    total: int = 0
+    classes: int = 0
+    dropped_equivalent: int = 0
+    dropped_noop: int = 0
+    probes_run: int = 0
+    probes_reused: int = 0
+    prune_time_s: float = 0.0
+    signatures: Dict[ActionTuple, str] = dataclasses.field(
+        default_factory=dict)
+
+
+#: Digest of the empty footprint: the probe found the action to be a
+#: propagation no-op at the root (dominated by not acting at all).
+NOOP_SIGNATURE = "noop"
+
+
+def footprint_digest(delta: Sequence[Tuple[int, Tuple]]) -> str:
+    """Stable hex digest of one probe's fixed-point footprint.
+
+    ``delta`` pairs canonical value indices with portable shardings; the
+    digest is order-independent (sorted) and process-independent (value
+    indices and portable shardings are both canonical-walk-derived), so
+    digests computed by different runs — or loaded from the transposition
+    log — compare equal exactly when the footprints match.
+    """
+    if not delta:
+        return NOOP_SIGNATURE
+    hasher = hashlib.blake2b(digest_size=12)
+    for index, portable in sorted(delta):
+        hasher.update(repr((index, portable)).encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def probe_action(function: Function, env: ShardingEnv, action: ActionTuple,
+                 *, incremental: bool = True,
+                 value_index: Optional[Dict] = None) -> str:
+    """One propagation probe: the action's fixed-point footprint digest.
+
+    Checkpoints ``env``, applies the action, propagates to the fixed
+    point, reads the forward write delta and rolls back — the env is
+    bit-identical afterwards (undo-log restoration), so probing the
+    search's live mutable root between evaluations is safe.
+    """
+    # Local import: evaluator imports prune's sibling helpers; keep the
+    # module graph acyclic at import time.
+    from repro.auto.evaluator import try_apply_action
+
+    if value_index is None:
+        value_index = {
+            value: i
+            for i, value in enumerate(enumerate_function_values(function))
+        }
+    token = env.checkpoint()
+    try:
+        if try_apply_action(function, env, action):
+            propagate(function, env, incremental=incremental)
+        delta = [
+            (value_index[value], sharding.to_portable())
+            for value, sharding in env.writes_since(token)
+        ]
+    finally:
+        env.rollback(token)
+    return footprint_digest(delta)
+
+
+def condense(function: Function, env: ShardingEnv,
+             candidates: Sequence[ActionTuple], *,
+             incremental: bool = True,
+             known_signatures: Optional[Dict[ActionTuple, str]] = None
+             ) -> PruneReport:
+    """Condense ``candidates`` to one representative per equivalence class.
+
+    ``env`` must be at its propagation fixed point (the evaluator's root
+    is).  ``known_signatures`` supplies persisted probe digests (from
+    :meth:`repro.auto.cache.TranspositionTable.warm_probes`); any action
+    covered there skips its probe.  The output order is the input order
+    with non-representatives removed, and the choice of representative —
+    the minimum wire tuple of each bucket — does not depend on which
+    signatures were warm, so warm and cold condenser passes are
+    bit-identical.
+    """
+    t0 = time.perf_counter()
+    report = PruneReport(kept=[], total=len(candidates))
+    known = known_signatures or {}
+    value_index = {
+        value: i
+        for i, value in enumerate(enumerate_function_values(function))
+    }
+    buckets: Dict[str, ActionTuple] = {}
+    signatures: Dict[ActionTuple, str] = {}
+    for action in candidates:
+        signature = known.get(action)
+        if signature is not None:
+            report.probes_reused += 1
+        else:
+            signature = probe_action(function, env, action,
+                                     incremental=incremental,
+                                     value_index=value_index)
+            report.probes_run += 1
+        signatures[action] = signature
+        if signature == NOOP_SIGNATURE:
+            continue
+        representative = buckets.get(signature)
+        if representative is None or action < representative:
+            buckets[signature] = action
+    keep = set(buckets.values())
+    report.kept = [action for action in candidates if action in keep]
+    report.classes = len(buckets)
+    report.dropped_noop = sum(
+        1 for action in candidates
+        if signatures[action] == NOOP_SIGNATURE
+    )
+    report.dropped_equivalent = (report.total - len(report.kept)
+                                 - report.dropped_noop)
+    report.signatures = signatures
+    report.prune_time_s = time.perf_counter() - t0
+    return report

@@ -46,6 +46,7 @@ from repro.core.sharding import ShardingEnv
 from repro.ir.function import Function
 from repro.sim.devices import TPU_V3, DeviceSpec
 
+from repro.auto import prune as prune_mod
 from repro.auto.cache import table_for
 from repro.auto.evaluator import (
     Evaluator,
@@ -134,11 +135,54 @@ class SearchResult:
     #: ``"server:dedup"`` when a plan server answered (the suffix is the
     #: store tier that matched — see :mod:`repro.auto.planstore`).
     plan_source: str = "local"
+    #: Parameters + tag points the enumeration caps (``max_inputs`` /
+    #: ``max_tag_points``) silently dropped from the candidate space (a
+    #: one-shot RuntimeWarning fires the first time this is nonzero).
+    actions_truncated: int = 0
+    #: Condenser accounting (see :mod:`repro.auto.prune`; all zero with
+    #: ``prune=False``): candidates enumerated / kept after equivalence
+    #: pruning, distinct propagation-fixed-point classes, probes actually
+    #: run vs reused from the persisted equivalence classes, and the
+    #: pre-pass wall-clock.
+    candidates_total: int = 0
+    candidates_kept: int = 0
+    prune_classes: int = 0
+    prune_probes: int = 0
+    prune_probes_reused: int = 0
+    prune_time_s: float = 0.0
+    #: Which warm-expansion prior steered the tree ("learned" | "group" |
+    #: "none"; see :mod:`repro.auto.prior`).
+    prior_mode: str = "learned"
 
 
 #: Upper bound on one plan request's round trip — generous because a cold
 #: request makes the server *run the search* before replying.
 PLAN_REQUEST_TIMEOUT_S = 600.0
+
+#: One-shot latch for the enumeration-cap warning (the repo's no-silent-
+#: caps convention: warn loudly once, count always).
+_TRUNCATION_WARNED = False
+
+
+def _warn_truncation(truncation: dict, max_inputs: int,
+                     max_tag_points: int) -> int:
+    """Surface dropped candidates; returns the total drop count."""
+    global _TRUNCATION_WARNED
+    dropped = sum(truncation.values())
+    if dropped and not _TRUNCATION_WARNED:
+        _TRUNCATION_WARNED = True
+        warnings.warn(
+            f"candidate enumeration truncated: "
+            f"{truncation.get('inputs', 0)} parameter(s) beyond "
+            f"max_inputs={max_inputs} and {truncation.get('tag_points', 0)} "
+            f"tag point(s) beyond max_tag_points={max_tag_points} were "
+            "dropped from the action space (largest-first ranking kept "
+            "the biggest values); raise the caps to search them.  "
+            "SearchResult.actions_truncated counts the drop per search; "
+            "this warning fires once per process.",
+            RuntimeWarning,
+        )
+    return dropped
 
 
 def _request_plan(function: Function, env: ShardingEnv,
@@ -201,6 +245,8 @@ def mcts_search(
     action_space: str = "tagged",
     max_tag_points: int = 16,
     plan_server: Optional[str] = None,
+    prune: bool = True,
+    prior: str = "learned",
 ) -> SearchResult:
     """UCT search; returns the best action sequence found.
 
@@ -223,6 +269,20 @@ def mcts_search(
     ``"tagged"`` (default: input tilings plus mid-function
     ``TileTagged``/``SumTagged`` actions at up to ``max_tag_points`` tag
     points) or ``"inputs"`` (the classic input-tilings-only space).
+
+    ``prune=True`` (default) runs the action-space condenser
+    (:mod:`repro.auto.prune`) before the first rollout: one propagation
+    probe per candidate buckets actions by their fixed point and keeps
+    only one representative per equivalence class, so the rollout budget
+    never re-scores propagation-identical decisions.  Probe signatures
+    persist with ``cache_dir`` — warm runs bucket from the log without
+    probing.  ``prior`` selects the warm-expansion scorer: ``"learned"``
+    (default — the deterministic feature-hashed model of
+    :mod:`repro.auto.prior`), ``"group"`` (flat per-group warm means) or
+    ``"none"``.  Both knobs are semantic (they change which candidates
+    rollouts see / how warm runs expand) but backend-independent: the
+    probe pass and the model fit happen once, before scheduling, from
+    inputs every backend shares.
 
     >>> from repro import Mesh, ShapeDtype, trace
     >>> from repro.core.sharding import ShardingEnv
@@ -252,7 +312,8 @@ def mcts_search(
                                exploration=exploration, seed=seed,
                                max_inputs=max_inputs,
                                action_space=action_space,
-                               max_tag_points=max_tag_points)
+                               max_tag_points=max_tag_points,
+                               prune=prune, prior=prior)
         if served is not None:
             reply_actions = canonical_key(
                 tuple(tuple(action) for action in served["actions"])
@@ -265,14 +326,16 @@ def mcts_search(
                 rollout_env=rollout_env,
                 action_space=action_space,
                 plan_source=f"server:{served['tier']}",
+                prior_mode=prior,
             )
+    truncation: dict = {}
     candidates = candidate_actions(function, env, axes, max_inputs,
                                    action_space=action_space,
-                                   max_tag_points=max_tag_points)
-    groups = {
-        action: action_group_key(function, env, action)
-        for action in candidates
-    }
+                                   max_tag_points=max_tag_points,
+                                   truncation=truncation)
+    actions_truncated = _warn_truncation(truncation, max_inputs,
+                                         max_tag_points)
+    candidates_total = len(candidates)
     # Snapshot before Evaluator.__init__: its root fixed point counts too.
     stats_before = env.stats.snapshot()
     table = table_for(cache_dir, function, env.mesh, device, env)
@@ -281,6 +344,25 @@ def mcts_search(
         streaming=streaming, reconcile_cache=reconcile_cache, table=table,
         rollout_env=rollout_env,
     )
+    prune_report = None
+    if prune and candidates:
+        # Condense on the evaluator's root (the search's propagation fixed
+        # point): each probe checkpoints, applies + propagates, reads the
+        # write delta and rolls back — bit-identical env afterwards, so
+        # probing the live mutable env before scheduling is safe.  Warm
+        # probe signatures from the transposition log skip the probes; the
+        # result never depends on which signatures were warm.
+        prune_report = prune_mod.condense(
+            function, evaluator.root, candidates, incremental=incremental,
+            known_signatures=table.warm_probes() if memoize else None,
+        )
+        candidates = prune_report.kept
+        if memoize:
+            table.store_probes(prune_report.signatures)
+    groups = {
+        action: action_group_key(function, env, action)
+        for action in candidates
+    }
     scheduler = make_scheduler(backend, wave_size=wave_size,
                                workers=workers, plan_server=plan_server)
     # Fork worker pools (a no-op for in-process backends) before the
@@ -343,9 +425,22 @@ def mcts_search(
 
     policy = TreePolicy(candidates, seed, exploration, rollout_depth,
                         group_keys=groups,
-                        warm_priors=table.warm_priors() if memoize else None)
+                        warm_priors=table.warm_priors() if memoize else None,
+                        prior=prior)
     try:
         scheduler.run(policy, evaluator, budget, baseline, on_result)
+        # Witness minimization: random rollout completions often decorate
+        # the true winner with actions that no-op in its context, and the
+        # padded superset is what the incumbent saw first.  Greedily drop
+        # (left to right, deterministically) every action whose removal
+        # leaves the cost bit-identical, so the reported plan is a minimal
+        # witness of ``best_cost``: replay applies fewer actions, the plan
+        # store dedups better, and two backends that surfaced different
+        # cost-equal paddings of one core report the same set.
+        for action in list(best_key):
+            trial = tuple(a for a in best_key if a != action)
+            if evaluator.evaluate(trial) == best_cost:
+                best_key = trial
     finally:
         # Persist everything scored so far even when a wave dies (e.g. a
         # worker OOM-kill): the append-only log makes partial progress
@@ -383,6 +478,15 @@ def mcts_search(
         waves=scheduler.waves,
         wave_lcp_mean=(scheduler.wave_lcp_actions / scheduler.wave_lcp_pairs
                        if scheduler.wave_lcp_pairs else 0.0),
+        actions_truncated=actions_truncated,
+        candidates_total=candidates_total,
+        candidates_kept=len(candidates),
+        prune_classes=prune_report.classes if prune_report else 0,
+        prune_probes=prune_report.probes_run if prune_report else 0,
+        prune_probes_reused=(prune_report.probes_reused
+                             if prune_report else 0),
+        prune_time_s=prune_report.prune_time_s if prune_report else 0.0,
+        prior_mode=prior,
     )
 
 
@@ -407,6 +511,8 @@ def run_automatic_partition(
     action_space: str = "tagged",
     max_tag_points: int = 16,
     plan_server: Optional[str] = None,
+    prune: bool = True,
+    prior: str = "learned",
     result_sink: Optional[list] = None,
     **_ignored,
 ) -> int:
@@ -431,7 +537,8 @@ def run_automatic_partition(
                          rollout_env=rollout_env,
                          action_space=action_space,
                          max_tag_points=max_tag_points,
-                         plan_server=plan_server)
+                         plan_server=plan_server,
+                         prune=prune, prior=prior)
     if result_sink is not None:
         result_sink.append(result)
     # Replay the winner exactly the way the evaluator scored it: one

@@ -55,7 +55,8 @@ from repro.auto.search import mcts_search
 #: backend, rollout env, cache and streaming toggles — is bit-identical by
 #: the regression-pinned purity properties and deliberately excluded.
 SEMANTIC_PARAMS = ("budget", "rollout_depth", "exploration", "seed",
-                   "max_inputs", "action_space", "max_tag_points")
+                   "max_inputs", "action_space", "max_tag_points",
+                   "prune", "prior")
 
 
 def params_key(axes, search_params: dict) -> Tuple:

@@ -94,6 +94,7 @@ class SharedMemoStore:
         self._owner = owner
         self._full = False
         self._warned_full = False
+        self._closed = False
 
     @property
     def full(self) -> bool:
@@ -160,6 +161,11 @@ class SharedMemoStore:
         self.__dict__.update(state)
 
     def close(self) -> None:
+        # An estimator may still hold a reference (the search's local
+        # evaluator keeps scoring — e.g. witness minimization — after the
+        # scheduler tears its pool down): a closed store goes *inert*
+        # rather than handing out an unmapped buffer.
+        self._closed = True
         try:
             self._segment.close()
         except Exception:
@@ -208,7 +214,8 @@ class SharedMemoStore:
         just sets its flag, which rides back with the wave results and
         surfaces through :meth:`note_remote_full`.
         """
-        if self._full or not payloads or self._segment is None:
+        if (self._full or not payloads or self._segment is None
+                or self._closed):
             return 0
         blobs = [pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL)
                  for p in payloads]
@@ -233,7 +240,7 @@ class SharedMemoStore:
     def poll(self, offset: int) -> Tuple[int, List[tuple]]:
         """Records committed since ``offset`` (a value previously returned
         by this method; start at 0).  Returns ``(new_offset, payloads)``."""
-        if self._segment is None:  # a pickled round-trip: inert
+        if self._segment is None or self._closed:  # detached: inert
             return offset, []
         buf = self._segment.buf
         with self._lock:

@@ -37,8 +37,13 @@ spells one ordering of such a set.  Three policies live here:
   known, expansion picks the group with the best warm mean reward, with
   exact ties broken through the node's RNG stream (live statistics are
   recorded for persistence but never read during selection — see
-  :meth:`TreePolicy._prior_mean`).  This is how repeated ``partir_jit``
-  calls reuse the
+  :meth:`TreePolicy._prior_mean`).  With the default ``prior="learned"``
+  mode, the flat warm means are replaced by a
+  :class:`repro.auto.prior.LinearPrior` — a feature-hashed linear model
+  fit *once, at search start* from the same warm statistics (so it too is
+  a fixed input every backend shares) that scores every grouped action,
+  including groups the log never saw.  This is how repeated
+  ``partir_jit`` calls reuse the
   *tree* — not just exact costs — across calls; ``tree_prior_hits``
   counts expansions steered by warm-started statistics.
 """
@@ -49,6 +54,8 @@ import hashlib
 import math
 import random
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.auto.prior import PRIOR_MODES, LinearPrior
 
 # An action wire tuple: (kind, index, dim, axis) — see repro.core.actions.
 # None is STOP.
@@ -166,7 +173,12 @@ class TreePolicy:
     def __init__(self, candidates: Sequence[Tuple[int, int, int, str]],
                  seed: int, exploration: float, rollout_depth: int,
                  group_keys: Optional[Dict] = None,
-                 warm_priors: Optional[Dict] = None):
+                 warm_priors: Optional[Dict] = None,
+                 prior: str = "learned"):
+        if prior not in PRIOR_MODES:
+            raise ValueError(
+                f"unknown prior {prior!r}; expected one of {PRIOR_MODES}"
+            )
         self.candidates = list(candidates)
         self.seed = seed
         self.exploration = exploration
@@ -174,6 +186,17 @@ class TreePolicy:
         self.root = Node(None, None, [None] + self.candidates)
         self.group_keys: Dict = dict(group_keys or {})
         self.warm_priors: Dict = dict(warm_priors or {})
+        #: Which warm-expansion scorer steers the tree (see
+        #: :mod:`repro.auto.prior`): ``"learned"`` fits the feature-hashed
+        #: linear model from the warm statistics once, here — part of the
+        #: seeded deterministic state, identical in every backend;
+        #: ``"group"`` keeps the flat warm means; ``"none"`` ignores warm
+        #: statistics for expansion (they still accumulate and persist).
+        self.prior_mode = prior
+        self.prior_model: Optional[LinearPrior] = (
+            LinearPrior.fit(self.warm_priors)
+            if prior == "learned" and self.warm_priors else None
+        )
         #: group -> [visits, total reward], accumulated by note_result
         #: during this search (the delta persisted after the run).
         self.live_stats: Dict[object, list] = {}
@@ -225,24 +248,46 @@ class TreePolicy:
             return None
         return warm[1] / warm[0]
 
+    def _prior_score(self, action: Action) -> Optional[float]:
+        """The warm-expansion score of one untried action, or None when no
+        warm signal covers it (then it joins the optimistic-first pool).
+
+        ``"group"`` mode scores only groups with exact warm statistics
+        (:meth:`_prior_mean`); ``"learned"`` mode scores *every* grouped
+        action through the fitted :class:`~repro.auto.prior.LinearPrior`
+        — hashed features generalize warm statistics to groups the log
+        never saw; ``"none"`` scores nothing.  STOP has no group and is
+        never scored, so it keeps its optimistic first expansion.  On a
+        cold run no mode has any warm input and every action scores None
+        — the uniform draw-for-draw guarantee is mode-independent.
+        """
+        if action is None:
+            return None
+        group = self.group_keys.get(action)
+        if group is None:
+            return None
+        if self.prior_mode == "group":
+            return self._prior_mean(group)
+        if self.prior_mode == "learned" and self.prior_model is not None:
+            return self.prior_model.score(group)
+        return None
+
     def _select_untried(self, untried: List[Action],
                         rng: random.Random) -> int:
         """Index of the untried action to expand next (see module doc).
 
-        Actions without warm-known groups (including STOP, which never
+        Actions without a warm score (including STOP, which never
         appears inside a scored set) are optimistically expanded first,
         uniformly at random — on a cold run that is every action, so the
         draw is bit-identical to the classic uniform policy.  Otherwise
-        the best known group mean wins, with exact ties (e.g. several
-        actions of one group) broken through the same RNG stream.
+        the best score wins, with exact ties (e.g. several actions of one
+        group) broken through the same RNG stream.
         """
         unknown: List[int] = []
         best_mean: Optional[float] = None
         ties: List[int] = []
         for i, action in enumerate(untried):
-            group = self.group_keys.get(action) if action is not None \
-                else None
-            mean = self._prior_mean(group) if group is not None else None
+            mean = self._prior_score(action)
             if mean is None:
                 unknown.append(i)
             elif not unknown:
@@ -277,9 +322,18 @@ class TreePolicy:
                 ]
             node.children.append(child)
             node = child
-        # Rollout.
+        # Rollout.  The random completion respects the remaining depth
+        # budget: ``rollout_depth`` bounds the whole scored set, not just
+        # the completion, so a node already at (or past) the depth budget
+        # scores its *exact* action set.  An unbounded completion would
+        # instead pad deep leaves with up to ``rollout_depth`` random extra
+        # actions — against a condensed candidate list (no redundant
+        # no-op padding left; see :mod:`repro.auto.prune`) that dilutes
+        # every deep evaluation with noise and the exact optimum may never
+        # be scored at all.
         actions = node.path()
-        depth = rng.randrange(self.rollout_depth + 1)
+        remaining = max(self.rollout_depth - len(actions), 0)
+        depth = rng.randrange(remaining + 1)
         pool = [a for a in self.candidates if a not in node.action_set]
         rng.shuffle(pool)
         return node, canonical_key(actions + pool[:depth])

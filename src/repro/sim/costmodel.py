@@ -290,6 +290,32 @@ def search_objective(estimate: CostEstimate, device: DeviceSpec) -> float:
     return cost
 
 
+def objective_lower_bound(estimate: CostEstimate, device: DeviceSpec,
+                          free_parallelism: float) -> float:
+    """Admissible lower bound on :func:`search_objective` over every
+    *extension* of the partitioning ``estimate`` was computed for.
+
+    ``free_parallelism`` is the product of the sizes of the mesh axes the
+    current action set has not introduced yet.  Any further action tiles
+    values along those axes only, and a mesh axis divides an op's local
+    FLOPs (and a tensor's local bytes) at most once — so no extension can
+    shrink the per-device compute term or the peak-memory term below the
+    current value divided by ``free_parallelism``.  Communication is
+    bounded below by zero and ``runtime >= compute`` under the overlap
+    model, while the out-of-memory penalty of :func:`search_objective` is
+    monotone in peak memory — evaluating it at the shrunken peak keeps
+    the bound admissible.  The branch-and-bound solver
+    (:mod:`repro.auto.exact`) prunes a subtree when this bound already
+    meets the incumbent.
+    """
+    free = max(float(free_parallelism), 1.0)
+    bound = estimate.compute_s / free
+    peak = estimate.peak_memory_bytes / free
+    if peak > device.hbm_bytes:
+        bound *= 1e3 * (peak / device.hbm_bytes)
+    return bound
+
+
 # -- streaming cost evaluation ---------------------------------------------------
 
 

@@ -86,9 +86,15 @@ class TestCaches:
         assert result.actions == plain.actions and result.cost == plain.cost
 
     def test_incremental_reduces_propagation_work(self):
+        """Condensing off: this gate measures rollout prefix-env reuse,
+        and the condenser's per-candidate probes propagate (and tally
+        into ``ops_processed``) identically in both configurations, which
+        would dilute the measured ratio with pre-pass work."""
         tf = _mlp_traced()
-        scratch = _search(tf.function, incremental=False, memoize=False)
-        inc = _search(tf.function, incremental=True, memoize=True)
+        scratch = _search(tf.function, incremental=False, memoize=False,
+                          prune=False)
+        inc = _search(tf.function, incremental=True, memoize=True,
+                      prune=False)
         assert inc.ops_processed * 2 <= scratch.ops_processed
         assert inc.cost == scratch.cost
 
