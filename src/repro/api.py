@@ -229,6 +229,17 @@ class AutomaticPartition(Tactic):
     :class:`repro.auto.SearchResult` (evaluations, cache/warm-start/
     shared-memo/prior hit counters, timing split).
 
+    The parallel backends **self-heal**: a worker that dies or goes
+    silent mid-wave is re-forked (``process``) or reconnected
+    (``"remote"``) within ``options={"restart_budget": N}`` (default 1),
+    its unfinished rollouts re-routed to survivors, and past the budget
+    the search degrades to in-process serial evaluation — the returned
+    actions/cost are bit-identical in every case, because each rollout is
+    a pure function of its canonical action set.  ``wave_timeout_s`` and
+    ``rpc_timeout_s`` bound the detection latency;
+    ``last_search.workers_restarted`` / ``waves_retried`` /
+    ``degraded_to`` report what recovery actually ran.
+
     >>> from repro import Mesh, ShapeDtype, partir_jit, trace
     >>> from repro.trace import ops
     >>> traced = trace(lambda w, x: ops.reduce_sum(x @ w),
@@ -362,7 +373,11 @@ def partir_jit(
     in the schedule (that does not already pin its own) at a
     :mod:`repro.auto.server` daemon: searches are answered from the
     shared plan store when possible and fall back to local search when
-    the server is unreachable.
+    the server is unreachable.  A per-address circuit breaker
+    (:mod:`repro.auto.rpc`; ``PARTIR_BREAKER_THRESHOLD`` /
+    ``PARTIR_BREAKER_COOLDOWN_S``) makes a flapping server cost one
+    timeout per cooldown window, not one per call —
+    ``last_search.server_circuit_open`` reports a skipped request.
     """
     function = traced.function
     env = ShardingEnv(mesh)

@@ -52,6 +52,7 @@ from repro.core.actions import TILE_INPUT
 from repro.core.sharding import ShardingEnv, enumerate_function_values
 from repro.ir.function import Function
 
+from repro.auto import faults
 from repro.auto.tree import ActionKey
 
 
@@ -301,21 +302,37 @@ class TranspositionTable:
             self._pending.append((key, cost))
 
     def flush(self) -> None:
-        """Append queued records to the log (no-op when nothing is new)."""
+        """Append queued records to the log (no-op when nothing is new).
+
+        A crash mid-append leaves at most one torn final line, which the
+        next load skips silently — the fault-injection site
+        ``cache.append`` simulates exactly that (half a line written,
+        everything after it lost, in-memory state untouched)."""
         if self.path is None or not (self._pending or self._prior_pending
                                      or self._probe_pending):
             return
+        lines = []
+        for key, cost in self._pending:
+            record = {"k": [list(action) for action in key], "c": cost}
+            lines.append(json.dumps(record) + "\n")
+        for group, visits, total in self._prior_pending:
+            record = {"g": _to_jsonable(group), "n": visits, "t": total}
+            lines.append(json.dumps(record) + "\n")
+        for action, digest in self._probe_pending:
+            record = {"pa": list(action), "ps": digest}
+            lines.append(json.dumps(record) + "\n")
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
         with open(self.path, "a") as handle:
-            for key, cost in self._pending:
-                record = {"k": [list(action) for action in key], "c": cost}
-                handle.write(json.dumps(record) + "\n")
-            for group, visits, total in self._prior_pending:
-                record = {"g": _to_jsonable(group), "n": visits, "t": total}
-                handle.write(json.dumps(record) + "\n")
-            for action, digest in self._probe_pending:
-                record = {"pa": list(action), "ps": digest}
-                handle.write(json.dumps(record) + "\n")
+            for line in lines:
+                if faults.should_fire("cache.append"):
+                    # Faithful torn write: half of this line reaches the
+                    # log, the rest of the flush never happens.  The
+                    # queues still clear — a crashed writer would not
+                    # retry either — and nothing in memory changes, so
+                    # the search continues unaffected.
+                    handle.write(line[:max(1, len(line) // 2)])
+                    break
+                handle.write(line)
         self._pending = []
         self._prior_pending = []
         self._probe_pending = []
@@ -325,9 +342,12 @@ class TranspositionTable:
 
         The in-memory table — already the last-record-wins replay of the
         log, with any torn tail skipped — *is* the compacted content, so
-        hits and values are unchanged by construction.  The rewrite goes
-        through a temp file + atomic rename: a crash mid-compaction leaves
-        the old log intact.
+        hits and values are unchanged by construction.  The rewrite is
+        crash-safe: temp file, ``fsync`` of its contents *before* the
+        atomic rename (so the rename can never publish an empty or
+        partially-flushed file after a power cut), then a directory
+        ``fsync`` so the rename itself is durable.  A kill at any point
+        leaves either the old log intact or the complete new one.
 
         ``max_entries`` additionally caps the table LRU-style: cost
         entries beyond the cap are evicted oldest-first-stored (dict
@@ -360,7 +380,20 @@ class TranspositionTable:
             for action, digest in self._probes.items():
                 record = {"pa": list(action), "ps": digest}
                 handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, self.path)
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # platforms without directory fds
+            dir_fd = None
+        if dir_fd is not None:
+            try:
+                os.fsync(dir_fd)
+            except OSError:
+                pass
+            finally:
+                os.close(dir_fd)
         # Everything queued is already part of _costs/_priors/_probes and
         # was just written; flushing it again would duplicate cost records
         # and — since prior records SUM on load — double-count statistics.

@@ -8,6 +8,15 @@ scheduler exploits that purity to run evaluations serially, in batched
 waves, or fanned across worker processes — and the transposition table
 (:mod:`repro.auto.cache`) to reuse scores across whole searches.
 
+Purity is also the **recovery argument** of the fault-tolerant fabric
+(:mod:`repro.auto.faults`, the self-healing schedulers): a rollout lost to
+a dead worker or a reset connection is not state to reconstruct, just a
+key to re-evaluate — on a re-forked worker, a reconnected server session,
+or the main process itself — and the re-execution is bit-identical to
+what the lost worker would have returned.  That is why the degradation
+contract ("any fault schedule, same best actions/cost as the fault-free
+serial run") holds by construction rather than by careful replication.
+
 Speed layers, all exact:
 
 * a **prefix env cache**: the propagated :class:`ShardingEnv` for each

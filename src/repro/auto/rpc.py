@@ -1,8 +1,12 @@
 """Length-prefixed socket protocol for the plan server.
 
-Wire format (all little-endian): each message is ``[u32 length][pickle
-payload]`` — the same framing discipline as the shared-memory memo's
-record log (:mod:`repro.auto.sharedmemo`), lifted onto a stream socket.
+Wire format (all little-endian): each message is ``[u32 length][u32
+crc32][pickle payload]`` — the framing discipline of the shared-memory
+memo's record log (:mod:`repro.auto.sharedmemo`), lifted onto a stream
+socket and hardened with a payload checksum.  The CRC catches silent
+truncation/corruption on flaky links; a mismatch (including a frame from
+a pre-CRC protocol-1 peer, whose "crc" field is really the first payload
+bytes) raises :class:`ProtocolError` instead of unpickling garbage.
 A request and its reply are both plain picklable objects (dicts by
 convention, with a ``"kind"`` discriminator); the server answers every
 request on the same connection, in order, so a connection is a simple
@@ -20,28 +24,51 @@ Errors cross the wire as ``{"ok": False, "error": ...}`` replies and are
 re-raised client-side as :class:`RemoteError`; transport-level failures
 surface as :class:`ConnectionError`/``OSError`` so callers can fall back
 to local search (see ``mcts_search(plan_server=...)``).
+
+Client-side resilience: a per-address :class:`CircuitBreaker`
+(:func:`breaker_for`) turns a flapping server into one timeout instead of
+one per call — after :data:`BREAKER_THRESHOLD` consecutive transport
+failures the breaker *opens* and callers skip the network entirely;
+after :data:`BREAKER_COOLDOWN_S` one half-open probe is let through and
+its outcome closes or re-opens the circuit.  A :class:`RemoteError`
+means the server is alive (it processed the request), so it counts as
+breaker *success*.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import socket
 import struct
 import threading
-from typing import Callable, Optional, Tuple
+import time
+import zlib
+from typing import Callable, Dict, Optional, Tuple
 
-_FRAME = struct.Struct("<I")
+from . import faults
+
+#: ``[u32 payload length][u32 payload crc32]``.
+_FRAME = struct.Struct("<II")
 
 #: Upper bound on one frame; a guard against garbage on the port, not a
 #: protocol limit (paper-scale functions pickle to a few MB at most).
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 #: Protocol version, checked by the server on every request.
-PROTOCOL = 1
+#: 1 = ``[u32 len][payload]``; 2 = ``[u32 len][u32 crc32][payload]``.
+PROTOCOL = 2
 
 
 class RemoteError(RuntimeError):
     """The server processed the request and reported a failure."""
+
+
+class ProtocolError(ConnectionError):
+    """The peer sent bytes that violate the framing protocol (oversized
+    frame, checksum mismatch, or a pre-CRC protocol-1 frame).  Subclasses
+    ``ConnectionError`` so every existing fall-back-to-local path treats
+    it as an unusable transport."""
 
 
 def parse_address(address) -> Tuple[str, int]:
@@ -65,8 +92,14 @@ def format_address(address: Tuple[str, int]) -> str:
 
 
 def send_msg(sock: socket.socket, payload) -> None:
+    if faults.should_fire("rpc.send"):
+        try:
+            sock.close()  # a real reset also kills the socket
+        except OSError:
+            pass
+        raise ConnectionResetError("injected fault: rpc.send")
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_FRAME.pack(len(blob)) + blob)
+    sock.sendall(_FRAME.pack(len(blob), zlib.crc32(blob)) + blob)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -81,11 +114,28 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
 
 
 def recv_msg(sock: socket.socket):
+    if faults.should_fire("rpc.recv"):
+        try:
+            sock.close()
+        except OSError:
+            pass
+        raise ConnectionResetError("injected fault: rpc.recv")
     header = _recv_exact(sock, _FRAME.size)
-    (length,) = _FRAME.unpack(header)
+    length, crc = _FRAME.unpack(header)
     if length > MAX_FRAME_BYTES:
-        raise ConnectionError(f"oversized frame ({length} bytes)")
-    return pickle.loads(_recv_exact(sock, length))
+        raise ProtocolError(
+            f"oversized frame ({length} bytes > {MAX_FRAME_BYTES})"
+        )
+    blob = _recv_exact(sock, length)
+    if zlib.crc32(blob) != crc:
+        # A protocol-1 peer sends [u32 len][payload]: our "crc" field is
+        # then the payload's first 4 bytes, which for pickle protocol 2+
+        # start with the 0x80 opcode — flag the likely version skew.
+        hint = ""
+        if crc & 0xFF == 0x80:
+            hint = " (frame looks like pre-CRC protocol 1; upgrade the peer)"
+        raise ProtocolError(f"frame checksum mismatch{hint}")
+    return pickle.loads(blob)
 
 
 # -- client ------------------------------------------------------------------------
@@ -112,6 +162,10 @@ class Connection:
             raise RemoteError(str(error))
         return reply.get("value")
 
+    def settimeout(self, timeout: Optional[float]) -> None:
+        """Adjust the per-call deadline on the underlying socket."""
+        self._sock.settimeout(timeout)
+
     def close(self) -> None:
         try:
             self._sock.close()
@@ -137,6 +191,118 @@ def connect(address, timeout: Optional[float] = 30.0) -> Connection:
     return Connection(sock)
 
 
+# -- circuit breaker ---------------------------------------------------------------
+
+#: Consecutive transport failures that open an address's circuit.
+BREAKER_THRESHOLD = 3
+#: Seconds an open circuit waits before letting one half-open probe out.
+BREAKER_COOLDOWN_S = 30.0
+
+_ENV_THRESHOLD = "PARTIR_BREAKER_THRESHOLD"
+_ENV_COOLDOWN = "PARTIR_BREAKER_COOLDOWN_S"
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            value = float(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return default
+
+
+class CircuitBreaker:
+    """Closed → (N consecutive transport failures) → open → (cooldown)
+    → half-open, where exactly one probe call is admitted; the probe's
+    outcome closes or re-opens the circuit.
+
+    Only *transport* failures (``OSError``/``ConnectionError``) count
+    toward opening: a :class:`RemoteError` proves the server is alive and
+    is recorded as success.  Thread-safe — ``partir_jit`` callers and the
+    remote backend's fan-out threads share one breaker per address.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: Optional[int] = None,
+                 cooldown_s: Optional[float] = None):
+        self.threshold = int(threshold if threshold is not None
+                             else _env_float(_ENV_THRESHOLD,
+                                             BREAKER_THRESHOLD))
+        self.cooldown_s = (cooldown_s if cooldown_s is not None
+                           else _env_float(_ENV_COOLDOWN,
+                                           BREAKER_COOLDOWN_S))
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May this call touch the network?  In the open state, returns
+        True exactly once per cooldown window (the half-open probe)."""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if time.monotonic() - self._opened_at < self.cooldown_s:
+                    return False
+                self._state = self.HALF_OPEN
+                self._probing = True
+                return True
+            # half-open: one probe in flight at a time
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if (self._state == self.HALF_OPEN
+                    or self._failures >= self.threshold):
+                self._state = self.OPEN
+                self._opened_at = time.monotonic()
+
+
+_BREAKERS: Dict[str, CircuitBreaker] = {}
+_BREAKERS_LOCK = threading.Lock()
+
+
+def breaker_for(address) -> CircuitBreaker:
+    """The process-wide breaker for ``address`` (normalized host:port)."""
+    key = format_address(parse_address(address))
+    with _BREAKERS_LOCK:
+        breaker = _BREAKERS.get(key)
+        if breaker is None:
+            breaker = _BREAKERS[key] = CircuitBreaker()
+        return breaker
+
+
+def reset_breakers() -> None:
+    """Forget all breaker state (tests; a long-lived client after a known
+    fleet-wide restart)."""
+    with _BREAKERS_LOCK:
+        _BREAKERS.clear()
+
+
 # -- server loop -------------------------------------------------------------------
 
 
@@ -149,16 +315,35 @@ class RpcServer:
     ``{"ok": False, "error": ...}`` reply.  Per-connection handlers may
     carry state (the plan server's evaluator sessions do) and may expose
     a ``close()`` hook, invoked when the connection ends.
+
+    Hardening knobs: ``max_connections`` bounds concurrent connections
+    (excess accepts are closed immediately and counted in
+    ``connections_rejected``); ``idle_timeout_s`` reaps connections with
+    no request for that long (``connections_reaped``); a
+    ``request_deadline_s`` turns a wedged handler into a clean
+    ``{"ok": False}`` reply plus connection close (``deadlines_exceeded``)
+    instead of a silently hung client.
     """
 
     def __init__(self, handler_factory: Callable[[], Callable],
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_connections: int = 64,
+                 idle_timeout_s: Optional[float] = 300.0,
+                 request_deadline_s: Optional[float] = None):
         self._handler_factory = handler_factory
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
         self._sock.listen(64)
         self.address: Tuple[str, int] = self._sock.getsockname()[:2]
+        self.max_connections = max_connections
+        self.idle_timeout_s = idle_timeout_s
+        self.request_deadline_s = request_deadline_s
+        self.connections_rejected = 0
+        self.connections_reaped = 0
+        self.deadlines_exceeded = 0
+        self._active = 0
+        self._active_lock = threading.Lock()
         self._threads = []
         self._accept_thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
@@ -188,6 +373,16 @@ class RpcServer:
                 conn, _ = self._sock.accept()
             except OSError:
                 return  # socket closed by stop()
+            with self._active_lock:
+                if self._active >= self.max_connections:
+                    self.connections_rejected += 1
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    continue
+                self._active += 1
+            self._threads = [t for t in self._threads if t.is_alive()]
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,),
                 name="partir-rpc-conn", daemon=True,
@@ -195,26 +390,66 @@ class RpcServer:
             self._threads.append(thread)
             thread.start()
 
+    def _handle_with_deadline(self, handler: Callable, message) -> dict:
+        """Run ``handler(message)``; past ``request_deadline_s`` give up
+        and report, leaving the wedged thread to die with the daemon."""
+        deadline = self.request_deadline_s
+        if deadline is None:
+            try:
+                return {"ok": True, "value": handler(message)}
+            except Exception as exc:  # surface, never kill the server
+                return {"ok": False,
+                        "error": f"{type(exc).__name__}: {exc}"}
+        box: dict = {}
+
+        def run() -> None:
+            try:
+                box["reply"] = {"ok": True, "value": handler(message)}
+            except Exception as exc:
+                box["reply"] = {"ok": False,
+                                "error": f"{type(exc).__name__}: {exc}"}
+
+        worker = threading.Thread(target=run, name="partir-rpc-req",
+                                  daemon=True)
+        worker.start()
+        worker.join(timeout=deadline)
+        if worker.is_alive():
+            self.deadlines_exceeded += 1
+            return {"ok": False, "deadline": True,
+                    "error": f"DeadlineExceeded: request exceeded "
+                             f"{deadline:g}s server deadline"}
+        return box["reply"]
+
     def _serve_connection(self, conn: socket.socket) -> None:
         handler = self._handler_factory()
+        if self.idle_timeout_s is not None:
+            try:
+                conn.settimeout(self.idle_timeout_s)
+            except OSError:
+                pass
         try:
             while not self._stopping.is_set():
                 try:
                     message = recv_msg(conn)
+                except socket.timeout:
+                    self.connections_reaped += 1
+                    return
                 except (ConnectionError, OSError, EOFError,
                         pickle.UnpicklingError):
                     return
-                try:
-                    value = handler(message)
-                    reply = {"ok": True, "value": value}
-                except Exception as exc:  # surface, never kill the server
-                    reply = {"ok": False,
-                             "error": f"{type(exc).__name__}: {exc}"}
+                reply = self._handle_with_deadline(handler, message)
                 try:
                     send_msg(conn, reply)
                 except (ConnectionError, OSError):
                     return
+                if reply.get("deadline"):
+                    # The handler thread is still wedged and owns the
+                    # connection's session state: retire the connection
+                    # rather than interleave another request behind it.
+                    return
         finally:
+            with self._active_lock:
+                self._active -= 1
             close = getattr(handler, "close", None)
             if close is not None:
                 try:

@@ -61,12 +61,15 @@ avoided.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.sharding import ShardingEnv
 
-from repro.auto import sharedmemo
+from repro.auto import faults, sharedmemo
 from repro.auto.evaluator import Evaluator
 from repro.auto.tree import ActionKey, TreePolicy, _stable_hash
 
@@ -86,6 +89,37 @@ DEFAULT_WORKERS = 2
 
 BACKENDS = ("serial", "batched", "process", "remote")
 
+#: Ceiling on one worker slice of one wave; a pool that produces nothing
+#: for this long is treated as wedged and healed like a dead one.
+DEFAULT_WAVE_TIMEOUT_S = 300.0
+#: Pool re-forks (process) / session re-connects (remote) allowed per
+#: search before the backend degrades to in-process serial evaluation.
+DEFAULT_RESTART_BUDGET = 1
+#: Per-call socket deadline for the remote backend.
+DEFAULT_RPC_TIMEOUT_S = 60.0
+#: Reconnect attempts per healed remote session (exponential backoff).
+RECONNECT_ATTEMPTS = 3
+
+ENV_WAVE_TIMEOUT = "PARTIR_WAVE_TIMEOUT_S"
+ENV_RESTART_BUDGET = "PARTIR_RESTART_BUDGET"
+
+#: How often a collecting wave polls its futures for completion or
+#: worker death.  Collection still folds results in submission order, so
+#: the poll cadence never affects results — only failure latency.
+_POLL_S = 0.05
+
+
+def _env_positive(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            value = float(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return default
+
 
 class SchedulerUnavailable(RuntimeError):
     """A backend's resources could not be reached (e.g. the ``remote``
@@ -104,9 +138,21 @@ class RolloutScheduler:
     name = "base"
 
     def __init__(self, wave_size: Optional[int] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 restart_budget: Optional[int] = None,
+                 wave_timeout_s: Optional[float] = None,
+                 seed: int = 0):
         self.wave_size = wave_size
         self.workers = workers
+        self.seed = seed
+        self.restart_budget = int(
+            restart_budget if restart_budget is not None
+            else _env_positive(ENV_RESTART_BUDGET, DEFAULT_RESTART_BUDGET)
+        )
+        self.wave_timeout_s = (
+            wave_timeout_s if wave_timeout_s is not None
+            else _env_positive(ENV_WAVE_TIMEOUT, DEFAULT_WAVE_TIMEOUT_S)
+        )
         self._started = False
         #: Per-wave longest-common-prefix statistics over the order the
         #: wave's distinct keys were actually evaluated in: number of
@@ -115,6 +161,30 @@ class RolloutScheduler:
         self.waves = 0
         self.wave_lcp_pairs = 0
         self.wave_lcp_actions = 0
+        #: Self-healing record, surfaced via ``SearchResult``: worker
+        #: pools re-forked / remote sessions re-connected, wave slices
+        #: re-routed after a failure, and — past the restart budget —
+        #: which in-process backend the search degraded to ("" = never).
+        self.workers_restarted = 0
+        self.waves_retried = 0
+        self.degraded_to = ""
+        self._restarts_left = self.restart_budget
+
+    def _degrade(self, reason: str) -> None:
+        """Terminal rung of the degradation ladder: score every remaining
+        rollout on the main process's evaluator.  Evaluation is a pure
+        function of the canonical key, so the switch changes which CPU
+        does the work — never the costs, and never the search trajectory
+        (``run`` backs up in wave order regardless of who evaluated)."""
+        if not self.degraded_to:
+            self.degraded_to = "serial"
+            warnings.warn(
+                f"{self.name} rollout backend degraded to in-process "
+                f"serial evaluation: {reason} (results are unaffected; "
+                f"raise PARTIR_RESTART_BUDGET to keep healing instead)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _note_wave_order(self, ordered: Sequence[ActionKey]) -> None:
         self.waves += 1
@@ -246,6 +316,12 @@ def _worker_init(function, mesh, portable_env, device, incremental,
                  memoize, streaming, reconcile_cache,
                  rollout_env="undo", shared_handle=None) -> None:
     global _WORKER_EVALUATOR
+    # Re-arm the fault plan from PARTIR_FAULT_PLAN with *fresh* per-site
+    # counters: a forked worker otherwise inherits the parent plan object
+    # mid-count, making worker fault schedules depend on how much the
+    # parent fired before the fork.  No plan installed -> clears to the
+    # zero-overhead fast path.
+    faults.reload_from_env()
     env = ShardingEnv(mesh)
     env.apply_portable_state(function, portable_env)
     _WORKER_EVALUATOR = Evaluator(
@@ -265,6 +341,11 @@ def _worker_init(function, mesh, portable_env, device, incremental,
 
 def _worker_evaluate(key: ActionKey):
     """Score one key in this process's primed evaluator (pool target)."""
+    if faults.should_fire("worker.exit"):
+        # Simulate an OOM-kill/segfault: die without cleanup, result
+        # never delivered.  The parent's liveness poll sees the pid
+        # change and re-routes this key.
+        os._exit(17)
     return evaluate_with_deltas(_WORKER_EVALUATOR, key)
 
 
@@ -412,6 +493,15 @@ class ProcessScheduler(_AffinityScheduler):
     routing — not pool scheduling timing — decides which worker scores
     which action set.  That keeps placement (and therefore each worker's
     cache contents) deterministic for a fixed seed.
+
+    Self-healing: wave collection polls each worker's pid alongside its
+    result, so a worker that dies (or produces nothing within
+    ``wave_timeout_s``) is detected mid-wave; its pool is terminated and
+    re-forked (within ``restart_budget``), its unfinished keys re-routed
+    across the survivors, and past the budget the scheduler degrades to
+    in-process serial evaluation — a rollout is never lost, because every
+    evaluation is a pure function of the canonical key and re-executes
+    bit-identically anywhere.
     """
 
     name = "process"
@@ -460,15 +550,24 @@ class ProcessScheduler(_AffinityScheduler):
                 pool.terminate()
                 pool.join()
             raise
+        self._context = context
+        self._initargs = initargs
         self._pools = pools
         self._nslots = len(pools)
+        #: The pids each pool was forked with.  ``multiprocessing.Pool``
+        #: silently replaces a dead worker (losing its in-flight task),
+        #: so liveness is "still the same pid", not "some process alive".
+        self._pids = [tuple(p.pid for p in pool._pool) for pool in pools]
         #: Last key routed to each worker — the affinity anchor the
         #: LCP router extends wave after wave.
         self._last_key: List[Optional[ActionKey]] = [None] * len(pools)
 
     def _stop(self) -> None:
         for pool in self._pools:
-            pool.close()
+            try:
+                pool.close()
+            except ValueError:  # already terminated by _heal
+                pass
         for pool in self._pools:
             pool.join()
         self._pools = []
@@ -477,19 +576,98 @@ class ProcessScheduler(_AffinityScheduler):
             self._store.unlink()
             self._store = None
 
+    # -- self-healing -------------------------------------------------------
+
+    def _worker_broken(self, worker: int) -> bool:
+        pool = self._pools[worker]
+        procs = getattr(pool, "_pool", None)
+        if not procs:
+            return True
+        return any(
+            proc.pid != pid or not proc.is_alive()
+            for proc, pid in zip(procs, self._pids[worker])
+        )
+
+    def _collect(self, worker: int, future):
+        """This worker's slice of the wave, or None when the worker died
+        or went silent past ``wave_timeout_s`` (the caller re-routes).
+        Evaluation errors still propagate — a raising rollout is a bug,
+        not a fault to heal."""
+        deadline = time.monotonic() + self.wave_timeout_s
+        while True:
+            try:
+                return future.get(timeout=_POLL_S)
+            except multiprocessing.TimeoutError:
+                if self._worker_broken(worker):
+                    return None
+                if time.monotonic() > deadline:
+                    return None
+
+    def _heal(self, broken: Sequence[int]) -> None:
+        """Re-fork each broken worker's pool within the restart budget;
+        past it, degrade to in-process serial for the rest of the search."""
+        for worker in broken:
+            pool = self._pools[worker]
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
+            if self._restarts_left > 0:
+                self._restarts_left -= 1
+                try:
+                    fresh = self._context.Pool(
+                        1, initializer=_worker_init,
+                        initargs=self._initargs,
+                    )
+                except Exception:
+                    self._degrade(f"worker {worker} could not be re-forked")
+                    return
+                self._pools[worker] = fresh
+                self._pids[worker] = tuple(p.pid for p in fresh._pool)
+                self.workers_restarted += 1
+            else:
+                self._degrade(
+                    f"worker {worker} failed with no restart budget left "
+                    f"({self.restart_budget} used)"
+                )
+                return
+
     def _evaluate_wave(self, evaluator, keys, tours):
         costs, misses = self._split_wave(evaluator, keys, tours)
-        futures = [
-            self._pools[worker].map_async(_worker_evaluate, worker_keys,
-                                          chunksize=len(worker_keys))
-            for worker, worker_keys in sorted(
-                self._route_wave(misses).items()
-            )
-        ]
-        for future in futures:
-            for result in future.get():
-                costs[result[0]] = result[1]
-                _fold_delta(evaluator, result, store=self._store)
+        pending = list(misses)
+        while pending:
+            if self.degraded_to:
+                for key in pending:
+                    costs[key] = evaluator.evaluate(key)
+                break
+            routed = sorted(self._route_wave(pending).items())
+            futures = [
+                (worker, worker_keys,
+                 self._pools[worker].map_async(_worker_evaluate,
+                                               worker_keys,
+                                               chunksize=len(worker_keys)))
+                for worker, worker_keys in routed
+            ]
+            # Collect in submission (sorted-worker) order: the fold order
+            # of counter deltas — and therefore every downstream counter —
+            # stays deterministic whether or not anything failed.
+            failed: List[ActionKey] = []
+            broken: List[int] = []
+            for worker, worker_keys, future in futures:
+                results = self._collect(worker, future)
+                if results is None:
+                    failed.extend(worker_keys)
+                    broken.append(worker)
+                    continue
+                for result in results:
+                    costs[result[0]] = result[1]
+                    _fold_delta(evaluator, result, store=self._store)
+            if not failed:
+                break
+            self.waves_retried += 1
+            self._heal(broken)
+            pending = failed
         return costs
 
 
@@ -501,19 +679,35 @@ class RemoteScheduler(_AffinityScheduler):
     workers live behind ``plan_server`` socket connections, so the same
     search can span machines.  No shared plan memo crosses the wire (the
     server's sessions share a process, which is better than a memo).
+
+    Self-healing: every call carries a ``rpc_timeout_s`` socket deadline;
+    a failed worker slice (reset, timeout, server-side error) is retried
+    through a fresh connection — bounded exponential backoff whose jitter
+    is a deterministic hash of the search seed, then a replayed
+    ``eval_init`` so the new session is primed identically — and past the
+    restart budget the scheduler degrades to in-process serial
+    evaluation, same terminus as the process backend.
     """
 
     name = "remote"
 
     def __init__(self, wave_size: Optional[int] = None,
                  workers: Optional[int] = None,
-                 plan_server=None):
-        super().__init__(wave_size=wave_size, workers=workers)
+                 plan_server=None,
+                 restart_budget: Optional[int] = None,
+                 wave_timeout_s: Optional[float] = None,
+                 rpc_timeout_s: Optional[float] = None,
+                 seed: int = 0):
+        super().__init__(wave_size=wave_size, workers=workers,
+                         restart_budget=restart_budget,
+                         wave_timeout_s=wave_timeout_s, seed=seed)
         if plan_server is None:
             raise ValueError(
                 "backend='remote' requires plan_server='host:port'"
             )
         self.plan_server = plan_server
+        self.rpc_timeout_s = (rpc_timeout_s if rpc_timeout_s is not None
+                              else DEFAULT_RPC_TIMEOUT_S)
 
     def _start(self, evaluator: Evaluator) -> None:
         from repro.auto import rpc
@@ -537,10 +731,12 @@ class RemoteScheduler(_AffinityScheduler):
             if evaluator._estimator else True,
             "rollout_env": evaluator.rollout_env,
         }
+        self._init = init  # replayed verbatim by _reconnect
         connections = []
         try:
             for _ in range(workers):
-                connection = rpc.connect(self.plan_server)
+                connection = rpc.connect(self.plan_server,
+                                         timeout=self.rpc_timeout_s)
                 connection.request(init)
                 connections.append(connection)
         except (OSError, rpc.RemoteError) as exc:
@@ -568,22 +764,96 @@ class RemoteScheduler(_AffinityScheduler):
         self._connections = []
         self._executor.shutdown(wait=True)
 
+    # -- self-healing -------------------------------------------------------
+
+    def _reconnect(self, worker: int) -> bool:
+        """Re-open ``worker``'s session: bounded exponential backoff with
+        deterministic jitter (a stable hash of the search seed and the
+        retry coordinates — every run of a seed backs off identically),
+        then a replay of the saved ``eval_init`` so the fresh session is
+        primed exactly like the one it replaces."""
+        from repro.auto import rpc
+
+        for attempt in range(RECONNECT_ATTEMPTS):
+            delay = min(0.05 * (2 ** attempt), 1.0)
+            jitter = _stable_hash(
+                (self.seed, worker, attempt, self.workers_restarted)
+            ) % 1000 / 2000.0  # +0..50%
+            time.sleep(delay * (1.0 + jitter))
+            try:
+                connection = rpc.connect(self.plan_server,
+                                         timeout=self.rpc_timeout_s)
+                connection.request(self._init)
+            except (rpc.RemoteError, ConnectionError, OSError):
+                continue
+            self._connections[worker] = connection
+            return True
+        return False
+
+    def _heal_remote(self, broken: Sequence[int]) -> None:
+        for worker in broken:
+            try:
+                self._connections[worker].close()
+            except Exception:
+                pass
+            if self._restarts_left > 0:
+                self._restarts_left -= 1
+                if self._reconnect(worker):
+                    self.workers_restarted += 1
+                    continue
+                self._degrade(
+                    f"session {worker} could not reconnect to "
+                    f"{self.plan_server!r} after {RECONNECT_ATTEMPTS} "
+                    f"attempts"
+                )
+                return
+            self._degrade(
+                f"session {worker} failed with no restart budget left "
+                f"({self.restart_budget} used)"
+            )
+            return
+
     def _evaluate_wave(self, evaluator, keys, tours):
+        from repro.auto import rpc
+
         costs, misses = self._split_wave(evaluator, keys, tours)
-        futures = [
-            self._executor.submit(
-                self._connections[worker].request,
-                {"kind": "eval", "keys": [list(k) for k in worker_keys]},
-            )
-            for worker, worker_keys in sorted(
-                self._route_wave(misses).items()
-            )
-        ]
-        for future in futures:
-            for result in future.result():
-                key = tuple(map(tuple, result[0]))
-                costs[key] = result[1]
-                _fold_delta(evaluator, result)
+        pending = list(misses)
+        while pending:
+            if self.degraded_to:
+                for key in pending:
+                    costs[key] = evaluator.evaluate(key)
+                break
+            routed = sorted(self._route_wave(pending).items())
+            futures = [
+                (worker, worker_keys, self._executor.submit(
+                    self._connections[worker].request,
+                    {"kind": "eval",
+                     "keys": [list(k) for k in worker_keys]},
+                ))
+                for worker, worker_keys in routed
+            ]
+            failed: List[ActionKey] = []
+            broken: List[int] = []
+            for worker, worker_keys, future in futures:
+                try:
+                    results = future.result()
+                except (rpc.RemoteError, ConnectionError, OSError):
+                    # RemoteError included: a server-side eval failure
+                    # (e.g. its request deadline fired) retires this
+                    # session's state, so reconnect-and-re-init is the
+                    # correct recovery either way.
+                    failed.extend(worker_keys)
+                    broken.append(worker)
+                    continue
+                for result in results:
+                    key = tuple(map(tuple, result[0]))
+                    costs[key] = result[1]
+                    _fold_delta(evaluator, result)
+            if not failed:
+                break
+            self.waves_retried += 1
+            self._heal_remote(broken)
+            pending = failed
         return costs
 
 
@@ -597,7 +867,11 @@ _SCHEDULERS = {
 
 def make_scheduler(backend: str, wave_size: Optional[int] = None,
                    workers: Optional[int] = None,
-                   plan_server=None) -> RolloutScheduler:
+                   plan_server=None,
+                   restart_budget: Optional[int] = None,
+                   wave_timeout_s: Optional[float] = None,
+                   rpc_timeout_s: Optional[float] = None,
+                   seed: int = 0) -> RolloutScheduler:
     try:
         cls = _SCHEDULERS[backend]
     except KeyError:
@@ -606,5 +880,10 @@ def make_scheduler(backend: str, wave_size: Optional[int] = None,
         )
     if cls is RemoteScheduler:
         return cls(wave_size=wave_size, workers=workers,
-                   plan_server=plan_server)
-    return cls(wave_size=wave_size, workers=workers)
+                   plan_server=plan_server,
+                   restart_budget=restart_budget,
+                   wave_timeout_s=wave_timeout_s,
+                   rpc_timeout_s=rpc_timeout_s, seed=seed)
+    return cls(wave_size=wave_size, workers=workers,
+               restart_budget=restart_budget,
+               wave_timeout_s=wave_timeout_s, seed=seed)

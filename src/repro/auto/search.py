@@ -46,6 +46,7 @@ from repro.core.sharding import ShardingEnv
 from repro.ir.function import Function
 from repro.sim.devices import TPU_V3, DeviceSpec
 
+from repro.auto import faults
 from repro.auto import prune as prune_mod
 from repro.auto.cache import table_for
 from repro.auto.evaluator import (
@@ -153,6 +154,21 @@ class SearchResult:
     #: Which warm-expansion prior steered the tree ("learned" | "group" |
     #: "none"; see :mod:`repro.auto.prior`).
     prior_mode: str = "learned"
+    #: What the fault fabric actually did (all zeros/empty without an
+    #: installed :class:`repro.auto.faults.FaultPlan` — the zero-overhead
+    #: pin).  ``faults_injected`` counts injection-site firings in *this*
+    #: process during the search; ``workers_restarted`` counts pool
+    #: re-forks (process backend) / session reconnects (remote);
+    #: ``waves_retried`` counts wave slices re-routed after a failure;
+    #: ``degraded_to`` names the in-process terminus ("serial") when the
+    #: restart budget ran out, "" when the backend held.
+    faults_injected: int = 0
+    workers_restarted: int = 0
+    waves_retried: int = 0
+    degraded_to: str = ""
+    #: Did the ``plan_server`` circuit breaker skip (or open on) the plan
+    #: request this call?  The search still completes locally.
+    server_circuit_open: bool = False
 
 
 #: Upper bound on one plan request's round trip — generous because a cold
@@ -188,22 +204,47 @@ def _warn_truncation(truncation: dict, max_inputs: int,
 def _request_plan(function: Function, env: ShardingEnv,
                   axes: Sequence[str], device: DeviceSpec,
                   plan_server: str, **search_params):
-    """Ask the plan server for this function's plan; None means "search
-    locally" (server unreachable or erroring — warned, never fatal)."""
+    """Ask the plan server for this function's plan.
+
+    Returns ``(plan, circuit_open)``; ``plan=None`` means "search
+    locally" (server unreachable, erroring, or its circuit breaker open —
+    warned, never fatal).  The per-address breaker
+    (:func:`repro.auto.rpc.breaker_for`) makes a flapping server cost one
+    timeout per cooldown window instead of one per call; a
+    :class:`~repro.auto.rpc.RemoteError` proves the server alive and
+    counts as breaker success."""
     from repro.auto import rpc
 
     try:
-        connection = rpc.connect(plan_server,
-                                 timeout=PLAN_REQUEST_TIMEOUT_S)
-    except (OSError, ValueError) as exc:
+        breaker = rpc.breaker_for(plan_server)
+    except ValueError as exc:
         warnings.warn(
             f"plan server {plan_server!r} unreachable, searching "
             f"locally: {exc}",
             RuntimeWarning,
         )
-        return None
+        return None, False
+    if not breaker.allow():
+        warnings.warn(
+            f"plan server {plan_server!r} circuit open after repeated "
+            f"failures, searching locally (next probe within "
+            f"{breaker.cooldown_s:g}s)",
+            RuntimeWarning,
+        )
+        return None, True
     try:
-        return connection.request({
+        connection = rpc.connect(plan_server,
+                                 timeout=PLAN_REQUEST_TIMEOUT_S)
+    except OSError as exc:
+        breaker.record_failure()
+        warnings.warn(
+            f"plan server {plan_server!r} unreachable, searching "
+            f"locally: {exc}",
+            RuntimeWarning,
+        )
+        return None, breaker.state == rpc.CircuitBreaker.OPEN
+    try:
+        value = connection.request({
             "kind": "plan",
             "function": function,
             "mesh": env.mesh,
@@ -212,13 +253,27 @@ def _request_plan(function: Function, env: ShardingEnv,
             "axes": list(axes),
             "search": dict(search_params),
         })
-    except (rpc.RemoteError, OSError) as exc:
+    except rpc.RemoteError as exc:
+        # The server processed the request (it is alive): breaker-wise a
+        # success, even though this call falls back to a local search.
+        breaker.record_success()
         warnings.warn(
             f"plan server {plan_server!r} failed, searching locally: "
             f"{exc}",
             RuntimeWarning,
         )
-        return None
+        return None, False
+    except OSError as exc:
+        breaker.record_failure()
+        warnings.warn(
+            f"plan server {plan_server!r} failed, searching locally: "
+            f"{exc}",
+            RuntimeWarning,
+        )
+        return None, breaker.state == rpc.CircuitBreaker.OPEN
+    else:
+        breaker.record_success()
+        return value, False
     finally:
         connection.close()
 
@@ -247,6 +302,9 @@ def mcts_search(
     plan_server: Optional[str] = None,
     prune: bool = True,
     prior: str = "learned",
+    restart_budget: Optional[int] = None,
+    wave_timeout_s: Optional[float] = None,
+    rpc_timeout_s: Optional[float] = None,
 ) -> SearchResult:
     """UCT search; returns the best action sequence found.
 
@@ -305,15 +363,28 @@ def mcts_search(
     With ``backend="remote"`` the search instead runs *here* but fans its
     rollout waves across the server's evaluator sessions (falling back to
     ``serial`` if the server is unreachable).
+
+    The fault-tolerance knobs — ``restart_budget`` (worker re-forks /
+    session reconnects per search; default 1, env
+    ``PARTIR_RESTART_BUDGET``), ``wave_timeout_s`` (silent-worker
+    deadline; default 300, env ``PARTIR_WAVE_TIMEOUT_S``) and
+    ``rpc_timeout_s`` (remote per-call socket deadline; default 60) —
+    bound *recovery*, never results: whatever fails, the search completes
+    with the same best actions/cost as the fault-free serial run at the
+    same seed, degrading to in-process evaluation in the limit (see
+    ``SearchResult.degraded_to``).
     """
+    fired_before = faults.fired_count()
+    server_circuit_open = False
     if plan_server is not None and backend != "remote":
-        served = _request_plan(function, env, axes, device, plan_server,
-                               budget=budget, rollout_depth=rollout_depth,
-                               exploration=exploration, seed=seed,
-                               max_inputs=max_inputs,
-                               action_space=action_space,
-                               max_tag_points=max_tag_points,
-                               prune=prune, prior=prior)
+        served, server_circuit_open = _request_plan(
+            function, env, axes, device, plan_server,
+            budget=budget, rollout_depth=rollout_depth,
+            exploration=exploration, seed=seed,
+            max_inputs=max_inputs,
+            action_space=action_space,
+            max_tag_points=max_tag_points,
+            prune=prune, prior=prior)
         if served is not None:
             reply_actions = canonical_key(
                 tuple(tuple(action) for action in served["actions"])
@@ -327,6 +398,7 @@ def mcts_search(
                 action_space=action_space,
                 plan_source=f"server:{served['tier']}",
                 prior_mode=prior,
+                faults_injected=faults.fired_count() - fired_before,
             )
     truncation: dict = {}
     candidates = candidate_actions(function, env, axes, max_inputs,
@@ -364,7 +436,10 @@ def mcts_search(
         for action in candidates
     }
     scheduler = make_scheduler(backend, wave_size=wave_size,
-                               workers=workers, plan_server=plan_server)
+                               workers=workers, plan_server=plan_server,
+                               restart_budget=restart_budget,
+                               wave_timeout_s=wave_timeout_s,
+                               rpc_timeout_s=rpc_timeout_s, seed=seed)
     # Fork worker pools (a no-op for in-process backends) before the
     # baseline evaluation: worker cache-priming overlaps it.
     try:
@@ -375,7 +450,7 @@ def mcts_search(
             RuntimeWarning,
         )
         scheduler = make_scheduler("serial", wave_size=wave_size,
-                                   workers=workers)
+                                   workers=workers, seed=seed)
         backend = scheduler.name
         scheduler.prepare(evaluator)
     try:
@@ -487,6 +562,11 @@ def mcts_search(
                              if prune_report else 0),
         prune_time_s=prune_report.prune_time_s if prune_report else 0.0,
         prior_mode=prior,
+        faults_injected=faults.fired_count() - fired_before,
+        workers_restarted=scheduler.workers_restarted,
+        waves_retried=scheduler.waves_retried,
+        degraded_to=scheduler.degraded_to,
+        server_circuit_open=server_circuit_open,
     )
 
 
@@ -513,6 +593,9 @@ def run_automatic_partition(
     plan_server: Optional[str] = None,
     prune: bool = True,
     prior: str = "learned",
+    restart_budget: Optional[int] = None,
+    wave_timeout_s: Optional[float] = None,
+    rpc_timeout_s: Optional[float] = None,
     result_sink: Optional[list] = None,
     **_ignored,
 ) -> int:
@@ -538,7 +621,10 @@ def run_automatic_partition(
                          action_space=action_space,
                          max_tag_points=max_tag_points,
                          plan_server=plan_server,
-                         prune=prune, prior=prior)
+                         prune=prune, prior=prior,
+                         restart_budget=restart_budget,
+                         wave_timeout_s=wave_timeout_s,
+                         rpc_timeout_s=rpc_timeout_s)
     if result_sink is not None:
         result_sink.append(result)
     # Replay the winner exactly the way the evaluator scored it: one

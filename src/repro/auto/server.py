@@ -41,7 +41,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.sharding import ShardingEnv
 
-from repro.auto import rpc
+from repro.auto import faults, rpc
 from repro.auto.cache import TranspositionTable, function_fingerprint, \
     table_for
 from repro.auto.evaluator import Evaluator
@@ -149,6 +149,14 @@ class PlanServer:
     injection point for tests (defaults to :func:`mcts_search`);
     ``search_defaults`` overrides the search's keyword defaults (e.g.
     ``{"backend": "process", "workers": 4}``).
+
+    Hardening (passed through to the underlying
+    :class:`~repro.auto.rpc.RpcServer`): ``max_connections`` bounds
+    concurrent clients, ``idle_timeout_s`` reaps connections with no
+    request for that long (evaluator sessions included — the remote
+    backend reconnects and re-primes transparently), and
+    ``request_deadline_s`` turns a wedged request into a clean error
+    reply instead of a hung client.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -156,7 +164,10 @@ class PlanServer:
                  cache_dir: Optional[str] = None,
                  search_fn=None,
                  search_defaults: Optional[dict] = None,
-                 search_timeout: float = 600.0):
+                 search_timeout: float = 600.0,
+                 max_connections: int = 64,
+                 idle_timeout_s: Optional[float] = 300.0,
+                 request_deadline_s: Optional[float] = None):
         self.store = store if store is not None else PlanStore()
         self.cache_dir = cache_dir
         self.search_timeout = search_timeout
@@ -169,7 +180,10 @@ class PlanServer:
         self.plan_requests = 0
         self.eval_sessions = 0
         self._rpc = rpc.RpcServer(lambda: _ConnectionHandler(self),
-                                  host=host, port=port)
+                                  host=host, port=port,
+                                  max_connections=max_connections,
+                                  idle_timeout_s=idle_timeout_s,
+                                  request_deadline_s=request_deadline_s)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -207,6 +221,9 @@ class PlanServer:
                 "inflight": len(self._inflight),
             }
         out["store"] = self.store.stats()
+        out["connections_rejected"] = self._rpc.connections_rejected
+        out["connections_reaped"] = self._rpc.connections_reaped
+        out["deadlines_exceeded"] = self._rpc.deadlines_exceeded
         return out
 
     # -- plan serving -------------------------------------------------------
@@ -274,6 +291,11 @@ class PlanServer:
             if search_params.get(name) is not None:
                 kwargs[name] = search_params[name]
         kwargs.setdefault("cache_dir", self.cache_dir)
+        if faults.should_fire("server.search"):
+            # Simulates the daemon's search crashing/timing out: the
+            # client sees a RemoteError reply and falls back to a local
+            # search (the degradation ladder's serving rung).
+            raise RuntimeError("injected fault: server.search")
         result = self._search_fn(function, env, axes, device=device,
                                  **kwargs)
         priors: dict = {}
@@ -341,6 +363,15 @@ def main(argv=None) -> int:
     parser.add_argument("--store", default=None,
                         help="JSONL snapshot to load at start and save "
                              "on shutdown")
+    parser.add_argument("--max-connections", type=int, default=64,
+                        help="concurrent client connections accepted "
+                             "(default 64; excess are closed at accept)")
+    parser.add_argument("--idle-timeout", type=float, default=300.0,
+                        help="seconds of request silence before a "
+                             "connection is reaped (0 disables)")
+    parser.add_argument("--request-deadline", type=float, default=None,
+                        help="per-request handler deadline in seconds "
+                             "(default: none)")
     args = parser.parse_args(argv)
 
     store = PlanStore(max_entries=args.max_entries)
@@ -349,7 +380,10 @@ def main(argv=None) -> int:
         print(f"partir-plan-server loaded {loaded} plans from {args.store}",
               flush=True)
     server = PlanServer(host=args.host, port=args.port, store=store,
-                        cache_dir=args.cache_dir)
+                        cache_dir=args.cache_dir,
+                        max_connections=args.max_connections,
+                        idle_timeout_s=args.idle_timeout or None,
+                        request_deadline_s=args.request_deadline)
     host, port = server.address
     print(f"partir-plan-server listening on {host}:{port}", flush=True)
     try:

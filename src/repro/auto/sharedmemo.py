@@ -13,7 +13,16 @@ Wire format (all offsets little-endian):
 
 * bytes ``0:8`` — committed length of the record area (written last, under
   the lock, so readers never observe a half-written record),
-* then records, each ``[u32 length][pickle payload]``.
+* then records, each ``[u32 length][u32 crc32][pickle payload]``.
+
+The per-record CRC covers the payload: a reader that finds a mismatch
+(a torn write from a publisher killed mid-record, or plain memory
+corruption) *skips* that record — counted in
+:attr:`SharedMemoStore.corrupt_skipped`, surfaced by a one-shot
+``RuntimeWarning`` — instead of unpickling garbage.  Skipping is safe
+for the same reason the log is append-only: a record is pure cache
+(a plan or chain some process would otherwise recompute), so dropping
+one costs a recomputation, never correctness.
 
 A payload is one of::
 
@@ -40,7 +49,10 @@ import os
 import pickle
 import struct
 import warnings
+import zlib
 from typing import List, Optional, Tuple
+
+from repro.auto import faults
 
 try:  # pragma: no cover - exercised implicitly by import success
     from multiprocessing import shared_memory as _shm
@@ -70,7 +82,8 @@ def default_size() -> int:
     return DEFAULT_SIZE
 
 _HEADER = struct.Struct("<Q")
-_RECLEN = struct.Struct("<I")
+#: Per-record header: ``[u32 payload length][u32 payload crc32]``.
+_RECHDR = struct.Struct("<II")
 
 
 def available() -> bool:
@@ -95,6 +108,9 @@ class SharedMemoStore:
         self._full = False
         self._warned_full = False
         self._closed = False
+        #: Records this process's polls skipped over a CRC mismatch.
+        self.corrupt_skipped = 0
+        self._warned_corrupt = False
 
     @property
     def full(self) -> bool:
@@ -224,12 +240,18 @@ class SharedMemoStore:
         with self._lock:
             offset = 8 + _HEADER.unpack_from(buf, 0)[0]
             for blob in blobs:
-                end = offset + 4 + len(blob)
+                crc = zlib.crc32(blob)
+                if faults.should_fire("sharedmemo.publish"):
+                    # Torn write: the committed record's bytes don't match
+                    # its CRC (as if the publisher died mid-memcpy and the
+                    # header commit raced ahead).  Readers must skip it.
+                    blob = bytes(b ^ 0xFF for b in blob)
+                end = offset + _RECHDR.size + len(blob)
                 if end > self._size:
                     self._full = True
                     break
-                _RECLEN.pack_into(buf, offset, len(blob))
-                buf[offset + 4:end] = blob
+                _RECHDR.pack_into(buf, offset, len(blob), crc)
+                buf[offset + _RECHDR.size:end] = blob
                 offset = end
                 written += 1
             _HEADER.pack_into(buf, 0, offset - 8)
@@ -249,10 +271,23 @@ class SharedMemoStore:
         position = 8 + offset
         end = 8 + committed
         while position < end:
-            (length,) = _RECLEN.unpack_from(buf, position)
-            record = bytes(buf[position + 4:position + 4 + length])
+            length, crc = _RECHDR.unpack_from(buf, position)
+            payload_at = position + _RECHDR.size
+            record = bytes(buf[payload_at:payload_at + length])
+            position = payload_at + length
+            if zlib.crc32(record) != crc:
+                self.corrupt_skipped += 1
+                if not self._warned_corrupt:
+                    self._warned_corrupt = True
+                    warnings.warn(
+                        "cross-worker shared plan memo: skipping a "
+                        "corrupt record (CRC mismatch); the entry will "
+                        "be recomputed locally (results are unaffected)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                continue
             out.append(pickle.loads(record))
-            position += 4 + length
         return committed, out
 
 

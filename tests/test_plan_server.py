@@ -359,3 +359,151 @@ class TestRpcProtocol:
         with rpc.connect(addr(server)) as connection:
             with pytest.raises(rpc.RemoteError, match="protocol"):
                 connection.request({"kind": "ping", "protocol": 999})
+
+
+class TestMidStreamResets:
+    """Connection drops *mid-frame* — after the request went out but
+    before a complete reply came back — must land on the same graceful
+    local fallback as a refused connection."""
+
+    def _half_frame_server(self):
+        """A fake plan server that reads one request, replies with a
+        truncated frame (complete header, half the payload) and drops the
+        connection."""
+        import socket
+        import struct
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def serve():
+            conn, _ = listener.accept()
+            with conn:
+                conn.settimeout(5.0)
+                header = b""
+                while len(header) < 8:
+                    header += conn.recv(8 - len(header))
+                length = struct.unpack("<II", header)[0]
+                remaining = length
+                while remaining:
+                    remaining -= len(conn.recv(remaining))
+                body = b"x" * 64
+                conn.sendall(struct.pack("<II", len(body), 0)
+                             + body[:len(body) // 2])
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        return listener, thread
+
+    def test_reply_truncated_mid_frame_falls_back_locally(self):
+        rpc.reset_breakers()
+        listener, thread = self._half_frame_server()
+        try:
+            address = rpc.format_address(listener.getsockname())
+            reference = mcts_search(chain(), ShardingEnv(MESH),
+                                    ["B", "M"], **SEARCH)
+            with pytest.warns(RuntimeWarning, match="searching locally"):
+                result = mcts_search(chain(), ShardingEnv(MESH),
+                                     ["B", "M"], plan_server=address,
+                                     **SEARCH)
+            assert result.plan_source == "local"
+            assert result.actions == reference.actions
+            assert result.cost == reference.cost
+            thread.join(timeout=5.0)
+        finally:
+            listener.close()
+            rpc.reset_breakers()
+
+
+class TestCircuitBreaker:
+    """The client-side circuit breaker around ``plan_server=``."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_breakers(self):
+        rpc.reset_breakers()
+        yield
+        rpc.reset_breakers()
+
+    def test_state_machine_cycle(self):
+        breaker = rpc.CircuitBreaker(threshold=2, cooldown_s=0.15)
+        assert breaker.state == rpc.CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == rpc.CircuitBreaker.CLOSED  # 1 < threshold
+        breaker.record_failure()
+        assert breaker.state == rpc.CircuitBreaker.OPEN
+        assert breaker.allow() is False  # cooldown running
+        time.sleep(0.2)
+        assert breaker.allow() is True  # the half-open probe
+        assert breaker.state == rpc.CircuitBreaker.HALF_OPEN
+        assert breaker.allow() is False  # one probe at a time
+        breaker.record_failure()  # probe lost -> re-open, new cooldown
+        assert breaker.state == rpc.CircuitBreaker.OPEN
+        assert breaker.allow() is False
+        time.sleep(0.2)
+        assert breaker.allow() is True
+        breaker.record_success()  # probe won -> closed, count reset
+        assert breaker.state == rpc.CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == rpc.CircuitBreaker.CLOSED  # counter was reset
+
+    def test_success_and_remote_errors_keep_circuit_closed(self, server):
+        # A RemoteError proves the server is alive: never opens the
+        # breaker (regression for treating app errors as outages).
+        breaker = rpc.breaker_for(addr(server))
+        for _ in range(5):
+            with rpc.connect(addr(server)) as connection:
+                with pytest.raises(rpc.RemoteError):
+                    connection.request({"kind": "nonsense"})
+            mcts_search(chain(), ShardingEnv(MESH), ["B", "M"],
+                        plan_server=addr(server), **SEARCH)
+        assert breaker.state == rpc.CircuitBreaker.CLOSED
+
+    def test_opens_after_threshold_and_skips_the_network(self, monkeypatch):
+        monkeypatch.setenv("PARTIR_BREAKER_THRESHOLD", "2")
+        monkeypatch.setenv("PARTIR_BREAKER_COOLDOWN_S", "3600")
+        rpc.reset_breakers()
+        dead = "127.0.0.1:1"
+        reference = mcts_search(chain(), ShardingEnv(MESH), ["B", "M"],
+                                **SEARCH)
+        with pytest.warns(RuntimeWarning, match="unreachable"):
+            first = mcts_search(chain(), ShardingEnv(MESH), ["B", "M"],
+                                plan_server=dead, **SEARCH)
+        assert first.server_circuit_open is False  # 1 failure < threshold
+        with pytest.warns(RuntimeWarning, match="unreachable"):
+            second = mcts_search(chain(), ShardingEnv(MESH), ["B", "M"],
+                                 plan_server=dead, **SEARCH)
+        assert second.server_circuit_open is True  # threshold reached
+        # Third call: breaker open -> no connection attempt, distinct
+        # warning, still the bit-identical local result.
+        with pytest.warns(RuntimeWarning, match="circuit open"):
+            third = mcts_search(chain(), ShardingEnv(MESH), ["B", "M"],
+                                plan_server=dead, **SEARCH)
+        assert third.server_circuit_open is True
+        assert third.plan_source == "local"
+        assert third.actions == reference.actions
+        assert third.cost == reference.cost
+
+    def test_half_open_probe_recovers_when_server_returns(self,
+                                                          monkeypatch):
+        monkeypatch.setenv("PARTIR_BREAKER_THRESHOLD", "1")
+        monkeypatch.setenv("PARTIR_BREAKER_COOLDOWN_S", "0.2")
+        rpc.reset_breakers()
+        # Reserve a port, open the breaker against it while it's dead,
+        # then bring a real server up on that same port.
+        probe = PlanServer()
+        probe.start()
+        host, port = probe.address
+        probe.stop()
+        dead = f"{host}:{port}"
+        with pytest.warns(RuntimeWarning, match="unreachable"):
+            result = mcts_search(chain(), ShardingEnv(MESH), ["B", "M"],
+                                 plan_server=dead, **SEARCH)
+        assert result.server_circuit_open is True
+        with PlanServer(host=host, port=port) as revived:
+            time.sleep(0.25)  # past the cooldown: next call is the probe
+            recovered = mcts_search(chain(), ShardingEnv(MESH), ["B", "M"],
+                                    plan_server=addr(revived), **SEARCH)
+            assert recovered.plan_source == "server:search"
+            assert recovered.server_circuit_open is False
+            assert rpc.breaker_for(dead).state == rpc.CircuitBreaker.CLOSED
