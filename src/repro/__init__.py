@@ -15,6 +15,7 @@ from repro.api import (
     ManualPartition,
     Metadata,
     PartitionedFunction,
+    PipelinePartition,
     Tactic,
     TacticReport,
     partir_jit,
@@ -34,6 +35,7 @@ __all__ = [
     "ManualPartition",
     "Metadata",
     "PartitionedFunction",
+    "PipelinePartition",
     "Tactic",
     "TacticReport",
     "partir_jit",

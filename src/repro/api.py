@@ -22,6 +22,7 @@ from repro.ir.function import Function
 from repro.ir.values import Value
 from repro.mesh import Mesh
 from repro.core import actions as core_actions
+from repro.core import pipeline as pipeline_mod
 from repro.core.propagate import propagate
 from repro.core.sharding import Sharding, ShardingEnv
 from repro.runtime.executor import MeshExecutor
@@ -181,6 +182,57 @@ class ManualPartition(Tactic):
                 applied += 1
         propagate(function, env, incremental=incremental)
         return applied
+
+
+class PipelinePartition(Tactic):
+    """Pipeline a microbatch loop into stages along one mesh axis.
+
+    Targets the ``loop_index``-th loop op (``scan``/``fori_loop``/
+    ``while_loop``) in the function's canonical walk order and splits its
+    body into ``mesh.size(axis)`` stages under ``schedule`` (``"1f1b"`` or
+    ``"gpipe"``).  Desugars into the same :data:`~repro.core.actions.PIPELINE`
+    action the automatic search enumerates, so manual and automatic
+    pipelining price identically.
+
+    >>> from repro import Mesh, ShapeDtype, trace
+    >>> from repro.core import ShardingEnv
+    >>> from repro.trace import ops
+    >>> def f(x, w):
+    ...     def body(i, acc):
+    ...         return ((acc @ w) @ w,)
+    ...     return ops.fori_loop(0, 4, body, (x,))[0]
+    >>> traced = trace(f, ShapeDtype((8, 4)), ShapeDtype((4, 4)))
+    >>> env = ShardingEnv(Mesh({"stage": 2}))
+    >>> PipelinePartition(axis="stage").apply(traced.function, env)
+    1
+    """
+
+    def __init__(self, axis: str, schedule: str = "1f1b",
+                 loop_index: int = 0, name: Optional[str] = None):
+        self.axis = axis
+        self.schedule = schedule
+        self.loop_index = loop_index
+        self.name = name or f"pipeline<{axis}:{schedule}>"
+
+    def apply(self, function: Function, env: ShardingEnv,
+              incremental: bool = False) -> int:
+        loops = pipeline_mod.loop_ops(function)
+        if self.loop_index >= len(loops):
+            raise ShardingError(
+                f"{self.name}: loop index {self.loop_index} out of range "
+                f"({len(loops)} loop ops)"
+            )
+        op = loops[self.loop_index]
+        if not pipeline_mod.pipeline_legal(env, op, self.axis,
+                                           self.schedule):
+            raise ShardingError(
+                f"{self.name}: pipelining loop {self.loop_index} on axis "
+                f"{self.axis!r} is illegal (axis in use, too few body ops, "
+                f"or already pipelined)"
+            )
+        pipeline_mod.apply_pipeline(env, op, self.axis, self.schedule)
+        propagate(function, env, incremental=incremental)
+        return 1
 
 
 class AutomaticPartition(Tactic):

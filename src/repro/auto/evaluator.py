@@ -36,7 +36,9 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import actions as actions_mod
+from repro.core import pipeline as pipeline_mod
 from repro.core.actions import (
+    PIPELINE,
     SUM_TAGGED,
     TILE_INPUT,
     TILE_TAGGED,
@@ -96,6 +98,12 @@ def candidate_actions(function: Function, env: ShardingEnv,
        and splitting the prior statistics across equivalent groups.
        Distinct results of one multi-result op (scan carries) have
        distinct roots and are all enumerated.
+    3. **Pipeline actions** (``action_space="tagged"`` only): loop ops by
+       canonical pre-order walk index
+       (:func:`repro.core.pipeline.loop_ops`); per loop by ``(axis in the
+       caller's given order, schedule id ascending)``.  Only loops whose
+       body can legally pipeline over the axis (see
+       :func:`repro.core.pipeline.pipeline_legal`) are enumerated.
 
     Both nbytes ties are explicitly broken by index, so the candidate list
     (and everything seeded from it: node ids, rollout RNG streams,
@@ -162,6 +170,11 @@ def candidate_actions(function: Function, env: ShardingEnv,
                     if actions_mod.sum_tagged_legal(env, point.source,
                                                     factor, axis):
                         actions.append((SUM_TAGGED, point.index, f, axis))
+    for loop_index, loop_op in enumerate(pipeline_mod.loop_ops(function)):
+        for axis in axes:
+            for schedule_id, schedule in enumerate(pipeline_mod.SCHEDULES):
+                if pipeline_mod.pipeline_legal(env, loop_op, axis, schedule):
+                    actions.append((PIPELINE, loop_index, schedule_id, axis))
     return actions
 
 
@@ -185,6 +198,10 @@ def action_group_key(function: Function, env: ShardingEnv,
     if kind == TILE_INPUT:
         target = function.params[index]
         op_kind = "param"
+    elif kind == PIPELINE:
+        loop_op = pipeline_mod.loop_ops(function)[index]
+        target = loop_op.results[0]
+        op_kind = loop_op.opcode
     else:
         point = tag_points(function)[index]
         target = point.value
@@ -217,6 +234,15 @@ def try_apply_action(function: Function, env: ShardingEnv,
         if not actions_mod.sum_tagged_legal(env, op, factor, axis):
             return False
         actions_mod.apply_sum_tagged(env, op, factor, axis)
+        return True
+    elif kind == PIPELINE:
+        loops = pipeline_mod.loop_ops(function)
+        if index >= len(loops) or dim >= len(pipeline_mod.SCHEDULES):
+            return False
+        schedule = pipeline_mod.SCHEDULES[dim]
+        if not pipeline_mod.pipeline_legal(env, loops[index], axis, schedule):
+            return False
+        pipeline_mod.apply_pipeline(env, loops[index], axis, schedule)
         return True
     else:
         return False

@@ -48,7 +48,8 @@ import hashlib
 import heapq
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.actions import TILE_INPUT
+from repro.core.actions import PIPELINE, TILE_INPUT
+from repro.core.pipeline import loop_ops
 from repro.ir.function import Function
 from repro.ir.tagpoints import tag_points
 
@@ -290,8 +291,10 @@ class CanonicalForm:
 
     ``digest`` is the relaxed fingerprint (hex).  ``param_to_canon`` maps
     a local parameter index to its canonical rank (``canon_to_param`` is
-    the inverse); ``tag_to_canon``/``canon_to_tag`` do the same for tag
-    point indices.  Action-group prior keys (see
+    the inverse); ``tag_to_canon``/``canon_to_tag`` and
+    ``loop_to_canon``/``canon_to_loop`` do the same for tag-point and
+    loop-op indices (``PIPELINE`` actions address loops, not tags).
+    Action-group prior keys (see
     :func:`repro.auto.evaluator.action_group_key`) are index-free and
     need no translation.
     """
@@ -301,13 +304,19 @@ class CanonicalForm:
     canon_to_param: Tuple[int, ...]
     tag_to_canon: Tuple[int, ...]
     canon_to_tag: Tuple[int, ...]
+    loop_to_canon: Tuple[int, ...] = ()
+    canon_to_loop: Tuple[int, ...] = ()
 
-    def _map_action(self, action, params, tags):
+    def _map_action(self, action, params, tags, loops):
         kind, index, dim, axis = action
         if kind == TILE_INPUT:
             if index >= len(params):
                 raise IndexError(f"param index {index} out of range")
             return (kind, params[index], dim, axis)
+        if kind == PIPELINE:
+            if index >= len(loops):
+                raise IndexError(f"loop index {index} out of range")
+            return (kind, loops[index], dim, axis)
         if index >= len(tags):
             raise IndexError(f"tag index {index} out of range")
         return (kind, tags[index], dim, axis)
@@ -315,14 +324,16 @@ class CanonicalForm:
     def encode_key(self, key) -> ActionKey:
         """Local-space canonical action set -> canonical-space set."""
         return canonical_key([
-            self._map_action(a, self.param_to_canon, self.tag_to_canon)
+            self._map_action(a, self.param_to_canon, self.tag_to_canon,
+                             self.loop_to_canon)
             for a in key
         ])
 
     def decode_key(self, key) -> ActionKey:
         """Canonical-space action set -> this program's local space."""
         return canonical_key([
-            self._map_action(a, self.canon_to_param, self.canon_to_tag)
+            self._map_action(a, self.canon_to_param, self.canon_to_tag,
+                             self.canon_to_loop)
             for a in key
         ])
 
@@ -380,12 +391,24 @@ def canonicalize(function: Function, mesh, device=None,
     for i, rank in enumerate(tag_to_canon):
         canon_to_tag[rank] = i
 
+    loops = loop_ops(function)
+    loop_ranked = sorted(range(len(loops)),
+                         key=lambda i: index.get(loops[i].results[0], -1))
+    loop_to_canon = [0] * len(loops)
+    for rank, i in enumerate(loop_ranked):
+        loop_to_canon[i] = rank
+    canon_to_loop = [0] * len(loops)
+    for i, rank in enumerate(loop_to_canon):
+        canon_to_loop[rank] = i
+
     return CanonicalForm(
         digest=hasher.hexdigest(),
         param_to_canon=tuple(param_to_canon),
         canon_to_param=tuple(canon_to_param),
         tag_to_canon=tuple(tag_to_canon),
         canon_to_tag=tuple(canon_to_tag),
+        loop_to_canon=tuple(loop_to_canon),
+        canon_to_loop=tuple(canon_to_loop),
     )
 
 

@@ -98,6 +98,11 @@ def first_divisible_dim(value: Value, axis_size: int,
 #   ``#sum`` over the axis — the mid-function form of contracting-dimension
 #   parallelism (one ``all_reduce``/``reduce_scatter`` at the first
 #   non-deferring use).
+# * ``PIPELINE``    — pipeline the ``index``-th *loop op* (canonical
+#   pre-order over ``scan``/``fori_loop``/``while_loop``, see
+#   :func:`repro.core.pipeline.loop_ops`) over ``axis``; the ``dim`` slot
+#   carries the schedule id (an index into
+#   :data:`repro.core.pipeline.SCHEDULES`: 0 = 1F1B, 1 = GPipe).
 #
 # Tuples of mixed kinds sort lexicographically (kind first), which is the
 # canonical-set order the evaluator scores and the replay applies.
@@ -105,6 +110,7 @@ def first_divisible_dim(value: Value, axis_size: int,
 TILE_INPUT = 0
 TILE_TAGGED = 1
 SUM_TAGGED = 2
+PIPELINE = 3
 
 #: The action wire form: ``(kind, index, dim, axis)``.
 ActionTuple = Tuple[int, int, int, str]
@@ -146,6 +152,21 @@ class TileInput:
         return (TILE_INPUT, self.index, self.dim, self.axis)
 
 
+@dataclasses.dataclass(frozen=True)
+class Pipeline:
+    """Pipeline a loop op's body over a mesh axis (the control-flow action:
+    stages instead of slices).  ``schedule`` indexes
+    :data:`repro.core.pipeline.SCHEDULES` and rides the wire tuple's
+    ``dim`` slot."""
+
+    loop: int  # loop-op index (canonical pre-order, see pipeline.loop_ops)
+    schedule: int  # 0 = 1f1b, 1 = gpipe
+    axis: str
+
+    def encode(self) -> ActionTuple:
+        return (PIPELINE, self.loop, self.schedule, self.axis)
+
+
 def decode_action(action: ActionTuple):
     """The dataclass view of a wire-form action tuple.
 
@@ -155,6 +176,8 @@ def decode_action(action: ActionTuple):
     SumTagged(tag=3, factor=0, axis='model')
     >>> decode_action((2, 3, 0, "model")).encode()
     (2, 3, 0, 'model')
+    >>> decode_action((3, 0, 1, "stage"))
+    Pipeline(loop=0, schedule=1, axis='stage')
     """
     kind, index, dim, axis = action
     if kind == TILE_INPUT:
@@ -163,6 +186,8 @@ def decode_action(action: ActionTuple):
         return TileTagged(index, dim, axis)
     if kind == SUM_TAGGED:
         return SumTagged(index, dim, axis)
+    if kind == PIPELINE:
+        return Pipeline(index, dim, axis)
     raise ValueError(f"unknown action kind {kind!r}")
 
 

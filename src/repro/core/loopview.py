@@ -49,12 +49,22 @@ def _action_of(axis: str, sharding: Sharding) -> str:
     return "[any]"
 
 
+#: Region labels by (opcode, region index); anything unlisted is "body".
+_REGION_LABELS = {("while_loop", 1): "cond"}
+
+
 def render_loop_view(function: Function, env: ShardingEnv,
                      max_ops: int = 200) -> str:
     """Pretty-print ``function`` with each op nested in its loop context.
 
     Consecutive ops sharing a loop nest are grouped under one ``loop``
-    header (the fused form of the paper's Listing 7).
+    header (the fused form of the paper's Listing 7).  Loop ops
+    (``scan``/``fori_loop``/``while_loop``) render their regions inline as
+    labelled blocks, visited in the exact canonical pre-order
+    :meth:`repro.ir.function.Function.walk` defines — the same order
+    :func:`repro.ir.tagpoints.tag_points` numbers tag points in, so the
+    ``max_ops`` budget truncates both views at the same walk position (the
+    shared-order regression test pins this agreement).
     """
     mesh = env.mesh
     names: Dict[Value, str] = {}
@@ -64,49 +74,66 @@ def render_loop_view(function: Function, env: ShardingEnv,
         for p in function.params
     )
     lines.append(f"func @{function.name}({params}) {{")
-    current_nest: List[str] = []
+    budget = [max_ops]
 
-    def close_to(depth: int):
-        while len(current_nest) > depth:
-            current_nest.pop()
-            lines.append("  " * (len(current_nest) + 1) + "}")
+    def emit_region(fn: Function, base: int) -> None:
+        current_nest: List[str] = []
 
-    for index, op in enumerate(function.ops):
-        if index >= max_ops:
-            lines.append("  ...")
-            break
-        nest = _context_of(op, env)
-        # Find common prefix with the open nest.
-        prefix = 0
-        while (prefix < len(nest) and prefix < len(current_nest)
-               and nest[prefix] == current_nest[prefix]):
-            prefix += 1
-        close_to(prefix)
-        while len(current_nest) < len(nest):
-            axis = nest[len(current_nest)]
-            sharding = env.sharding(op.results[0])
-            action = _action_of(axis, sharding)
-            indent = "  " * (len(current_nest) + 1)
+        def close_to(depth: int):
+            while len(current_nest) > depth:
+                current_nest.pop()
+                lines.append("  " * (base + len(current_nest) + 1) + "}")
+
+        for op in fn.ops:
+            if budget[0] <= 0:
+                close_to(0)
+                lines.append("  " * (base + 1) + "...")
+                return
+            budget[0] -= 1
+            nest = _context_of(op, env)
+            # Find common prefix with the open nest.
+            prefix = 0
+            while (prefix < len(nest) and prefix < len(current_nest)
+                   and nest[prefix] == current_nest[prefix]):
+                prefix += 1
+            close_to(prefix)
+            while len(current_nest) < len(nest):
+                axis = nest[len(current_nest)]
+                sharding = env.sharding(op.results[0])
+                action = _action_of(axis, sharding)
+                indent = "  " * (base + len(current_nest) + 1)
+                lines.append(
+                    f'{indent}loop "{axis}" [{action}] '
+                    f"(%r{axis}: range<{mesh.size(axis)}>) {{"
+                )
+                current_nest.append(axis)
+            indent = "  " * (base + len(current_nest) + 1)
+            outs = ", ".join(_value_label(r, names) for r in op.results)
+            operand_parts = []
+            for operand in op.operands:
+                label = _value_label(operand, names)
+                operand_sharding = env.sharding(operand)
+                for axis in nest:
+                    dim = operand_sharding.tile_dim_of(axis)
+                    if dim is not None:
+                        label = f"(slice {dim} {label}[%r{axis}])"
+                operand_parts.append(label)
             lines.append(
-                f'{indent}loop "{axis}" [{action}] '
-                f"(%r{axis}: range<{mesh.size(axis)}>) {{"
+                f"{indent}{outs} = {op.opcode}({', '.join(operand_parts)})"
             )
-            current_nest.append(axis)
-        indent = "  " * (len(current_nest) + 1)
-        outs = ", ".join(_value_label(r, names) for r in op.results)
-        operand_parts = []
-        for operand in op.operands:
-            label = _value_label(operand, names)
-            operand_sharding = env.sharding(operand)
-            for axis in nest:
-                dim = operand_sharding.tile_dim_of(axis)
-                if dim is not None:
-                    label = f"(slice {dim} {label}[%r{axis}])"
-            operand_parts.append(label)
-        lines.append(
-            f"{indent}{outs} = {op.opcode}({', '.join(operand_parts)})"
-        )
-    close_to(0)
+            # Descend regions in walk() pre-order: the op itself first,
+            # then each region's ops, left to right.
+            for rindex, region in enumerate(op.regions):
+                label = _REGION_LABELS.get((op.opcode, rindex), "body")
+                region_params = ", ".join(
+                    _value_label(p, names) for p in region.params
+                )
+                lines.append(f"{indent}{label}({region_params}) {{")
+                emit_region(region, base + len(current_nest) + 1)
+                lines.append(indent + "}")
+        close_to(0)
+
+    emit_region(function, 0)
     results = ", ".join(_value_label(r, names) for r in function.results)
     lines.append(f"  return {results}")
     lines.append("}")

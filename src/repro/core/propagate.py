@@ -20,7 +20,8 @@ shardings), so it terminates.
 
 **Worklist invariant (incremental mode).**  An op's transfer function reads
 only the shardings of its *adjacent* values: its operands, its results, and —
-for ``scan`` — the linked body params/results of its carries.  Therefore an
+for loop ops (``scan``/``fori_loop``/``while_loop``) — the linked body (and
+predicate) params/results of its carries.  Therefore an
 op can fire (tile, defer a pending sum, or report a conflict it has not yet
 reported) only after one of those values changed.  The engine maintains
 exactly that invariant: the worklist is seeded from the env's dirty values
@@ -104,13 +105,17 @@ class _FunctionIndex:
                 link(value, index)
             for value in op.results:
                 link(value, index)
-            if op.opcode == "scan":
-                # _process_scan also reads the body's params and results.
+            if op.opcode in opdefs.LOOP_OPS:
+                # _process_loop also reads the body's params and results
+                # (and, for while_loop, the predicate's carry params).
                 body = op.regions[0]
                 for value in body.params:
                     link(value, index)
                 for value in body.results:
                     link(value, index)
+                if op.opcode == "while_loop":
+                    for value in op.regions[1].params:
+                        link(value, index)
         self.adjacency = adjacency
 
 
@@ -195,8 +200,8 @@ class Propagator:
                 op = ops[i]
                 stats.ops_processed += 1
                 before = self.env.version
-                if op.opcode == "scan":
-                    self._process_scan(op)
+                if op.opcode in opdefs.LOOP_OPS:
+                    self._process_loop(op)
                 else:
                     self._process_op(op)
                 if self.env.version == before:
@@ -384,18 +389,23 @@ class Propagator:
     def _may_defer(self, op: Operation, axis: str, pending: List[int]) -> bool:
         return may_defer(self.env, op, axis, pending)
 
-    # -- scan --------------------------------------------------------------------
+    # -- loops -------------------------------------------------------------------
 
-    def _process_scan(self, op: Operation) -> bool:
-        """Unify carry shardings: operand_i, body param i+1, body result i and
-        op result i must agree (the loop state keeps one layout)."""
+    def _process_loop(self, op: Operation) -> bool:
+        """Unify carry shardings through any loop op: operand_i, body param
+        i+1, body result i and op result i must agree (the loop state keeps
+        one layout across iterations).  ``while_loop``'s predicate reads the
+        same carries, so its param i+1 joins carry i's group."""
         body = op.regions[0]
+        cond = op.regions[1] if op.opcode == "while_loop" else None
         changed = False
         num_carries = op.attrs.get("num_carries", len(op.operands))
         for i in range(len(op.operands)):
             group = [op.operands[i], body.params[i + 1]]
             if i < num_carries:
                 group += [body.results[i], op.results[i]]
+                if cond is not None:
+                    group.append(cond.params[i + 1])
             for axis in self.mesh.axis_names:
                 dims = set()
                 for value in group:
@@ -406,7 +416,8 @@ class Propagator:
                     if len(dims) > 1:
                         self._report_once(
                             op, axis, "conflict",
-                            f"scan carry {i} tiled on dims {sorted(dims)}",
+                            f"{op.opcode} carry {i} tiled on dims "
+                            f"{sorted(dims)}",
                         )
                     continue
                 (dim,) = dims
@@ -422,7 +433,7 @@ class Propagator:
                     ):
                         continue
                     self.env.set_sharding(value, sharding.with_tile(dim, axis))
-                    self.env.record("tile", op, axis, f"scan carry {i}")
+                    self.env.record("tile", op, axis, f"{op.opcode} carry {i}")
                     changed = True
         return changed
 

@@ -36,10 +36,15 @@ def evaluate_function(function: Function, args: Sequence[np.ndarray]) -> List[np
     return [env[r] for r in function.results]
 
 
+#: Safety cap for ``while_loop`` evaluation: a predicate that never turns
+#: false is a bug in the traced program, not a reason to hang the tests.
+MAX_WHILE_ITERATIONS = 1_000_000
+
+
 def _eval_op(op: Operation, env: Dict[Value, np.ndarray]) -> None:
     operands = [env[v] for v in op.operands]
-    if op.opcode == "scan":
-        results = _eval_scan(op, operands)
+    if op.opcode in opdefs.LOOP_OPS:
+        results = _eval_loop(op, operands)
     else:
         opdef = opdefs.get(op.opcode)
         if opdef.eval is None:
@@ -60,14 +65,36 @@ def _eval_op(op: Operation, env: Dict[Value, np.ndarray]) -> None:
         env[value] = array.astype(value.type.dtype.np_dtype, copy=False)
 
 
-def _eval_scan(op: Operation, operands: List[np.ndarray]) -> List[np.ndarray]:
+def _eval_loop(op: Operation, operands: List[np.ndarray]) -> List[np.ndarray]:
+    """Evaluate any :data:`repro.ir.opdefs.LOOP_OPS` op.
+
+    ``scan`` and ``fori_loop`` share the counted-loop path (the frontend
+    folds ``fori_loop``'s lower bound into the body, so the step index
+    always counts from 0).  ``while_loop`` runs its predicate region for
+    real each iteration — ``trip_count`` is only a pricing hint.
+    """
     body = op.regions[0]
-    trip_count = op.attrs["trip_count"]
     num_carries = op.attrs.get("num_carries", len(operands))
     carries = list(operands[:num_carries])
     invariants = list(operands[num_carries:])
-    for i in range(trip_count):
-        index = np.asarray(i, dtype=body.params[0].type.dtype.np_dtype)
+    index_dtype = body.params[0].type.dtype.np_dtype
+    if op.opcode == "while_loop":
+        cond = op.regions[1]
+        step = 0
+        while True:
+            index = np.asarray(step, dtype=index_dtype)
+            (pred,) = evaluate_function(cond, [index] + carries)
+            if not bool(pred):
+                break
+            if step >= MAX_WHILE_ITERATIONS:
+                raise ExecutionError(
+                    f"while_loop exceeded {MAX_WHILE_ITERATIONS} iterations"
+                )
+            carries = evaluate_function(body, [index] + carries + invariants)
+            step += 1
+        return carries
+    for i in range(op.attrs["trip_count"]):
+        index = np.asarray(i, dtype=index_dtype)
         carries = evaluate_function(body, [index] + carries + invariants)
     return carries
 

@@ -42,6 +42,15 @@ class OpDef:
     has_regions: bool = False
 
 
+#: The counted/conditional loop family.  All three share the scan calling
+#: convention — region 0 is the body ``(step, *carries, *invariants) ->
+#: carries``, attrs carry ``trip_count``/``num_carries`` — so every consumer
+#: that walks, prices, propagates through or executes a loop region handles
+#: them with one code path.  ``while_loop`` adds a second region (the
+#: predicate ``(step, *carries) -> pred``); its ``trip_count`` attr is the
+#: *pricing hint* used by the cost model and collective counters.
+LOOP_OPS = frozenset({"scan", "fori_loop", "while_loop"})
+
 _REGISTRY: Dict[str, OpDef] = {}
 
 

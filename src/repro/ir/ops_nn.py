@@ -221,33 +221,75 @@ register(
 # collectives by trip_count, like the paper's Table 3 does.
 # ---------------------------------------------------------------------------
 
-def _infer_scan(types, attrs, regions):
-    if len(regions) != 1:
-        raise TypeInferenceError("scan needs exactly one body region")
-    body = regions[0]
+def _check_loop_body(name, types, attrs, body):
     num_carries = attrs.get("num_carries", len(types))
     if len(body.params) != len(types) + 1:
         raise TypeInferenceError(
-            f"scan body takes {len(body.params)} params, expected "
+            f"{name} body takes {len(body.params)} params, expected "
             f"{len(types) + 1} (index + carries + invariants)"
         )
     if body.params[0].type.shape != ():
-        raise TypeInferenceError("scan body's first param must be the scalar index")
+        raise TypeInferenceError(
+            f"{name} body's first param must be the scalar index"
+        )
     for operand_type, param in zip(types, body.params[1:]):
         if param.type != operand_type:
             raise TypeInferenceError(
-                f"scan operand type {operand_type} != body param {param.type}"
+                f"{name} operand type {operand_type} != body param {param.type}"
             )
     carry_types = list(types[:num_carries])
     if len(body.results) != num_carries:
-        raise TypeInferenceError("scan body must return one value per carry")
+        raise TypeInferenceError(f"{name} body must return one value per carry")
     for carry_type, result in zip(carry_types, body.results):
         if result.type != carry_type:
             raise TypeInferenceError(
-                f"scan carry type {carry_type} != body result {result.type}"
+                f"{name} carry type {carry_type} != body result {result.type}"
             )
     return carry_types
 
 
+def _infer_scan(types, attrs, regions):
+    if len(regions) != 1:
+        raise TypeInferenceError("scan needs exactly one body region")
+    return _check_loop_body("scan", types, attrs, regions[0])
+
+
+def _infer_fori_loop(types, attrs, regions):
+    if len(regions) != 1:
+        raise TypeInferenceError("fori_loop needs exactly one body region")
+    return _check_loop_body("fori_loop", types, attrs, regions[0])
+
+
+def _infer_while_loop(types, attrs, regions):
+    if len(regions) != 2:
+        raise TypeInferenceError(
+            "while_loop needs exactly two regions (body, cond)"
+        )
+    carry_types = _check_loop_body("while_loop", types, attrs, regions[0])
+    cond = regions[1]
+    if len(cond.params) != len(carry_types) + 1:
+        raise TypeInferenceError(
+            f"while_loop cond takes {len(cond.params)} params, expected "
+            f"{len(carry_types) + 1} (index + carries)"
+        )
+    if len(cond.results) != 1 or cond.results[0].type.shape != ():
+        raise TypeInferenceError(
+            "while_loop cond must return one scalar predicate"
+        )
+    return carry_types
+
+
 register(OpDef("scan", _infer_scan, eval=None, has_regions=True,
+               flops=lambda types, attrs: 0.0))
+
+# fori_loop is scan-shaped: the frontend folds the lower bound into the
+# traced body, so its execution and pricing paths are shared with scan.
+register(OpDef("fori_loop", _infer_fori_loop, eval=None, has_regions=True,
+               flops=lambda types, attrs: 0.0))
+
+# while_loop carries a second (predicate) region.  The interpreter runs the
+# predicate for real; every static consumer (cost model, collective
+# counters) uses the ``trip_count`` pricing hint and ignores the predicate's
+# own (scalar, negligible) cost.
+register(OpDef("while_loop", _infer_while_loop, eval=None, has_regions=True,
                flops=lambda types, attrs: 0.0))

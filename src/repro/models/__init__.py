@@ -1,6 +1,8 @@
 """The paper's benchmark models (Section 7.1) and their schedules, plus the
 interior-bottleneck ensemble exercising the widened search action space."""
 
-from repro.models import bottleneck, gns, schedules, transformer, unet
+from repro.models import (bottleneck, gns, pipeline, schedules, transformer,
+                          unet)
 
-__all__ = ["bottleneck", "gns", "schedules", "transformer", "unet"]
+__all__ = ["bottleneck", "gns", "pipeline", "schedules", "transformer",
+           "unet"]

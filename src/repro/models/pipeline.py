@@ -1,0 +1,200 @@
+"""Pipelined multi-stage models: the targets of the ``PIPELINE`` tactic.
+
+The paper's pipeline-parallel experiments partition a *loop over
+microbatches* whose body runs the whole layer stack: each mesh slice along
+the pipeline axis owns a contiguous band of layers, and microbatches stream
+through the bands under a 1F1B or GPipe schedule.  These models express that
+structure directly — a ``scan`` over microbatches whose body slices one
+microbatch out of the global batch, runs every layer, and writes the result
+back into an accumulator carry — so :func:`repro.core.pipeline.apply_pipeline`
+has a real loop to split.
+
+Two bodies are provided:
+
+* :func:`trace_pipeline_transformer` — a dense multi-layer MLP-transformer
+  stack (matmul chains with residuals), the shape used by the benchmark's
+  pipeline-vs-tensor comparison.
+* :func:`trace_pipeline_moe` — the same skeleton with a mixture-of-experts
+  layer in the middle: gate matmul + one-hot dispatch/combine
+  ``dot_general`` pairs over stacked expert weights ``[E, d, ff]``, the
+  pattern whose lowering exercises the all_gather/all_slice peepholes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.nn import rms_norm
+from repro.trace import ShapeDtype, ops, trace
+from repro.trace.tracer import TracedFunction
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineConfig:
+    """A microbatched layer stack.
+
+    ``num_layers`` is the pipeline's divisible resource: splitting into K
+    stages gives each stage ``num_layers / K`` of the body FLOPs.
+    ``num_microbatches`` is the scan trip count T; the 1F1B bubble fraction
+    is ``(K - 1) / (T + K - 1)``, so T >> K amortizes the ramp.
+    """
+
+    name: str = "pipe8"
+    num_layers: int = 8
+    d_model: int = 32
+    ffw_dim: int = 64
+    batch: int = 16
+    num_microbatches: int = 4
+    # MoE knobs (trace_pipeline_moe only).
+    num_experts: int = 4
+    moe_layer: int = 4
+
+    @property
+    def microbatch(self) -> int:
+        return self.batch // self.num_microbatches
+
+
+def pipe8(**overrides) -> PipelineConfig:
+    """The default 8-layer benchmark stack."""
+    return PipelineConfig(**overrides)
+
+
+def tiny(**overrides) -> PipelineConfig:
+    """A 4-layer variant for unit tests."""
+    defaults = dict(name="pipe-tiny", num_layers=4, d_model=16, ffw_dim=32,
+                    batch=8, num_microbatches=2, num_experts=2, moe_layer=2)
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+# -- parameter specs ---------------------------------------------------------------
+
+def layer_spec(cfg: PipelineConfig) -> Dict[str, ShapeDtype]:
+    d, f = cfg.d_model, cfg.ffw_dim
+    return {
+        "up_w": ShapeDtype((d, f)),
+        "down_w": ShapeDtype((f, d)),
+        "ln_s": ShapeDtype((d,)),
+    }
+
+
+def moe_spec(cfg: PipelineConfig) -> Dict[str, ShapeDtype]:
+    d, f, e = cfg.d_model, cfg.ffw_dim, cfg.num_experts
+    return {
+        "gate_w": ShapeDtype((d, e)),
+        "expert_up_w": ShapeDtype((e, d, f)),
+        "expert_down_w": ShapeDtype((e, f, d)),
+        "ln_s": ShapeDtype((d,)),
+    }
+
+
+def param_spec(cfg: PipelineConfig, moe: bool = False) -> Dict[str, object]:
+    spec: Dict[str, object] = {}
+    for i in range(cfg.num_layers):
+        if moe and i == cfg.moe_layer:
+            spec[f"layer_{i:02d}"] = moe_spec(cfg)
+        else:
+            spec[f"layer_{i:02d}"] = layer_spec(cfg)
+    return spec
+
+
+# -- layer bodies ------------------------------------------------------------------
+
+def _dense_layer(layer, h):
+    a = rms_norm(layer["ln_s"], h)
+    up = ops.gelu(a @ layer["up_w"])
+    return h + up @ layer["down_w"]
+
+
+def _moe_layer(cfg: PipelineConfig, layer, h):
+    """Top-1 mixture of experts over stacked weights ``[E, d, f]``.
+
+    Dispatch and combine are expressed as ``dot_general`` contractions with
+    the one-hot routing matrix, so partitioning the expert dimension turns
+    them into the all_to_all / all_gather patterns the spmd peepholes fold.
+    """
+    a = rms_norm(layer["ln_s"], h)
+    gate_logits = a @ layer["gate_w"]                       # [B, E]
+    gate = ops.softmax(gate_logits, axis=-1)
+    # Hard top-1 routing would need argmax; a fixed block assignment keeps
+    # the same dispatch/combine contraction structure (what the collectives
+    # see).  Tokens are assigned to experts in contiguous blocks, so the
+    # microbatch must divide evenly among experts.
+    tokens = a.shape[0]
+    assign = ops.reshape(
+        ops.iota((cfg.num_experts, tokens // cfg.num_experts), dim=0),
+        (tokens,),
+    )
+    dispatch = ops.one_hot(assign, cfg.num_experts)         # [B, E]
+    routed = gate * dispatch                                # [B, E]
+    # Dispatch: [B, d] x [B, E] -> per-expert batches [E, B, d].
+    per_expert = ops.dot_general(routed, a, ((), ()), ((0,), (0,)))
+    per_expert = ops.transpose(per_expert, (1, 0, 2))       # [E, B, d]
+    up = ops.dot_general(per_expert, layer["expert_up_w"],
+                         ((2,), (1,)), ((0,), (0,)))        # [E, B, f]
+    up = ops.gelu(up)
+    down = ops.dot_general(up, layer["expert_down_w"],
+                           ((2,), (1,)), ((0,), (0,)))      # [E, B, d]
+    # Combine: sum expert outputs back per token, weighted by the routing.
+    combined = ops.dot_general(routed, ops.transpose(down, (1, 0, 2)),
+                               ((1,), (1,)), ((0,), (0,)))  # [B, d]
+    return h + combined
+
+
+def _stack(cfg: PipelineConfig, params, h, moe: bool):
+    for i in range(cfg.num_layers):
+        layer = params[f"layer_{i:02d}"]
+        if moe and i == cfg.moe_layer:
+            h = _moe_layer(cfg, layer, h)
+        else:
+            h = _dense_layer(layer, h)
+        h = ops.tag(h, f"stage_out_{i}")
+    return h
+
+
+# -- traced entry points -----------------------------------------------------------
+
+def _trace_microbatched(cfg: PipelineConfig, moe: bool) -> TracedFunction:
+    pspec = param_spec(cfg, moe=moe)
+    mb = cfg.microbatch
+
+    def step(params, x):
+        acc = ops.zeros_like(x)
+
+        def body(mb_index, acc):
+            chunk = ops.dynamic_slice_in_dim(x, mb_index * mb, mb, dim=0)
+            out = _stack(cfg, params, chunk, moe)
+            return (ops.dynamic_update_slice_in_dim(
+                acc, out, mb_index * mb, dim=0),)
+
+        return ops.scan(body, (acc,), trip_count=cfg.num_microbatches)[0]
+
+    x_spec = ShapeDtype((cfg.batch, cfg.d_model))
+    return trace(step, pspec, x_spec, name=cfg.name)
+
+
+def trace_pipeline_transformer(cfg: PipelineConfig = None) -> TracedFunction:
+    """Trace the microbatched dense stack: a ``scan`` over ``T``
+    microbatches whose body runs all ``num_layers`` layers — the canonical
+    target of the ``PIPELINE`` tactic.
+
+    >>> fn = trace_pipeline_transformer(tiny()).function
+    >>> [op.opcode for op in fn.ops if op.opcode == "scan"]
+    ['scan']
+    """
+    cfg = cfg or pipe8()
+    return _trace_microbatched(cfg, moe=False)
+
+
+def trace_pipeline_moe(cfg: PipelineConfig = None) -> TracedFunction:
+    """Trace the microbatched stack with a mixture-of-experts middle layer.
+
+    >>> fn = trace_pipeline_moe(tiny()).function
+    >>> scan = [op for op in fn.ops if op.opcode == "scan"][0]
+    >>> body_ops = {op.opcode for op in scan.regions[0].walk()}
+    >>> "iota" in body_ops and "dot_general" in body_ops
+    True
+    """
+    cfg = cfg or pipe8()
+    return _trace_microbatched(cfg, moe=True)

@@ -15,6 +15,7 @@ from repro.api import (
     UNKNOWN,
     AutomaticPartition,
     ManualPartition,
+    PipelinePartition,
     Tactic,
 )
 from repro.models.transformer import TransformerConfig
@@ -92,6 +93,16 @@ def zero3(axis: str = "batch", all_tensors: bool = False) -> Tactic:
         {"opt_state": spec, "params": spec}, axis=axis
     )
     tactic.name = "Z3"
+    return tactic
+
+
+def pp(axis: str = "stage", schedule: str = "1f1b",
+       loop_index: int = 0) -> Tactic:
+    """Pipeline parallelism: split the microbatch loop's body into
+    ``mesh.size(axis)`` stages under a 1F1B or GPipe schedule."""
+    tactic = PipelinePartition(axis=axis, schedule=schedule,
+                               loop_index=loop_index)
+    tactic.name = "PP"
     return tactic
 
 

@@ -152,8 +152,8 @@ class MeshExecutor:
 
     def _step(self, op: Operation,
               envs: List[Dict[Value, np.ndarray]]) -> None:
-        if op.opcode == "scan":
-            self._run_scan(op, envs)
+        if op.opcode in opdefs.LOOP_OPS:
+            self._run_loop(op, envs)
         elif op.opcode in _COLLECTIVES:
             _COLLECTIVES[op.opcode](self, op, envs)
         else:
@@ -166,8 +166,14 @@ class MeshExecutor:
                         value.type.dtype.np_dtype, copy=False
                     )
 
-    def _run_scan(self, op: Operation,
+    def _run_loop(self, op: Operation,
                   envs: List[Dict[Value, np.ndarray]]) -> None:
+        """Execute any loop op (scan / fori_loop / while_loop) in lockstep.
+
+        ``while_loop`` evaluates its (replicated) predicate region each
+        iteration and follows device 0's verdict — the cond is reconciled
+        replicated at lowering, so all devices agree.
+        """
         body = op.regions[0]
         num_carries = op.attrs.get("num_carries", len(op.operands))
         carries = [
@@ -176,13 +182,27 @@ class MeshExecutor:
         invariants = [
             [env[v] for v in op.operands[num_carries:]] for env in envs
         ]
-        for step in range(op.attrs["trip_count"]):
+        index_dtype = body.params[0].type.dtype.np_dtype
+        is_while = op.opcode == "while_loop"
+        step = 0
+        while True:
+            if is_while:
+                cond = op.regions[1]
+                cond_envs: List[Dict[Value, np.ndarray]] = []
+                for dev in range(self.n):
+                    env = {cond.params[0]: np.asarray(step, dtype=index_dtype)}
+                    for i, array in enumerate(carries[dev]):
+                        env[cond.params[i + 1]] = array
+                    cond_envs.append(env)
+                self._run(cond, cond_envs)
+                if not bool(cond_envs[0][cond.results[0]]):
+                    break
+            elif step >= op.attrs["trip_count"]:
+                break
             body_envs: List[Dict[Value, np.ndarray]] = []
             for dev in range(self.n):
                 env: Dict[Value, np.ndarray] = {
-                    body.params[0]: np.asarray(
-                        step, dtype=body.params[0].type.dtype.np_dtype
-                    )
+                    body.params[0]: np.asarray(step, dtype=index_dtype)
                 }
                 for i, array in enumerate(carries[dev] + invariants[dev]):
                     env[body.params[i + 1]] = array
@@ -192,6 +212,7 @@ class MeshExecutor:
                 [body_envs[dev][r] for r in body.results]
                 for dev in range(self.n)
             ]
+            step += 1
         for dev in range(self.n):
             for value, carry in zip(op.results, carries[dev]):
                 envs[dev][value] = carry

@@ -35,6 +35,7 @@ import itertools
 import math
 from typing import Dict, List, Optional, Tuple
 
+from repro.core import pipeline as pipeline_mod
 from repro.core.sharding import Sharding, intern_sharding, sharding_from_iid
 from repro.ir import opdefs
 from repro.ir.function import Function
@@ -246,13 +247,88 @@ def _collective_cost(op, mesh: Mesh, device: DeviceSpec):
     )
 
 
+def loop_cost_terms(attrs: dict, body: CostEstimate, device: DeviceSpec,
+                    cond: Optional[CostEstimate] = None) -> list:
+    """The flattened cost-term bundle of one loop op, from its region
+    estimates — the single pricing formula every evaluation path
+    (materialized, streaming, differential) feeds through
+    :meth:`_CostAcc.apply`, which is what keeps them bit-identical.
+
+    Terms are ``("fl", flops)`` / ``("cp", compute_s)`` /
+    ``("cb", comm_bytes)`` / ``("cs", comm_s)`` /
+    ``("co", opcode, seconds)``.
+
+    Unpipelined, the body simply runs ``trip_count`` times: one term per
+    field, scaled by the trip count.  With ``pipeline_*`` attrs present
+    (see :func:`repro.core.pipeline.pipeline_schedule_attrs`), the body is
+    split into ``K = pipeline_stages`` stages over a mesh axis and the
+    ``T = trip_count`` iterations stream through as microbatches:
+
+    * per-device FLOPs shrink to the heaviest stage's share ``f``
+      (``pipeline_stage_fraction``) — ``T`` microbatches of ``f x`` body
+      work actually execute on the critical device;
+    * compute *time* pays the schedule bubble: the critical stage is busy
+      for ``T + K - 1`` slots of ``f x`` body compute (the classic
+      GPipe/1F1B bubble fraction ``(K-1)/(T+K-1)``);
+    * collectives inside the body (spanning the other mesh axes) still run
+      once per microbatch — unchanged ``x T`` terms;
+    * stage hand-offs add point-to-point transfers:
+      ``pipeline_p2p_bytes x T`` bytes on the wire, paying link bandwidth
+      plus one launch latency per boundary crossing (``(K-1) x T``),
+      reported under the pseudo-collective key ``"pipeline_p2p"``.
+
+    ``cond`` is a ``while_loop``'s condition-region estimate: it runs once
+    per iteration on every device (lockstep), so its terms ride unpipelined
+    at ``x T`` regardless of schedule.
+    """
+    trips = attrs["trip_count"]
+    stages = attrs.get("pipeline_stages")
+    if not stages:
+        terms = [
+            ("fl", body.local_flops * trips),
+            ("cp", body.compute_s * trips),
+            ("cb", body.comm_bytes * trips),
+            ("cs", body.comm_s * trips),
+        ]
+        for opcode, seconds in body.collective_time_s.items():
+            terms.append(("co", opcode, seconds * trips))
+    else:
+        fraction = attrs["pipeline_stage_fraction"]
+        slots = trips + stages - 1
+        terms = [
+            ("fl", body.local_flops * fraction * trips),
+            ("cp", body.compute_s * fraction * slots),
+            ("cb", body.comm_bytes * trips),
+            ("cs", body.comm_s * trips),
+        ]
+        for opcode, seconds in body.collective_time_s.items():
+            terms.append(("co", opcode, seconds * trips))
+        moved = float(attrs["pipeline_p2p_bytes"]) * trips
+        seconds = (moved / device.link_bandwidth
+                   + (stages - 1) * trips * device.collective_latency)
+        terms.append(("cb", moved))
+        terms.append(("cs", seconds))
+        terms.append(("co", "pipeline_p2p", seconds))
+    if cond is not None:
+        terms.append(("fl", cond.local_flops * trips))
+        terms.append(("cp", cond.compute_s * trips))
+        terms.append(("cb", cond.comm_bytes * trips))
+        terms.append(("cs", cond.comm_s * trips))
+        for opcode, seconds in cond.collective_time_s.items():
+            terms.append(("co", opcode, seconds * trips))
+    return terms
+
+
 def _estimate_function(function: Function, mesh: Mesh,
                        device: DeviceSpec) -> CostEstimate:
     acc = _CostAcc(device.peak_flops * _COMPUTE_EFFICIENCY)
     for op in function.ops:
-        if op.opcode == "scan":
+        if op.opcode in opdefs.LOOP_OPS:
             inner = _estimate_function(op.regions[0], mesh, device)
-            acc.add_scaled(inner, op.attrs["trip_count"])
+            cond = (_estimate_function(op.regions[1], mesh, device)
+                    if len(op.regions) > 1 else None)
+            acc.apply(loop_cost_terms(op.attrs, inner, device, cond),
+                      1.0, 1)
             continue
         if is_collective(op.opcode):
             bytes_moved, seconds = _collective_cost(op, mesh, device)
@@ -429,8 +505,8 @@ class CostSink:
 
     def emit(self, opcode, operands, attrs, regions=None):
         self._emitted = True
-        if opcode == "scan":
-            return self._emit_scan(operands, attrs, regions)
+        if opcode in opdefs.LOOP_OPS:
+            return self._emit_loop(operands, attrs, regions)
         pending = self._pending
         if pending is not None:
             if opcode == "all_slice" and operands[0] is pending[3]:
@@ -585,21 +661,33 @@ class CostSink:
         self._cost_op("all_to_all", [p_operand], a2a_attrs, [handle])
         return [handle]
 
-    def _emit_scan(self, operands, attrs, regions):
+    def _emit_loop(self, operands, attrs, regions):
         self._flush_pending()
         body: _StreamResult = regions[0]
+        cond: Optional[_StreamResult] = (
+            regions[1] if len(regions) > 1 else None
+        )
         num_carries = attrs.get("num_carries", len(operands))
         handles = [
             _StreamValue(operands[i].type, next(self._uids))
             for i in range(num_carries)
         ]
-        self._acc.add_scaled(body.estimate, attrs["trip_count"])
+        self._acc.apply(
+            loop_cost_terms(attrs, body.estimate, self.device,
+                            cond.estimate if cond is not None else None),
+            1.0, 1,
+        )
+        extra = memory_mod.loop_extra_bytes(
+            attrs, body.peak_bytes, body.params_bytes
+        )
+        if cond is not None:
+            extra += memory_mod.scan_body_extra_bytes(
+                cond.peak_bytes, cond.params_bytes
+            )
         self._log.add_op(
             [o.uid for o in operands],
             [(h.uid, h.type.nbytes) for h in handles],
-            extra=memory_mod.scan_body_extra_bytes(
-                body.peak_bytes, body.params_bytes
-            ),
+            extra=extra,
         )
         return handles
 
@@ -687,8 +775,8 @@ class _MemoLowerer(Lowerer):
         )
 
     def _lower_op(self, op, sink, value_map) -> None:
-        if op.opcode == "scan":
-            # Scan lowering reads the whole body, not just adjacent
+        if op.opcode in opdefs.LOOP_OPS:
+            # Loop lowering reads the whole body, not just adjacent
             # shardings; its *body ops* are memoized individually instead.
             super()._lower_op(op, sink, value_map)
             return
@@ -961,12 +1049,12 @@ class _UnitState:
     the unit's behavior, the memo of resolved segments, and the segment
     currently in force."""
 
-    __slots__ = ("op", "is_scan", "is_tag", "sig_values", "segments",
+    __slots__ = ("op", "is_loop", "is_tag", "sig_values", "segments",
                  "segment")
 
-    def __init__(self, op, is_scan: bool, sig_values: tuple):
+    def __init__(self, op, is_loop: bool, sig_values: tuple):
         self.op = op
-        self.is_scan = is_scan
+        self.is_loop = is_loop
         self.is_tag = op.opcode == "tag"
         self.sig_values = sig_values
         self.segments: Dict[tuple, tuple] = {}
@@ -1103,10 +1191,11 @@ class _IncrementalEstimate:
             self._link(param, self._PARAMS)
         for op in function.ops:
             index = len(self._units)
-            is_scan = op.opcode == "scan"
-            if is_scan:
-                # A scan's lowering reads the whole body, so its segment
-                # keys on (and is invalidated by) every subtree value.
+            is_loop = op.opcode in opdefs.LOOP_OPS
+            if is_loop:
+                # A loop's lowering reads the whole body (cond included),
+                # so its segment keys on (and is invalidated by) every
+                # subtree value — pipeline pins land here too.
                 sig_values: Dict[object, None] = {}
 
                 def visit(fn):
@@ -1131,7 +1220,7 @@ class _IncrementalEstimate:
                 values = tuple(op.operands) + tuple(op.results)
             for value in values:
                 self._link(value, index)
-            self._units.append(_UnitState(op, is_scan, values))
+            self._units.append(_UnitState(op, is_loop, values))
         self._current = [None] * len(self._units)
         for result in function.results:
             self._link(result, self._RESULTS)
@@ -1200,8 +1289,8 @@ class _IncrementalEstimate:
             segments = unit.segments
             segment = segments.get(sig)
             if segment is None:
-                if unit.is_scan:
-                    segment = self._resolve_scan(unit.op)
+                if unit.is_loop:
+                    segment = self._resolve_loop(unit.op)
                 elif unit.is_tag and sig[0] == sig[1]:
                     # Transparent tag marker: the same skip the walking
                     # paths apply — the result aliases the operand.
@@ -1395,7 +1484,7 @@ class _IncrementalEstimate:
                     cp_extend(cp_part)
                 for result, uid in result_items:
                     value_uids[result] = uid
-            else:  # scan
+            else:  # loop
                 (_, _, site_plans, defs, extra, fl_part, cp_part, cb_part,
                  cs_part, coll_part, tail_records, result_items) = plan
                 site_hits += len(site_plans)
@@ -1544,18 +1633,16 @@ class _IncrementalEstimate:
             return (segment, "op", site_plans, defs, alias, fl_part,
                     cp_part, tuple(post_records), tuple(coll_part),
                     tuple(items))
-        # scan
-        (_, sites, body_result, trips, carry_nbytes, results, tail_sites,
+        # loop
+        (_, sites, terms, carry_nbytes, results, tail_sites,
          extra, _num_carries) = segment
         site_plans = tuple(self._bulk_compile_site(site) for site in sites)
         defs = tuple((mk(), nbytes) for nbytes in carry_nbytes)
-        body = body_result.estimate
-        fl_part = [body.local_flops * trips]
-        cp_part = [body.compute_s * trips]
-        cb_part = [body.comm_bytes * trips]
-        cs_part = [body.comm_s * trips]
-        coll_part = [(opcode, seconds * trips)
-                     for opcode, seconds in body.collective_time_s.items()]
+        fl_part = [t[1] for t in terms if t[0] == "fl"]
+        cp_part = [t[1] for t in terms if t[0] == "cp"]
+        cb_part = [t[1] for t in terms if t[0] == "cb"]
+        cs_part = [t[1] for t in terms if t[0] == "cs"]
+        coll_part = [(t[1], t[2]) for t in terms if t[0] == "co"]
         exports = {result: defs[i][0] for i, result in enumerate(results)}
         tail_records = []
         for tail in tail_sites:
@@ -1574,7 +1661,7 @@ class _IncrementalEstimate:
                     cp_part.append(step.flops / denom)
                 prev = uid
             exports[results[index]] = prev
-        return (segment, "scan", site_plans, defs, extra, tuple(fl_part),
+        return (segment, "loop", site_plans, defs, extra, tuple(fl_part),
                 tuple(cp_part), tuple(cb_part), tuple(cs_part),
                 tuple(coll_part), tuple(tail_records),
                 tuple(exports.items()))
@@ -1685,7 +1772,7 @@ class _IncrementalEstimate:
         return ("op", sites, plan.flops, plan.result_nbytes, results,
                 alias, tuple(trailing))
 
-    def _resolve_scan(self, op) -> tuple:
+    def _resolve_loop(self, op) -> tuple:
         env = self.env
         body = op.regions[0]
         num_carries = op.attrs.get("num_carries", len(op.operands))
@@ -1712,6 +1799,20 @@ class _IncrementalEstimate:
             fixed_param_shardings=param_shardings,
             result_targets=carry_shardings,
         )
+        cond_result: Optional[_StreamResult] = None
+        if len(op.regions) > 1:
+            cond = op.regions[1]
+            cond_sink = CostSink(self.mesh, self.device)
+            self._lowerer._reduce_cache = {}
+            cond_result = self._lowerer.lower_function(
+                cond, cond_sink,
+                fixed_param_shardings=(
+                    [Sharding.replicated(0)] + carry_shardings
+                ),
+                result_targets=[
+                    Sharding.replicated(r.type.rank) for r in cond.results
+                ],
+            )
         carry_nbytes = tuple(
             self._local_type(op.operands[i], operand_shardings[i]).nbytes
             for i in range(num_carries)
@@ -1731,12 +1832,25 @@ class _IncrementalEstimate:
                 tail_sites.append(
                     (i,) + self._resolve_tail_site(local, actual, required)
                 )
-        extra = memory_mod.scan_body_extra_bytes(
-            body_result.peak_bytes, body_result.params_bytes
+        # Same attrs the lowering would inject at emit time: the precomputed
+        # term bundle is the single pricing all paths share.
+        attrs = dict(op.attrs)
+        attrs.update(pipeline_mod.pipeline_schedule_attrs(
+            op, env, self.mesh
+        ))
+        terms = tuple(loop_cost_terms(
+            attrs, body_result.estimate, self.device,
+            cond_result.estimate if cond_result is not None else None,
+        ))
+        extra = memory_mod.loop_extra_bytes(
+            attrs, body_result.peak_bytes, body_result.params_bytes
         )
-        return ("scan", tuple(sites), body_result,
-                op.attrs["trip_count"], carry_nbytes, tuple(op.results),
-                tuple(tail_sites), extra, num_carries)
+        if cond_result is not None:
+            extra += memory_mod.scan_body_extra_bytes(
+                cond_result.peak_bytes, cond_result.params_bytes
+            )
+        return ("loop", tuple(sites), terms, carry_nbytes,
+                tuple(op.results), tuple(tail_sites), extra, num_carries)
 
     def _resolve_tail_site(self, local_type, actual, required):
         """Like :meth:`_resolve_site` but for a scan result handle, whose
@@ -1796,7 +1910,7 @@ class _IncrementalEstimate:
             return self._results_segment
         segment = self._current[pos - 1]
         tag = segment[0]
-        if tag == "op" or tag == "scan":
+        if tag == "op" or tag == "loop":
             return segment[1]
         return ()
 
@@ -2005,8 +2119,8 @@ class _IncrementalEstimate:
                         bundle.append(("co", "all_slice", 0.0))
                         handle = ("d", did)
                     exports[result] = handle
-            else:  # scan
-                (_, sites, body_result, trips, carry_nbytes, results,
+            else:  # loop
+                (_, sites, terms, carry_nbytes, results,
                  tail_sites, extra, _num_carries) = segment
                 operand_refs = tuple(
                     emit_site(site, ordinal)
@@ -2016,13 +2130,7 @@ class _IncrementalEstimate:
                     (mk_def(nbytes), nbytes) for nbytes in carry_nbytes
                 )
                 recs.append((operand_refs, defs, False, extra))
-                body = body_result.estimate
-                bundle.append(("fl", body.local_flops * trips))
-                bundle.append(("cp", body.compute_s * trips))
-                bundle.append(("cb", body.comm_bytes * trips))
-                bundle.append(("cs", body.comm_s * trips))
-                for opcode, seconds in body.collective_time_s.items():
-                    bundle.append(("co", opcode, seconds * trips))
+                bundle.extend(terms)
                 for i, result in enumerate(results):
                     exports[result] = ("d", defs[i][0])
                 for tail in tail_sites:
@@ -2323,8 +2431,9 @@ def model_flops(function: Function) -> float:
     """Total FLOPs of the *global* (unpartitioned) program."""
     total = 0.0
     for op in function.ops:
-        if op.opcode == "scan":
-            total += model_flops(op.regions[0]) * op.attrs["trip_count"]
+        if op.opcode in opdefs.LOOP_OPS:
+            for region in op.regions:
+                total += model_flops(region) * op.attrs["trip_count"]
             continue
         opdef = opdefs.get(op.opcode)
         if opdef.flops:

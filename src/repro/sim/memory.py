@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Set, Tuple
 
+from repro.ir import opdefs
 from repro.ir.function import Function
 from repro.ir.values import Value
 
@@ -180,7 +181,7 @@ def peak_live_bytes(function: Function) -> int:
     for param in function.params:
         log.add_param(param.uid, value_bytes(param))
     for op in function.ops:
-        extra = _scan_body_extra(op.regions[0]) if op.opcode == "scan" else 0
+        extra = _loop_extra(op) if op.opcode in opdefs.LOOP_OPS else 0
         log.add_op(
             [operand.uid for operand in op.operands],
             [(result.uid, value_bytes(result)) for result in op.results],
@@ -190,15 +191,57 @@ def peak_live_bytes(function: Function) -> int:
     return log.peak_bytes([result.uid for result in function.results])
 
 
-def _scan_body_extra(body: Function) -> int:
-    """Transient memory of one scan-body iteration beyond its carries."""
-    inner_peak = peak_live_bytes(body)
-    carries = sum(value_bytes(p) for p in body.params)
-    return max(0, inner_peak - carries)
+def _region_extra(region: Function) -> Tuple[int, int]:
+    """(peak, params bytes) of one loop region's single-iteration run."""
+    inner_peak = peak_live_bytes(region)
+    params = sum(value_bytes(p) for p in region.params)
+    return inner_peak, params
+
+
+def _loop_extra(op) -> int:
+    """Transient memory a loop op spikes beyond its carries: the body's
+    per-iteration extra (scaled by in-flight microbatches when pipelined,
+    via the op's ``pipeline_*`` attrs) plus the cond region's, for
+    ``while_loop``."""
+    extra = loop_extra_bytes(op.attrs, *_region_extra(op.regions[0]))
+    for region in op.regions[1:]:
+        extra += scan_body_extra_bytes(*_region_extra(region))
+    return extra
 
 
 def scan_body_extra_bytes(body_peak: int, body_params_bytes: int) -> int:
-    """The streaming analogue of :func:`_scan_body_extra`: the transient
-    spike a lowered scan body adds on top of its carries, from the body's
-    already-computed peak and parameter bytes."""
+    """The transient spike one loop-body iteration adds on top of its
+    carries, from the body's already-computed peak and parameter bytes."""
     return max(0, body_peak - body_params_bytes)
+
+
+def loop_extra_bytes(attrs: dict, body_peak: int,
+                     body_params_bytes: int) -> int:
+    """A loop body's transient extra, accounting for pipelining.
+
+    Unpipelined loops run one iteration at a time, so the extra is the
+    single-iteration spike (exactly :func:`scan_body_extra_bytes`).  A
+    pipelined loop keeps several microbatches' activations in flight at
+    once: ``min(stages, trip_count)`` under 1F1B (a stage starts a
+    backward as soon as its forward completes, bounding the queue at the
+    stage count) and ``trip_count`` under GPipe (all forwards complete
+    before any hand-back).
+
+    >>> loop_extra_bytes({"trip_count": 8}, 100, 40)
+    60
+    >>> attrs = {"trip_count": 8, "pipeline_stages": 4,
+    ...          "pipeline_schedule": "1f1b"}
+    >>> loop_extra_bytes(attrs, 100, 40)
+    240
+    >>> loop_extra_bytes({**attrs, "pipeline_schedule": "gpipe"}, 100, 40)
+    480
+    """
+    extra = max(0, body_peak - body_params_bytes)
+    stages = attrs.get("pipeline_stages")
+    if stages:
+        trips = attrs["trip_count"]
+        if attrs.get("pipeline_schedule") == "gpipe":
+            extra *= trips
+        else:
+            extra *= min(stages, trips)
+    return extra

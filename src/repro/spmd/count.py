@@ -11,6 +11,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Tuple
 
+from repro.ir import opdefs
 from repro.ir.function import Function
 
 COUNTED = ("all_gather", "all_reduce", "reduce_scatter", "all_to_all")
@@ -75,13 +76,16 @@ def count_collectives(function: Function, multiplier: int = 1,
         if op.opcode in COUNTED:
             field = op.opcode
             setattr(counts, field, getattr(counts, field) + multiplier)
-        if op.opcode == "scan":
+        if op.opcode in opdefs.LOOP_OPS:
             inner_multiplier = multiplier * (
                 1 if static else op.attrs["trip_count"]
             )
-            inner = count_collectives(op.regions[0], inner_multiplier, static)
-            counts.all_gather += inner.all_gather
-            counts.all_reduce += inner.all_reduce
-            counts.reduce_scatter += inner.reduce_scatter
-            counts.all_to_all += inner.all_to_all
+            # Every region runs once per iteration (a while_loop's cond
+            # region included), so each counts at the inner multiplier.
+            for region in op.regions:
+                inner = count_collectives(region, inner_multiplier, static)
+                counts.all_gather += inner.all_gather
+                counts.all_reduce += inner.all_reduce
+                counts.reduce_scatter += inner.reduce_scatter
+                counts.all_to_all += inner.all_to_all
     return counts

@@ -56,6 +56,7 @@ from repro.ir import opdefs
 from repro.ir.function import Function, FunctionBuilder
 from repro.ir.values import Operation, Value
 from repro.mesh import Mesh
+from repro.core import pipeline as pipeline_mod
 from repro.core import rules as rules_mod
 from repro.core.propagate import may_defer
 from repro.core.sharding import Sharding, ShardingEnv
@@ -227,8 +228,8 @@ class Lowerer:
         lowered handle.  The streaming cost paths apply the identical skip,
         keeping the materialized and streamed estimates bit-identical.
         """
-        if op.opcode == "scan":
-            self._emit_scan(op, sink, value_map)
+        if op.opcode in opdefs.LOOP_OPS:
+            self._emit_loop(op, sink, value_map)
         elif op.opcode == "tag" and self._tag_transparent(op):
             value_map[op.results[0]] = value_map[op.operands[0]]
         else:
@@ -521,9 +522,15 @@ class Lowerer:
             sink.set_name(new_value, result.name)
             value_map[result] = new_value
 
-    # -- scan ---------------------------------------------------------------------
+    # -- loops (scan / fori_loop / while_loop) ------------------------------------
 
-    def _emit_scan(self, op: Operation, sink, value_map) -> None:
+    def _emit_loop(self, op: Operation, sink, value_map) -> None:
+        """Lower a loop op: reconcile operands to the body's carry layouts,
+        lower the body (and, for ``while_loop``, the cond region — fixed
+        replicated step + carry layouts in, replicated predicate out, the
+        lockstep contract the executor follows), and emit the loop with any
+        ``pipeline_*`` pricing attrs injected from the env's pipeline
+        marker (see :func:`repro.core.pipeline.pipeline_schedule_attrs`)."""
         body = op.regions[0]
         num_carries = op.attrs.get("num_carries", len(op.operands))
         operand_shardings = [
@@ -549,8 +556,28 @@ class Lowerer:
             fixed_param_shardings=param_shardings,
             result_targets=carry_shardings,
         )
-        new_results = sink.emit("scan", new_operands, dict(op.attrs),
-                                regions=[local_body])
+        regions = [local_body]
+        if len(op.regions) > 1:
+            # while_loop's cond: runs every iteration over the carries in
+            # their body layouts; the predicate is reconciled replicated so
+            # every device follows the same branch in lockstep.
+            cond = op.regions[1]
+            cond_sink = sink.subsink("cond")
+            regions.append(self.lower_function(
+                cond, cond_sink,
+                fixed_param_shardings=(
+                    [Sharding.replicated(0)] + carry_shardings
+                ),
+                result_targets=[
+                    Sharding.replicated(r.type.rank) for r in cond.results
+                ],
+            ))
+        attrs = dict(op.attrs)
+        attrs.update(pipeline_mod.pipeline_schedule_attrs(
+            op, self.env, self.mesh
+        ))
+        new_results = sink.emit(op.opcode, new_operands, attrs,
+                                regions=regions)
         for i, result in enumerate(op.results):
             value = new_results[i]
             env_sharding = self.env.sharding(result)

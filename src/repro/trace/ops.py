@@ -286,44 +286,48 @@ def avg_pool2d(x: TracedArray, factor: int) -> TracedArray:
     return downsample2d_sum(x, factor) * (1.0 / (factor * factor))
 
 
-# -- scan -------------------------------------------------------------------------
+# -- loops ------------------------------------------------------------------------
 
-def scan(body_fn, init_carries: Sequence[TracedArray], trip_count: int):
-    """Counted loop. ``body_fn(index, *carries) -> carries`` is traced once
-    into a region; the op models an unrolled serving loop of ``trip_count``
-    steps (collective counters scale per-iteration collectives by it).
-
-    Values the body closes over (e.g. model parameters) are detected and
-    threaded through as loop-*invariant* operands / body parameters.
-    """
-    outer = current_tracer()
-    inner = Tracer("body", tag_points=outer.tag_points)
+def _trace_region(outer: Tracer, name: str, carries: Sequence[TracedArray],
+                  fn) -> Function:
+    """Trace ``fn(index, *carries)`` into a fresh region function whose
+    params are ``(step, carry0, carry1, ...)``."""
+    inner = Tracer(name, tag_points=outer.tag_points)
     index = TracedArray(
         inner.builder.param((), dtypes.i32, name="step"), inner
     )
     inner_carries = [
         TracedArray(inner.builder.param(c.shape, c.dtype, name=f"carry{i}"),
                     inner)
-        for i, c in enumerate(init_carries)
+        for i, c in enumerate(carries)
     ]
     with inner.active():
-        results = body_fn(index, *inner_carries)
+        results = fn(index, *inner_carries)
     if isinstance(results, TracedArray):
         results = [results]
-    body = inner.builder.ret(*[r.value for r in results])
+    return inner.builder.ret(*[r.value for r in results])
 
-    # Capture analysis: operands used in the body but defined outside become
-    # invariant body parameters.
-    defined = set(body.params)
-    for op_ in body.walk():
+
+def _captured_values(region: Function):
+    """Operands used inside ``region`` but defined outside it, in first-use
+    walk order."""
+    defined = set(region.params)
+    for op_ in region.walk():
         defined.update(op_.results)
     captured = []
     captured_set = {}
-    for op_ in body.walk():
+    for op_ in region.walk():
         for operand in op_.operands:
             if operand not in defined and operand not in captured_set:
                 captured_set[operand] = None
                 captured.append(operand)
+    return captured
+
+
+def _thread_invariants(body: Function):
+    """Capture analysis: operands used in the body but defined outside
+    become invariant body parameters (returned in declaration order)."""
+    captured = _captured_values(body)
     substitution = {}
     for i, outer_value in enumerate(captured):
         param = body.add_param(outer_value.type,
@@ -333,21 +337,98 @@ def scan(body_fn, init_carries: Sequence[TracedArray], trip_count: int):
         for op_ in body.walk():
             op_.operands = [substitution.get(o, o) for o in op_.operands]
         body.results = [substitution.get(r, r) for r in body.results]
+    return captured
 
+
+def _emit_loop(opcode: str, body_fn, init_carries: Sequence[TracedArray],
+               trip_count: int, extra_regions: Sequence[Function] = (),
+               extra_attrs: Optional[dict] = None):
+    """Shared loop emission: trace the body, thread captured invariants,
+    emit ``opcode`` and auto-tag the carry results."""
+    outer = current_tracer()
+    body = _trace_region(outer, "body", init_carries, body_fn)
+    captured = _thread_invariants(body)
+    attrs = {"trip_count": trip_count, "num_carries": len(init_carries)}
+    if extra_attrs:
+        attrs.update(extra_attrs)
     op = outer.builder.emit(
-        "scan",
+        opcode,
         [c.value for c in init_carries] + captured,
-        {"trip_count": trip_count, "num_carries": len(init_carries)},
-        regions=[body],
+        attrs,
+        regions=[body] + list(extra_regions),
     )
     results_out = list(op.results)
     if outer.tag_points:
-        # Scan results are candidate tag points too (the serving loop's KV
+        # Loop results are candidate tag points too (the serving loop's KV
         # caches and accumulators); multi-result, so tagged here rather
         # than in Tracer.emit.
-        results_out = [outer.auto_tag(r, "scan") for r in results_out]
+        results_out = [outer.auto_tag(r, opcode) for r in results_out]
     outs = [TracedArray(r, outer) for r in results_out]
     return outs[0] if len(outs) == 1 else outs
+
+
+def scan(body_fn, init_carries: Sequence[TracedArray], trip_count: int):
+    """Counted loop. ``body_fn(index, *carries) -> carries`` is traced once
+    into a region; the op models an unrolled serving loop of ``trip_count``
+    steps (collective counters scale per-iteration collectives by it).
+
+    Values the body closes over (e.g. model parameters) are detected and
+    threaded through as loop-*invariant* operands / body parameters.
+    """
+    return _emit_loop("scan", body_fn, init_carries, trip_count)
+
+
+def fori_loop(lower: int, upper: int, body_fn,
+              init_carries: Sequence[TracedArray]):
+    """Counted loop over ``range(lower, upper)``, jax.lax-style.
+
+    ``body_fn(i, *carries) -> carries`` sees the *absolute* index ``i``:
+    the lower bound is folded into the traced body (the region's step param
+    still counts from 0), so every downstream consumer — interpreter,
+    executor, propagation, cost model — shares scan's calling convention.
+    ``lower``/``upper`` must be static Python ints.
+    """
+    lower, upper = int(lower), int(upper)
+    if upper < lower:
+        raise TraceError(
+            f"fori_loop bounds are empty-or-reversed: [{lower}, {upper})"
+        )
+    if isinstance(init_carries, TracedArray):
+        init_carries = [init_carries]
+
+    def offset_body(step, *carries):
+        index = step + lower if lower else step
+        return body_fn(index, *carries)
+
+    return _emit_loop("fori_loop", offset_body, init_carries,
+                      upper - lower, extra_attrs={"lower": lower})
+
+
+def while_loop(cond_fn, body_fn, init_carries: Sequence[TracedArray],
+               trip_count_hint: int = 1):
+    """Conditional loop: run ``body_fn`` while ``cond_fn`` holds.
+
+    ``cond_fn(i, *carries) -> scalar pred`` is traced into a second region.
+    The predicate may read only the step index and the carries — closing
+    over outer values inside the condition is a :class:`TraceError`
+    (thread such values through the carries instead).  Static consumers
+    (the cost model, the collective counters) price the loop at
+    ``trip_count_hint`` iterations; the interpreter and the simulated mesh
+    run the predicate for real.
+    """
+    outer = current_tracer()
+    if isinstance(init_carries, TracedArray):
+        init_carries = [init_carries]
+    cond = _trace_region(outer, "cond", init_carries, cond_fn)
+    if _captured_values(cond):
+        raise TraceError(
+            "while_loop cond may only read the step index and the carries; "
+            "thread captured values through the carries instead"
+        )
+    if len(cond.results) != 1 or cond.results[0].type.shape != ():
+        raise TraceError("while_loop cond must return one scalar predicate")
+    return _emit_loop("while_loop", body_fn, init_carries,
+                      int(trip_count_hint), extra_regions=[cond])
 
 
 def tag(x: TracedArray, name: str) -> TracedArray:

@@ -507,3 +507,32 @@ class TestZeroOverhead:
         assert result.workers_restarted == 0
         assert result.waves_retried == 0
         assert result.degraded_to == ""
+
+
+class TestPipelinedModelChaos:
+    """The degradation contract extends to loop/pipeline programs: a
+    seeded fault schedule over a search whose action space includes
+    PIPELINE (the microbatched layer stack) still reproduces the
+    fault-free serial result bit for bit."""
+
+    def pipeline_search(self, **kw):
+        from repro.models import pipeline as pm
+
+        traced = pm.trace_pipeline_transformer(pm.tiny())
+        env = ShardingEnv(Mesh({"stage": 2, "model": 2}))
+        params = dict(device=TINY_DEVICE, budget=8, seed=3)
+        params.update(kw)
+        return mcts_search(traced.function, env, ["stage", "model"],
+                           **params)
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_seeded_schedule_over_pipelined_search(self):
+        reference = self.pipeline_search()
+        faults.install(faults.FaultPlan.seeded(21, rate=0.05))
+        try:
+            result = self.pipeline_search(backend="process", workers=2,
+                                          wave_size=2, restart_budget=16)
+        finally:
+            faults.uninstall()
+        assert result.actions == reference.actions
+        assert result.cost == reference.cost

@@ -7,8 +7,9 @@ both the one-pass streaming walk (`StreamingEstimator.estimate`) and the
 classic materializing ``lower -> fuse_collectives -> estimate`` pipeline —
 not approximately, bit for bit, on every :class:`CostEstimate` field.
 
-50+ seeded rollout chains (13 seeds x 4 models: transformer, GNS, UNet
-and the interior-bottleneck ensemble) drive checkpoint/apply/rollback
+60+ seeded rollout chains (13 seeds x 5 models: transformer, GNS, UNet,
+the interior-bottleneck ensemble and the microbatched pipeline stack —
+whose chains draw PIPELINE actions) drive checkpoint/apply/rollback
 trajectories with a *rollback-heavy* mix (~40% of steps unwind), checking
 the three-way equality after every step.  Rollbacks are where the
 differential path earns its keep — and where stale segments, missed
@@ -26,6 +27,7 @@ from repro.core.sharding import ShardingEnv
 from repro.mesh import Mesh
 from repro.models import bottleneck
 from repro.models import gns as gns_mod
+from repro.models import pipeline as pipeline_mod
 from repro.models import transformer
 from repro.models import unet as unet_mod
 from repro.sim import TPU_V3, costmodel
@@ -52,6 +54,11 @@ def _cases():
         ("gns", gns_mod.trace_training_step(gcfg)),
         ("unet", unet_mod.trace_training_step(ucfg)),
         ("bottleneck", bottleneck.trace_forward(bcfg)),
+        # The microbatched loop stack: chains here draw PIPELINE actions
+        # (and tilings that cross the loop boundary), so the differential
+        # engine's loop segments see pipelining mid-trajectory.
+        ("pipeline", pipeline_mod.trace_pipeline_transformer(
+            pipeline_mod.tiny())),
     ]
 
 

@@ -1,0 +1,391 @@
+"""First-class loops + pipeline tactic: the multi-stage scenario suite.
+
+Pins the loop/pipeline tentpole end to end:
+
+* **Loop-carry propagation** reaches the documented fixed point: a tiled
+  init carry shards the body params, body results, and loop results alike
+  (and a ``while_loop``'s cond region sees the sharded carries but returns
+  a replicated predicate).
+* **Canonical walk order**: :func:`repro.core.loopview.render_loop_view`
+  emits ops in exactly :meth:`~repro.ir.function.Function.walk` pre-order —
+  the order :func:`~repro.ir.tagpoints.tag_points` numbers — including
+  inside loop bodies, so tag indices stay portable across loop promotion.
+* **Pipeline legality and application**: the ``PIPELINE`` action's legality
+  predicate, wire encoding, and effect on the sharding env.
+* **Golden collective counts** for the pipelined transformer and MoE
+  models under bp / megatron / pipeline-hybrid schedules.
+* **Cross-backend pins**: fixed-seed automatic search over a pipelined
+  model returns identical best actions and cost on serial, batched and
+  process backends, and on undo vs fork rollout envs.
+* **Execution equivalence**: the partitioned pipelined program equals the
+  unpartitioned reference, numerically.
+"""
+
+import dataclasses
+import re
+
+import numpy as np
+import pytest
+
+from repro.api import ManualPartition, PipelinePartition, UNKNOWN
+from repro.auto.evaluator import candidate_actions, try_apply_action
+from repro.auto.search import mcts_search
+from repro.core import propagate, tile
+from repro.core.actions import PIPELINE, decode_action
+from repro.core.loopview import render_loop_view
+from repro.core.pipeline import (
+    SCHEDULES,
+    apply_pipeline,
+    loop_ops,
+    pipeline_legal,
+)
+from repro.core.sharding import ShardingEnv
+from repro.errors import ShardingError
+from repro.ir import evaluate_function
+from repro.ir.tagpoints import tag_points
+from repro.mesh import Mesh
+from repro.models import pipeline as pm
+from repro.models import schedules as sched
+from repro.runtime import MeshExecutor
+from repro.sim import TPU_V3, costmodel
+from repro.spmd import count_collectives, fuse_collectives, lower
+from repro.trace import ShapeDtype, ops, trace
+
+FIELDS = ("runtime_s", "compute_s", "comm_s", "local_flops", "comm_bytes",
+          "peak_memory_bytes", "collective_time_s")
+
+
+def mp_tactic(axis="model"):
+    """Megatron-style tiling of the pipeline models' MLP weights."""
+
+    def spec(name, value):
+        return {"up_w": 1, "down_w": 0}.get(name.split("/")[-1], UNKNOWN)
+
+    tactic = ManualPartition({"0": spec}, axis=axis)
+    tactic.name = "MP"
+    return tactic
+
+
+def trace_fori(trip=4):
+    def f(x, w):
+        def body(i, acc):
+            return (ops.tanh(acc @ w),)
+        return ops.fori_loop(0, trip, body, (x,))[0]
+
+    return trace(f, ShapeDtype((8, 4)), ShapeDtype((4, 4))).function
+
+
+def trace_while(trip=3):
+    def f(x, w):
+        def cond(i, acc):
+            return i < trip
+
+        def body(i, acc):
+            return (acc @ w,)
+
+        return ops.while_loop(cond, body, (x,), trip_count_hint=trip)[0]
+
+    return trace(f, ShapeDtype((8, 4)), ShapeDtype((4, 4))).function
+
+
+def materialized(function, env):
+    lowered = lower(function, env)
+    lowered = dataclasses.replace(
+        lowered, function=fuse_collectives(lowered.function)
+    )
+    return costmodel.estimate(lowered, TPU_V3)
+
+
+class TestLoopCarryPropagation:
+    """Sharding reaches the fixed point through loop carries."""
+
+    def test_fori_carry_fixed_point(self):
+        fn = trace_fori()
+        env = ShardingEnv(Mesh({"d": 2}))
+        tile(env, fn.params[0], 0, "d")
+        propagate(fn, env)
+        loop = next(op for op in fn.ops if op.opcode == "fori_loop")
+        body = loop.regions[0]
+        # init carry -> body carry param -> body result -> loop result.
+        assert env.sharding(loop.results[0]).spec() == "[{d}, {}]"
+        assert [env.sharding(p).spec() for p in body.params] == [
+            "[]", "[{d}, {}]", "[{}, {}]"
+        ]
+        assert env.sharding(body.results[0]).spec() == "[{d}, {}]"
+
+    def test_while_carry_and_replicated_predicate(self):
+        fn = trace_while()
+        env = ShardingEnv(Mesh({"d": 2}))
+        tile(env, fn.params[0], 0, "d")
+        propagate(fn, env)
+        wl = next(op for op in fn.ops if op.opcode == "while_loop")
+        body, cond = wl.regions
+        assert env.sharding(wl.results[0]).spec() == "[{d}, {}]"
+        assert [env.sharding(p).spec() for p in cond.params] == [
+            "[]", "[{d}, {}]"
+        ]
+        # The predicate stays replicated: every device must agree on the
+        # loop's termination (lockstep execution).
+        assert env.sharding(cond.results[0]).spec() == "[]"
+
+    def test_invariant_weight_tiling_reaches_body(self):
+        fn = trace_fori()
+        env = ShardingEnv(Mesh({"d": 2}))
+        tile(env, fn.params[1], 1, "d")
+        propagate(fn, env)
+        loop = next(op for op in fn.ops if op.opcode == "fori_loop")
+        body = loop.regions[0]
+        # The loop-invariant weight's sharding is visible inside the body.
+        assert env.sharding(body.params[2]).spec() == "[{}, {d}]"
+
+
+class TestCanonicalWalkOrder:
+    """render_loop_view and tag_points agree on pre-order, body included."""
+
+    def rendered_opcodes(self, text):
+        return re.findall(r"= (\w+)\(", text)
+
+    def test_loopview_order_matches_walk(self):
+        fn = pm.trace_pipeline_transformer(pm.tiny()).function
+        env = ShardingEnv(Mesh({"stage": 2}))
+        text = render_loop_view(fn, env)
+        assert self.rendered_opcodes(text) == [
+            op.opcode for op in fn.walk()
+        ]
+
+    def test_tag_points_index_into_walk_order(self):
+        fn = pm.trace_pipeline_transformer(pm.tiny()).function
+        walk_tags = [op for op in fn.walk() if op.opcode == "tag"]
+        assert [tp.op for tp in tag_points(fn)] == walk_tags
+        # Tag points inside the scan body exist (loop promotion kept them).
+        scan = next(op for op in fn.ops if op.opcode == "scan")
+        body_ops = set(id(op) for op in scan.regions[0].walk())
+        assert any(id(tp.op) in body_ops for tp in tag_points(fn))
+
+    def test_budget_counts_body_ops_like_walk(self):
+        fn = pm.trace_pipeline_transformer(pm.tiny()).function
+        env = ShardingEnv(Mesh({"stage": 2}))
+        for budget in (3, 7):
+            text = render_loop_view(fn, env, max_ops=budget)
+            assert len(self.rendered_opcodes(text)) == budget
+            assert "..." in text
+
+    def test_while_cond_region_is_labelled(self):
+        fn = trace_while()
+        env = ShardingEnv(Mesh({"d": 2}))
+        text = render_loop_view(fn, env)
+        assert "cond(" in text
+        assert "body(" in text
+
+
+class TestPipelineLegality:
+    def test_legal_on_microbatch_loop(self):
+        fn = pm.trace_pipeline_transformer(pm.tiny()).function
+        env = ShardingEnv(Mesh({"stage": 2}))
+        (loop,) = loop_ops(fn)
+        for schedule in SCHEDULES:
+            assert pipeline_legal(env, loop, "stage", schedule)
+
+    def test_illegal_cases(self):
+        fn = pm.trace_pipeline_transformer(pm.tiny()).function
+        env = ShardingEnv(Mesh({"stage": 2, "one": 1}))
+        (loop,) = loop_ops(fn)
+        assert not pipeline_legal(env, loop, "stage", "interleaved")
+        assert not pipeline_legal(env, loop, "one", "1f1b")  # K < 2
+        # A non-loop op is not pipelineable.
+        dense = next(op for op in fn.ops if op.opcode != "scan")
+        assert not pipeline_legal(env, dense, "stage", "1f1b")
+
+    def test_double_pipeline_is_illegal(self):
+        fn = pm.trace_pipeline_transformer(pm.tiny()).function
+        env = ShardingEnv(Mesh({"stage": 2, "model": 2}))
+        (loop,) = loop_ops(fn)
+        apply_pipeline(env, loop, "stage", "1f1b")
+        assert not pipeline_legal(env, loop, "stage", "1f1b")
+        assert not pipeline_legal(env, loop, "model", "1f1b")
+
+    def test_axis_conflict_is_illegal(self):
+        fn = pm.trace_pipeline_transformer(pm.tiny()).function
+        env = ShardingEnv(Mesh({"stage": 2}))
+        mp_tactic("stage").apply(fn, env)
+        (loop,) = loop_ops(fn)
+        assert not pipeline_legal(env, loop, "stage", "1f1b")
+
+    def test_pipeline_action_wire_roundtrip(self):
+        fn = pm.trace_pipeline_transformer(pm.tiny()).function
+        env = ShardingEnv(Mesh({"stage": 2, "model": 2}))
+        actions = candidate_actions(fn, env, ["stage", "model"])
+        pipeline_actions = [a for a in actions if a[0] == PIPELINE]
+        assert pipeline_actions, "PIPELINE missing from the action space"
+        for action in pipeline_actions:
+            decoded = decode_action(action)
+            assert decoded.axis == action[3]
+            assert decoded.encode() == action
+        # Applying one pins the marker and survives propagation.
+        assert try_apply_action(fn, env, pipeline_actions[0])
+        propagate(fn, env, incremental=True)
+        (loop,) = loop_ops(fn)
+        assert any(
+            pin.startswith("pipe:")
+            for pin in env.sharding(loop.results[0]).pinned
+        )
+
+    def test_pipeline_tactic_rejects_bad_targets(self):
+        fn = pm.trace_pipeline_transformer(pm.tiny()).function
+        env = ShardingEnv(Mesh({"stage": 2}))
+        with pytest.raises(ShardingError):
+            PipelinePartition(axis="stage", loop_index=5).apply(fn, env)
+        with pytest.raises(ShardingError):
+            PipelinePartition(axis="stage", schedule="bogus").apply(fn, env)
+
+
+class TestGoldenCollectives:
+    """Golden counts under the paper-style schedules (trip-weighted)."""
+
+    def counts(self, tracer, tactics, mesh):
+        fn = tracer(pm.tiny()).function
+        env = ShardingEnv(mesh)
+        for tactic in tactics:
+            tactic.apply(fn, env, incremental=True)
+        lowered = lower(fn, env)
+        lowered = dataclasses.replace(
+            lowered, function=fuse_collectives(lowered.function)
+        )
+        return count_collectives(lowered.function).as_dict()
+
+    @pytest.mark.parametrize("tracer,golden", [
+        (pm.trace_pipeline_transformer,
+         {"AG": 2, "AR": 0, "RS": 0, "A2A": 0}),
+        (pm.trace_pipeline_moe,
+         {"AG": 2, "AR": 0, "RS": 0, "A2A": 0}),
+    ], ids=["dense", "moe"])
+    def test_bp(self, tracer, golden):
+        bp = sched.bp({"1": 0}, axis="batch")
+        assert self.counts(tracer, [bp], Mesh({"batch": 2})) == golden
+
+    @pytest.mark.parametrize("tracer,golden", [
+        (pm.trace_pipeline_transformer,
+         {"AG": 0, "AR": 8, "RS": 0, "A2A": 0}),
+        (pm.trace_pipeline_moe,
+         {"AG": 0, "AR": 6, "RS": 0, "A2A": 0}),
+    ], ids=["dense", "moe"])
+    def test_megatron(self, tracer, golden):
+        assert self.counts(
+            tracer, [mp_tactic("model")], Mesh({"model": 2})
+        ) == golden
+
+    @pytest.mark.parametrize("tracer,golden", [
+        (pm.trace_pipeline_transformer,
+         {"AG": 0, "AR": 8, "RS": 0, "A2A": 0}),
+        (pm.trace_pipeline_moe,
+         {"AG": 0, "AR": 6, "RS": 0, "A2A": 0}),
+    ], ids=["dense", "moe"])
+    def test_pipeline_hybrid(self, tracer, golden):
+        tactics = [sched.pp("stage"), mp_tactic("model")]
+        assert self.counts(
+            tracer, tactics, Mesh({"stage": 2, "model": 2})
+        ) == golden
+
+    def test_pipeline_prices_p2p(self):
+        """The hybrid lowering prices stage p2p as its own pseudo-collective
+        even though count_collectives (comm ops only) ignores it."""
+        fn = pm.trace_pipeline_transformer(pm.tiny()).function
+        env = ShardingEnv(Mesh({"stage": 2}))
+        sched.pp("stage").apply(fn, env)
+        estimate = materialized(fn, env)
+        assert "pipeline_p2p" in estimate.collective_time_s
+        assert estimate.collective_time_s["pipeline_p2p"] > 0
+
+
+class TestCrossBackendPins:
+    """Fixed-seed search determinism across schedulers and rollout envs."""
+
+    def run(self, backend, rollout_env):
+        traced = pm.trace_pipeline_transformer(pm.tiny())
+        env = ShardingEnv(Mesh({"stage": 2, "model": 2}))
+        return mcts_search(
+            traced.function, env, ["stage", "model"], device=TPU_V3,
+            budget=8, seed=11, backend=backend, workers=2,
+            rollout_env=rollout_env,
+        )
+
+    def test_undo_equals_fork(self):
+        undo = self.run("serial", "undo")
+        fork = self.run("serial", "fork")
+        assert undo.actions == fork.actions
+        assert undo.cost == fork.cost
+
+    def test_serial_equals_batched_equals_process(self):
+        serial = self.run("serial", "undo")
+        batched = self.run("batched", "undo")
+        process = self.run("process", "undo")
+        assert serial.actions == batched.actions == process.actions
+        assert serial.cost == batched.cost == process.cost
+
+
+class TestEstimatePathIdentity:
+    """Three estimate paths bit-identical on pipelined programs."""
+
+    @pytest.mark.parametrize("tracer", [
+        pm.trace_pipeline_transformer, pm.trace_pipeline_moe,
+    ], ids=["dense", "moe"])
+    def test_three_way_field_exact(self, tracer):
+        mesh = Mesh({"stage": 2, "model": 2})
+        fn = tracer(pm.tiny()).function
+        env = ShardingEnv(mesh)
+        propagate(fn, env)
+        env.enable_journal()
+        differential = costmodel.StreamingEstimator(fn, mesh, TPU_V3)
+        streaming = costmodel.StreamingEstimator(fn, mesh, TPU_V3)
+        for tactic in (sched.pp("stage"), mp_tactic("model")):
+            tactic.apply(fn, env, incremental=True)
+            fast = differential.estimate_incremental(
+                env, env.drain_journal()
+            )
+            streamed = streaming.estimate(env)
+            full = materialized(fn, env)
+            for field in FIELDS:
+                value = getattr(fast, field)
+                assert value == getattr(streamed, field), field
+                assert value == getattr(full, field), field
+
+
+class TestExecutionEquivalence:
+    """Partitioned pipelined programs equal the unpartitioned reference."""
+
+    def check(self, fn, env, atol=1e-4):
+        lowered = lower(fn, env)
+        lowered = dataclasses.replace(
+            lowered, function=fuse_collectives(lowered.function)
+        )
+        rng = np.random.RandomState(0)
+        args = [rng.randn(*p.type.shape).astype(np.float32) * 0.1
+                for p in fn.params]
+        expected = evaluate_function(fn, args)
+        actual = MeshExecutor(lowered)(*args)
+        for got, want in zip(actual, expected):
+            np.testing.assert_allclose(got, want, atol=atol, rtol=1e-3)
+
+    @pytest.mark.parametrize("tracer", [
+        pm.trace_pipeline_transformer, pm.trace_pipeline_moe,
+    ], ids=["dense", "moe"])
+    def test_hybrid_pipeline_tensor(self, tracer):
+        fn = tracer(pm.tiny()).function
+        env = ShardingEnv(Mesh({"stage": 2, "model": 2}))
+        sched.pp("stage").apply(fn, env)
+        mp_tactic("model").apply(fn, env)
+        self.check(fn, env)
+
+    def test_while_loop_partitioned(self):
+        fn = trace_while()
+        env = ShardingEnv(Mesh({"d": 2}))
+        tile(env, fn.params[0], 0, "d")
+        propagate(fn, env)
+        self.check(fn, env)
+
+    def test_fori_loop_partitioned(self):
+        fn = trace_fori()
+        env = ShardingEnv(Mesh({"d": 2}))
+        tile(env, fn.params[0], 0, "d")
+        propagate(fn, env)
+        self.check(fn, env)

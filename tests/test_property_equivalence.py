@@ -1,7 +1,11 @@
 """Property-based tests (hypothesis): the executable analogue of the paper's
 Appendix C theorem — for random programs and random schedules, the lowered
 SPMD program run on the simulated mesh equals the unpartitioned reference.
+Loop programs extend the property with random PIPELINE actions, and pin the
+materializing / streaming / differential estimates field-exact along the way.
 """
+
+import dataclasses
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
@@ -9,9 +13,12 @@ from hypothesis import given, settings, strategies as st
 from repro.ir import FunctionBuilder, evaluate_function
 from repro.mesh import Mesh
 from repro.core import Sharding, ShardingEnv, propagate, tile
+from repro.core.pipeline import SCHEDULES, apply_pipeline, pipeline_legal
 from repro.errors import ShardingError
 from repro.runtime import MeshExecutor, shard_array, unshard_arrays
+from repro.sim import TPU_V3, costmodel
 from repro.spmd import fuse_collectives, lower
+from repro.trace import ShapeDtype, ops, trace
 
 MESH = Mesh({"a": 2, "b": 2})
 
@@ -86,6 +93,93 @@ def test_partitioned_equals_unpartitioned(program, seed):
         propagate(function, env)
     lowered = lower(function, env)
     lowered.function = fuse_collectives(lowered.function)
+    rng = np.random.RandomState(seed % (2 ** 31))
+    args = [rng.randn(*p.type.shape).astype(np.float32) * 0.5
+            for p in function.params]
+    expected, = evaluate_function(function, args)
+    actual, = MeshExecutor(lowered)(*args)
+    np.testing.assert_allclose(actual, expected, atol=1e-3, rtol=1e-2)
+
+
+_ESTIMATE_FIELDS = ("runtime_s", "compute_s", "comm_s", "local_flops",
+                    "comm_bytes", "peak_memory_bytes", "collective_time_s")
+
+
+@st.composite
+def random_loop_program(draw):
+    """A microbatched loop over a random matmul chain, plus a random
+    schedule mixing input tilings and an optional PIPELINE action."""
+    batch = draw(st.sampled_from([8, 16]))
+    width = draw(st.sampled_from([4, 8]))
+    depth = draw(st.integers(2, 4))
+    trips = draw(st.sampled_from([2, 4]))
+    mb = batch // trips
+    nonlinear = draw(st.booleans())
+
+    def f(x, *ws):
+        acc0 = ops.zeros_like(x)
+
+        def body(i, acc):
+            chunk = ops.dynamic_slice_in_dim(x, i * mb, mb, dim=0)
+            h = chunk
+            for w in ws:
+                h = h @ w
+                if nonlinear:
+                    h = ops.tanh(h)
+            return (ops.dynamic_update_slice_in_dim(acc, h, i * mb, dim=0),)
+
+        return ops.scan(body, (acc0,), trip_count=trips)[0]
+
+    specs = [ShapeDtype((batch, width))]
+    specs += [ShapeDtype((width, width)) for _ in range(depth)]
+    function = trace(f, *specs).function
+    tiles = [
+        (draw(st.integers(0, depth)), draw(st.integers(0, 1)),
+         draw(st.sampled_from(["a", "b"])))
+        for _ in range(draw(st.integers(0, 3)))
+    ]
+    pipeline = None
+    if draw(st.booleans()):
+        pipeline = (draw(st.sampled_from(["a", "b"])),
+                    draw(st.sampled_from(list(SCHEDULES))))
+    return function, tiles, pipeline
+
+
+@given(random_loop_program(), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_loop_pipeline_partitioned_equals_unpartitioned(program, seed):
+    """Random loop programs under random tile+pipeline schedules: the
+    partitioned run equals the reference, and the three estimate paths
+    (materializing, streaming, differential) stay field-exact."""
+    function, tiles, pipeline = program
+    mesh = Mesh({"a": 2, "b": 2})
+    env = ShardingEnv(mesh)
+    env.enable_journal()
+    differential = costmodel.StreamingEstimator(function, mesh, TPU_V3)
+    streaming = costmodel.StreamingEstimator(function, mesh, TPU_V3)
+    if pipeline is not None:
+        axis, schedule = pipeline
+        (loop,) = [op for op in function.ops if op.opcode == "scan"]
+        if pipeline_legal(env, loop, axis, schedule):
+            apply_pipeline(env, loop, axis, schedule)
+    for p, dim, axis in tiles:
+        try:
+            tile(env, function.params[p], dim, axis)
+        except ShardingError:
+            continue
+        propagate(function, env)
+    propagate(function, env)
+    fast = differential.estimate_incremental(env, env.drain_journal())
+    streamed = streaming.estimate(env)
+    lowered = lower(function, env)
+    lowered = dataclasses.replace(
+        lowered, function=fuse_collectives(lowered.function)
+    )
+    materialized = costmodel.estimate(lowered, TPU_V3)
+    for field in _ESTIMATE_FIELDS:
+        value = getattr(fast, field)
+        assert value == getattr(streamed, field), field
+        assert value == getattr(materialized, field), field
     rng = np.random.RandomState(seed % (2 ** 31))
     args = [rng.randn(*p.type.shape).astype(np.float32) * 0.5
             for p in function.params]
